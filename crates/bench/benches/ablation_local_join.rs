@@ -1,0 +1,48 @@
+//! Ablation — TOUCH design knobs: local-join strategy, join order and partition
+//! count on a fixed uniform workload (complements the paper's §5.2 discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use touch_bench::{run_distance_join, synthetic};
+use touch_core::{JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};
+use touch_datagen::SyntheticDistribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_touch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let a = synthetic(1_600_000, SyntheticDistribution::Uniform, 1);
+    let b = synthetic(3_200_000, SyntheticDistribution::Uniform, 2);
+
+    for strategy in
+        [LocalJoinStrategy::Grid, LocalJoinStrategy::PlaneSweep, LocalJoinStrategy::AllPairs]
+    {
+        let algo = TouchJoin::new(TouchConfig { local_join: strategy, ..TouchConfig::default() });
+        group.bench_with_input(
+            BenchmarkId::new("local_join", strategy.name()),
+            &strategy,
+            |bencher, _| bencher.iter(|| black_box(run_distance_join(&algo, &a, &b, 5.0))),
+        );
+    }
+    for (name, order) in
+        [("smaller-as-tree", JoinOrder::SmallerAsTree), ("tree-on-B", JoinOrder::TreeOnB)]
+    {
+        let algo = TouchJoin::new(TouchConfig { join_order: order, ..TouchConfig::default() });
+        group.bench_with_input(BenchmarkId::new("join_order", name), &name, |bencher, _| {
+            bencher.iter(|| black_box(run_distance_join(&algo, &a, &b, 5.0)))
+        });
+    }
+    for partitions in [256usize, 1024, 4096] {
+        let algo = TouchJoin::new(TouchConfig { partitions, ..TouchConfig::default() });
+        group.bench_with_input(
+            BenchmarkId::new("partitions", partitions),
+            &partitions,
+            |bencher, _| bencher.iter(|| black_box(run_distance_join(&algo, &a, &b, 5.0))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

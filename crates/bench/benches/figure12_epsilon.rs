@@ -1,0 +1,33 @@
+//! Figure 12 — impact of the distance threshold ε: the large-scale suite on
+//! 1.6 M × 1.6 M (scaled) uniform data for ε = 5 and ε = 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use touch_bench::{bench_context, run_distance_join, synthetic};
+use touch_datagen::SyntheticDistribution;
+use touch_experiments::scaled_large_suite;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure12_epsilon");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let a = synthetic(1_600_000, SyntheticDistribution::Uniform, 1);
+    let b = synthetic(1_600_000, SyntheticDistribution::Uniform, 2);
+    let suite = scaled_large_suite(bench_context().scale);
+    for eps in [5.0, 10.0] {
+        for algo in &suite {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("eps{eps}")),
+                &eps,
+                |bencher, &eps| {
+                    bencher.iter(|| black_box(run_distance_join(algo.as_ref(), &a, &b, eps)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

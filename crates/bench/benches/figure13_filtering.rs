@@ -1,0 +1,32 @@
+//! Figure 13 — TOUCH filtering capability: times the assignment-heavy TOUCH join for
+//! each distribution (the filtering counts themselves are reported by the
+//! `figure13` experiment binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use touch_bench::{run_distance_join, synthetic};
+use touch_core::TouchJoin;
+use touch_datagen::SyntheticDistribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure13_filtering");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let touch = TouchJoin::default();
+    for dist in [
+        SyntheticDistribution::Uniform,
+        SyntheticDistribution::paper_gaussian(),
+        SyntheticDistribution::paper_clustered(),
+    ] {
+        let a = synthetic(1_600_000, dist, 1);
+        let b = synthetic(9_600_000, dist, 2);
+        group.bench_with_input(BenchmarkId::new("TOUCH", dist.name()), &b, |bencher, b| {
+            bencher.iter(|| black_box(run_distance_join(&touch, &a, b, 5.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

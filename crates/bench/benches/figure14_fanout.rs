@@ -1,0 +1,29 @@
+//! Figure 14 — impact of the TOUCH fanout: the TOUCH join on 1.6 M × 9.6 M (scaled)
+//! uniform data for fanouts 2–20.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use touch_bench::{run_distance_join, synthetic};
+use touch_core::TouchJoin;
+use touch_datagen::SyntheticDistribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure14_fanout");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let a = synthetic(1_600_000, SyntheticDistribution::Uniform, 1);
+    let b = synthetic(9_600_000, SyntheticDistribution::Uniform, 2);
+    for fanout in [2usize, 4, 8, 12, 16, 20] {
+        let touch = TouchJoin::with_fanout(fanout);
+        group.bench_with_input(
+            BenchmarkId::new("TOUCH", format!("fanout{fanout}")),
+            &fanout,
+            |bencher, _| bencher.iter(|| black_box(run_distance_join(&touch, &a, &b, 5.0))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

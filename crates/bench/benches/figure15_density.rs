@@ -1,0 +1,34 @@
+//! Figure 15 — increasingly dense neuroscience datasets: the large-scale suite on
+//! 20 % / 60 % / 100 % subsets of the synthetic tissue model, ε = 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use touch_bench::{bench_context, run_distance_join, BENCH_SCALE};
+use touch_datagen::NeuroscienceSpec;
+use touch_experiments::scaled_large_suite;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure15_density");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let data = NeuroscienceSpec::scaled(BENCH_SCALE).generate(42);
+    let suite = scaled_large_suite(bench_context().scale);
+    for pct in [20usize, 60, 100] {
+        let a = data.axons.take_prefix(data.axons.len() * pct / 100);
+        let b = data.dendrites.take_prefix(data.dendrites.len() * pct / 100);
+        for algo in &suite {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{pct}pct")),
+                &pct,
+                |bencher, _| {
+                    bencher.iter(|| black_box(run_distance_join(algo.as_ref(), &a, &b, 5.0)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 16 — the neuroscience touch-detection workload: the large-scale suite on
+//! the full (scaled) axon/dendrite datasets for ε = 5 and ε = 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use touch_bench::{bench_context, run_distance_join, BENCH_SCALE};
+use touch_datagen::NeuroscienceSpec;
+use touch_experiments::scaled_large_suite;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure16_neuroscience");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let data = NeuroscienceSpec::scaled(BENCH_SCALE).generate(42);
+    let suite = scaled_large_suite(bench_context().scale);
+    for eps in [5.0, 10.0] {
+        for algo in &suite {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("eps{eps}")),
+                &eps,
+                |bencher, &eps| {
+                    bencher.iter(|| {
+                        black_box(run_distance_join(
+                            algo.as_ref(),
+                            &data.axons,
+                            &data.dendrites,
+                            eps,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 8 — small uniform datasets: every algorithm of the paper's full suite
+//! (including the quadratic NL and PS) on A = 10 K, B = 160–640 K (scaled), ε = 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use touch_bench::{bench_context, run_distance_join, synthetic};
+use touch_datagen::SyntheticDistribution;
+use touch_experiments::scaled_small_suite;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_small_uniform");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let a = synthetic(10_000, SyntheticDistribution::Uniform, 1);
+    let suite = scaled_small_suite(bench_context().scale);
+    for paper_b in [160_000usize, 640_000] {
+        let b = synthetic(paper_b, SyntheticDistribution::Uniform, 2);
+        for algo in &suite {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("B{}k", paper_b / 1000)),
+                &b,
+                |bencher, b| {
+                    bencher.iter(|| black_box(run_distance_join(algo.as_ref(), &a, b, 10.0)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

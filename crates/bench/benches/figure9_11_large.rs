@@ -1,0 +1,42 @@
+//! Figures 9/10/11 — large uniform/Gaussian/clustered datasets: the six large-scale
+//! algorithms on A = 1.6 M (scaled), B = 1.6 M and 9.6 M (scaled), ε = 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use touch_bench::{bench_context, run_distance_join, synthetic};
+use touch_datagen::SyntheticDistribution;
+use touch_experiments::scaled_large_suite;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_11_large");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let suite = scaled_large_suite(bench_context().scale);
+    for dist in [
+        SyntheticDistribution::Uniform,
+        SyntheticDistribution::paper_gaussian(),
+        SyntheticDistribution::paper_clustered(),
+    ] {
+        let a = synthetic(1_600_000, dist, 1);
+        for paper_b in [1_600_000usize, 9_600_000] {
+            let b = synthetic(paper_b, dist, 2);
+            for algo in &suite {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        algo.name(),
+                        format!("{}_B{}M", dist.name(), paper_b / 1_600_000),
+                    ),
+                    &b,
+                    |bencher, b| {
+                        bencher.iter(|| black_box(run_distance_join(algo.as_ref(), &a, b, 5.0)))
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

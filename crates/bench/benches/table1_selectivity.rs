@@ -1,0 +1,35 @@
+//! Table 1 — selectivity measurement benchmark: times the TOUCH distance join that
+//! computes each selectivity row, one benchmark per (distribution, ε).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use touch_bench::{run_distance_join, synthetic};
+use touch_core::TouchJoin;
+use touch_datagen::SyntheticDistribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_selectivity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let touch = TouchJoin::default();
+    for dist in [
+        SyntheticDistribution::Uniform,
+        SyntheticDistribution::paper_gaussian(),
+        SyntheticDistribution::paper_clustered(),
+    ] {
+        let a = synthetic(160_000, dist, 1);
+        let b = synthetic(1_600_000, dist, 2);
+        for eps in [5.0, 10.0] {
+            group.bench_with_input(
+                BenchmarkId::new(dist.name(), format!("eps{eps}")),
+                &eps,
+                |bencher, &eps| bencher.iter(|| black_box(run_distance_join(&touch, &a, &b, eps))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Shared helpers for the Criterion benchmarks that regenerate the paper's tables and
+//! figures at laptop scale.
+//!
+//! Each bench target in `benches/` corresponds to one table or figure of the TOUCH
+//! evaluation (see DESIGN.md §5) and reuses the experiment harness's constant-density
+//! workload scaling so the relative timings it produces have the same shape as the
+//! paper's plots. The default benchmark scale is deliberately small
+//! ([`BENCH_SCALE`] = 0.2 % of the paper's cardinalities) so `cargo bench` finishes in
+//! minutes; the experiment binaries in `touch-experiments` are the tool for larger
+//! runs.
+
+use touch_core::{distance_join, ResultSink, SpatialJoinAlgorithm};
+use touch_experiments::{workload, Context};
+use touch_geom::Dataset;
+
+/// Fraction of the paper's dataset cardinalities used by the benchmarks.
+pub const BENCH_SCALE: f64 = 0.002;
+
+/// The experiment context all benchmarks share.
+pub fn bench_context() -> Context {
+    Context::new(BENCH_SCALE)
+}
+
+/// Generates the synthetic dataset for `paper_count` objects of `dist`, scaled for
+/// the benchmark context.
+pub fn synthetic(
+    paper_count: usize,
+    dist: touch_datagen::SyntheticDistribution,
+    seed: u64,
+) -> Dataset {
+    workload::synthetic(&bench_context(), paper_count, dist, seed)
+}
+
+/// Runs one ε-distance join in counting mode and returns the number of result pairs
+/// (returned so Criterion cannot optimise the join away).
+pub fn run_distance_join(algo: &dyn SpatialJoinAlgorithm, a: &Dataset, b: &Dataset, eps: f64) -> u64 {
+    let mut sink = ResultSink::counting();
+    let report = distance_join(algo, a, b, eps, &mut sink);
+    report.result_pairs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use touch_core::TouchJoin;
+    use touch_datagen::SyntheticDistribution;
+
+    #[test]
+    fn helpers_produce_runnable_workloads() {
+        let a = synthetic(160_000, SyntheticDistribution::Uniform, 1);
+        let b = synthetic(160_000, SyntheticDistribution::Uniform, 2);
+        assert!(a.len() >= 64 && b.len() >= 64);
+        let pairs = run_distance_join(&TouchJoin::default(), &a, &b, 10.0);
+        // At constant density a 10-unit distance join over these sizes finds pairs.
+        assert!(pairs > 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Pairwise join kernels shared by the local joins of TOUCH and of the baselines.
+//!
+//! Every partition-based algorithm (TOUCH, PBSM, S3, the R-tree traversal) eventually
+//! joins two small sets of objects against each other. The paper's baselines use a
+//! plane-sweep for this *local join*; TOUCH additionally offers a grid-based local
+//! join (implemented next to the tree in [`crate::TouchTree`]) and the trivial
+//! all-pairs scan. The two list kernels live here so that `touch-baselines` can reuse
+//! them without duplicating the counting conventions.
+
+use touch_geom::{ObjectId, SpatialObject};
+use touch_metrics::Counters;
+
+/// Compares every object of `a` against every object of `b` and emits the
+/// intersecting pairs. `O(|a|·|b|)` comparisons.
+pub fn all_pairs(
+    a: &[SpatialObject],
+    b: &[SpatialObject],
+    counters: &mut Counters,
+    emit: &mut impl FnMut(ObjectId, ObjectId),
+) {
+    for oa in a {
+        for ob in b {
+            counters.record_comparison();
+            if oa.mbr.intersects(&ob.mbr) {
+                emit(oa.id, ob.id);
+            }
+        }
+    }
+}
+
+/// Plane-sweep join of two object lists (Preparata & Shamos).
+///
+/// Both lists are sorted by the lower x-coordinate of their MBRs, then scanned in
+/// lock-step: each object is compared against the objects of the other list whose
+/// x-interval overlaps its own (the classic *forward sweep*). Objects that are close
+/// in x but far apart in y/z are still compared — exactly the redundant comparisons
+/// the paper attributes to the plane-sweep approach — but objects separated in x are
+/// never compared.
+///
+/// The slices are sorted in place; callers that need to preserve their order should
+/// pass clones (the partition-based algorithms own their per-partition scratch lists,
+/// so in-place sorting is what the paper's implementations do as well).
+pub fn plane_sweep(
+    a: &mut [SpatialObject],
+    b: &mut [SpatialObject],
+    counters: &mut Counters,
+    emit: &mut impl FnMut(ObjectId, ObjectId),
+) {
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    sort_by_xmin(a);
+    sort_by_xmin(b);
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        if a[i].mbr.min.x <= b[j].mbr.min.x {
+            // a[i] opens first: scan b forward while it overlaps a[i] in x.
+            let upper = a[i].mbr.max.x;
+            let mut k = j;
+            while k < b.len() && b[k].mbr.min.x <= upper {
+                counters.record_comparison();
+                if a[i].mbr.intersects(&b[k].mbr) {
+                    emit(a[i].id, b[k].id);
+                }
+                k += 1;
+            }
+            i += 1;
+        } else {
+            let upper = b[j].mbr.max.x;
+            let mut k = i;
+            while k < a.len() && a[k].mbr.min.x <= upper {
+                counters.record_comparison();
+                if a[k].mbr.intersects(&b[j].mbr) {
+                    emit(a[k].id, b[j].id);
+                }
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+}
+
+fn sort_by_xmin(objs: &mut [SpatialObject]) {
+    objs.sort_unstable_by(|p, q| {
+        p.mbr
+            .min
+            .x
+            .partial_cmp(&q.mbr.min.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use touch_geom::{Aabb, Dataset, Point3};
+
+    fn dataset(seeds: &[(f64, f64, f64, f64)]) -> Dataset {
+        // (x, y, z, side)
+        Dataset::from_mbrs(seeds.iter().map(|&(x, y, z, s)| {
+            let min = Point3::new(x, y, z);
+            Aabb::new(min, min + Point3::splat(s))
+        }))
+    }
+
+    fn brute(a: &Dataset, b: &Dataset) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for oa in a.iter() {
+            for ob in b.iter() {
+                if oa.mbr.intersects(&ob.mbr) {
+                    out.push((oa.id, ob.id));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn pseudo_random_dataset(n: usize, seed: u64) -> Dataset {
+        // Small deterministic LCG so the kernel tests need no external crates.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        Dataset::from_mbrs((0..n).map(|_| {
+            let min = Point3::new(next() * 50.0, next() * 50.0, next() * 50.0);
+            Aabb::new(min, min + Point3::splat(0.5 + next() * 3.0))
+        }))
+    }
+
+    #[test]
+    fn all_pairs_matches_brute_force_and_counts_everything() {
+        let a = pseudo_random_dataset(40, 1);
+        let b = pseudo_random_dataset(60, 2);
+        let mut counters = Counters::new();
+        let mut pairs = Vec::new();
+        all_pairs(a.objects(), b.objects(), &mut counters, &mut |x, y| pairs.push((x, y)));
+        pairs.sort_unstable();
+        assert_eq!(pairs, brute(&a, &b));
+        assert_eq!(counters.comparisons, 40 * 60);
+    }
+
+    #[test]
+    fn plane_sweep_matches_brute_force() {
+        let a = pseudo_random_dataset(80, 3);
+        let b = pseudo_random_dataset(120, 4);
+        let mut counters = Counters::new();
+        let mut pairs = Vec::new();
+        let mut sa = a.objects().to_vec();
+        let mut sb = b.objects().to_vec();
+        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| pairs.push((x, y)));
+        pairs.sort_unstable();
+        assert_eq!(pairs, brute(&a, &b));
+        // The sweep never does more work than the nested loop.
+        assert!(counters.comparisons <= 80 * 120);
+    }
+
+    #[test]
+    fn plane_sweep_prunes_x_separated_objects() {
+        // Two groups far apart along x: the sweep must not compare across groups.
+        let a = dataset(&[(0.0, 0.0, 0.0, 1.0), (1.0, 0.0, 0.0, 1.0), (100.0, 0.0, 0.0, 1.0)]);
+        let b = dataset(&[(0.5, 0.0, 0.0, 1.0), (101.0, 0.0, 0.0, 1.0)]);
+        let mut counters = Counters::new();
+        let mut pairs = Vec::new();
+        let mut sa = a.objects().to_vec();
+        let mut sb = b.objects().to_vec();
+        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| pairs.push((x, y)));
+        pairs.sort_unstable();
+        assert_eq!(pairs, brute(&a, &b));
+        assert!(
+            counters.comparisons < 6,
+            "sweep should skip cross-group tests, did {} comparisons",
+            counters.comparisons
+        );
+    }
+
+    #[test]
+    fn plane_sweep_still_compares_y_separated_objects() {
+        // Same x-interval, far apart in y: the paper's criticism of the plane-sweep —
+        // the comparison happens (and is counted) even though it cannot match.
+        let a = dataset(&[(0.0, 0.0, 0.0, 1.0)]);
+        let b = dataset(&[(0.0, 50.0, 0.0, 1.0)]);
+        let mut counters = Counters::new();
+        let mut pairs = Vec::new();
+        let mut sa = a.objects().to_vec();
+        let mut sb = b.objects().to_vec();
+        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| pairs.push((x, y)));
+        assert!(pairs.is_empty());
+        assert_eq!(counters.comparisons, 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = pseudo_random_dataset(5, 9);
+        let empty = Dataset::new();
+        let mut counters = Counters::new();
+        let mut pairs = Vec::new();
+        all_pairs(a.objects(), empty.objects(), &mut counters, &mut |x, y| pairs.push((x, y)));
+        let mut sa = a.objects().to_vec();
+        let mut se = empty.objects().to_vec();
+        plane_sweep(&mut sa, &mut se, &mut counters, &mut |x, y| pairs.push((x, y)));
+        plane_sweep(&mut se, &mut sa, &mut counters, &mut |x, y| pairs.push((x, y)));
+        assert!(pairs.is_empty());
+        assert_eq!(counters.comparisons, 0);
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_handled() {
+        // Many identical boxes: every pair intersects, reported exactly once per pair.
+        let a = dataset(&[(0.0, 0.0, 0.0, 1.0); 5]);
+        let b = dataset(&[(0.0, 0.0, 0.0, 1.0); 7]);
+        let mut counters = Counters::new();
+        let mut pairs = Vec::new();
+        let mut sa = a.objects().to_vec();
+        let mut sb = b.objects().to_vec();
+        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| pairs.push((x, y)));
+        assert_eq!(pairs.len(), 35);
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 35, "no duplicates");
+    }
+}

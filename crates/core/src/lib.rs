@@ -1,0 +1,63 @@
+//! # touch-core — the TOUCH in-memory spatial join
+//!
+//! This crate implements the paper's contribution: **TOUCH**, a two-way in-memory
+//! spatial join for unsorted, unindexed datasets that combines *data-oriented*
+//! partitioning (an STR-built hierarchy over dataset A) with *hierarchical single
+//! assignment* of dataset B and a space-oriented grid for the per-node local joins.
+//!
+//! TOUCH runs in three phases (Algorithm 1 of the paper):
+//!
+//! 1. **Tree building** ([`TouchTree::build`], Algorithm 2): dataset A is grouped
+//!    into `p` spatially coherent buckets with STR; the buckets become the leaves of
+//!    a hierarchy whose inner nodes are formed by grouping `fanout` nodes at a time.
+//! 2. **Assignment** ([`TouchTree::assign`], Algorithm 3): every object of dataset B
+//!    descends from the root and is stored at the lowest node whose MBR it overlaps
+//!    without overlapping a sibling; objects that overlap nothing are *filtered* —
+//!    they cannot produce results and are never compared.
+//! 3. **Join** ([`TouchTree::local_join_node`], Algorithm 4): each node holding
+//!    B-objects is joined against the A-objects in its descendant leaves through a
+//!    uniform grid (with reference-point de-duplication), a plane-sweep, or an
+//!    all-pairs scan ([`LocalJoinStrategy`]).
+//!
+//! The crate also defines the vocabulary shared with the baseline algorithms
+//! (`touch-baselines`): the [`SpatialJoinAlgorithm`] trait, the [`ResultSink`]
+//! result collector, the [`distance_join`] ε-translation wrapper and the pairwise
+//! join kernels ([`kernels`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use touch_core::{SpatialJoinAlgorithm, TouchJoin, ResultSink, distance_join};
+//! use touch_geom::{Aabb, Dataset, Point3};
+//!
+//! // Two tiny datasets of unit boxes.
+//! let a = Dataset::from_mbrs((0..10).map(|i| {
+//!     let min = Point3::new(i as f64 * 3.0, 0.0, 0.0);
+//!     Aabb::new(min, min + Point3::splat(1.0))
+//! }));
+//! let b = Dataset::from_mbrs((0..10).map(|i| {
+//!     let min = Point3::new(i as f64 * 3.0 + 1.5, 0.0, 0.0);
+//!     Aabb::new(min, min + Point3::splat(1.0))
+//! }));
+//!
+//! // Distance join with ε = 1: every a_i matches b_{i-1} and b_i.
+//! let touch = TouchJoin::default();
+//! let mut sink = ResultSink::collecting();
+//! let report = distance_join(&touch, &a, &b, 1.0, &mut sink);
+//! assert_eq!(report.result_pairs(), 19);
+//! assert_eq!(sink.pairs().len(), 19);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kernels;
+mod sink;
+mod touch;
+mod traits;
+mod tree;
+
+pub use sink::ResultSink;
+pub use touch::{JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};
+pub use traits::{collect_join, count_join, distance_join, SpatialJoinAlgorithm};
+pub use tree::{LocalJoinKind, TouchNode, TouchTree};

@@ -1,0 +1,114 @@
+//! Result collection.
+
+use touch_geom::ObjectId;
+
+/// Collects the result pairs of a join.
+///
+/// At the paper's dataset sizes the result set can reach billions of pairs, so the
+/// experiment harness runs joins in *counting* mode ([`ResultSink::counting`]) where
+/// pairs are tallied but not materialised. Library users who need the pairs use
+/// [`ResultSink::collecting`].
+///
+/// Pairs are always reported as `(id_in_A, id_in_B)` regardless of the join order an
+/// algorithm chose internally.
+#[derive(Debug, Clone)]
+pub struct ResultSink {
+    collect: bool,
+    count: u64,
+    pairs: Vec<(ObjectId, ObjectId)>,
+}
+
+impl ResultSink {
+    /// A sink that only counts result pairs.
+    pub fn counting() -> Self {
+        ResultSink { collect: false, count: 0, pairs: Vec::new() }
+    }
+
+    /// A sink that counts and materialises result pairs.
+    pub fn collecting() -> Self {
+        ResultSink { collect: true, count: 0, pairs: Vec::new() }
+    }
+
+    /// Reports one result pair `(a, b)`.
+    #[inline]
+    pub fn push(&mut self, a: ObjectId, b: ObjectId) {
+        self.count += 1;
+        if self.collect {
+            self.pairs.push((a, b));
+        }
+    }
+
+    /// Number of pairs reported so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if this sink materialises pairs.
+    #[inline]
+    pub fn is_collecting(&self) -> bool {
+        self.collect
+    }
+
+    /// The materialised pairs (empty in counting mode).
+    #[inline]
+    pub fn pairs(&self) -> &[(ObjectId, ObjectId)] {
+        &self.pairs
+    }
+
+    /// Consumes the sink and returns the materialised pairs.
+    pub fn into_pairs(self) -> Vec<(ObjectId, ObjectId)> {
+        self.pairs
+    }
+
+    /// Returns the pairs sorted lexicographically — convenient for comparing the
+    /// output of different algorithms in tests.
+    pub fn sorted_pairs(&self) -> Vec<(ObjectId, ObjectId)> {
+        let mut p = self.pairs.clone();
+        p.sort_unstable();
+        p
+    }
+
+    /// Resets the sink to its empty state, keeping the collection mode.
+    pub fn clear(&mut self) {
+        self.count = 0;
+        self.pairs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_mode_does_not_materialise() {
+        let mut s = ResultSink::counting();
+        assert!(!s.is_collecting());
+        s.push(1, 2);
+        s.push(3, 4);
+        assert_eq!(s.count(), 2);
+        assert!(s.pairs().is_empty());
+    }
+
+    #[test]
+    fn collecting_mode_materialises_in_order() {
+        let mut s = ResultSink::collecting();
+        assert!(s.is_collecting());
+        s.push(3, 4);
+        s.push(1, 2);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.pairs(), &[(3, 4), (1, 2)]);
+        assert_eq!(s.sorted_pairs(), vec![(1, 2), (3, 4)]);
+        assert_eq!(s.into_pairs(), vec![(3, 4), (1, 2)]);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_mode() {
+        let mut s = ResultSink::collecting();
+        s.push(1, 1);
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert!(s.pairs().is_empty());
+        assert!(s.is_collecting());
+    }
+}

@@ -1,0 +1,303 @@
+//! The TOUCH join algorithm: configuration and the [`SpatialJoinAlgorithm`]
+//! implementation tying the three phases together (Algorithm 1).
+
+use crate::tree::LocalJoinKind;
+use crate::{ResultSink, SpatialJoinAlgorithm, TouchTree};
+use serde::{Deserialize, Serialize};
+use touch_geom::Dataset;
+use touch_metrics::{MemoryUsage, Phase, RunReport};
+
+/// Local-join strategy of the join phase (Section 5.2.2 and the ablation study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalJoinStrategy {
+    /// The paper's Algorithm 4: per-node uniform grid with reference-point
+    /// de-duplication (default).
+    Grid,
+    /// Plane-sweep over the node's A and B objects.
+    PlaneSweep,
+    /// Exhaustive pairwise comparison.
+    AllPairs,
+}
+
+impl LocalJoinStrategy {
+    fn kind(self) -> LocalJoinKind {
+        match self {
+            LocalJoinStrategy::Grid => LocalJoinKind::Grid,
+            LocalJoinStrategy::PlaneSweep => LocalJoinKind::PlaneSweep,
+            LocalJoinStrategy::AllPairs => LocalJoinKind::AllPairs,
+        }
+    }
+
+    /// Stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LocalJoinStrategy::Grid => "grid",
+            LocalJoinStrategy::PlaneSweep => "plane-sweep",
+            LocalJoinStrategy::AllPairs => "all-pairs",
+        }
+    }
+}
+
+/// Which dataset the hierarchy is built on (Section 5.2.3, *Join Order*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinOrder {
+    /// Build the tree on the smaller dataset (the paper's recommendation and the
+    /// default): it is likely sparser, filters more of the other dataset, and keeps
+    /// the hierarchy small.
+    SmallerAsTree,
+    /// Always build the tree on dataset A as given.
+    TreeOnA,
+    /// Always build the tree on dataset B.
+    TreeOnB,
+}
+
+/// Configuration of the TOUCH join.
+///
+/// The defaults are the paper's evaluated configuration (Section 6.1): 1024
+/// partitions, fanout 2, 500 grid cells per dimension for the local join, grid local
+/// join, smaller dataset first.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TouchConfig {
+    /// Number of STR buckets (leaves) the tree is built from. Paper default: 1024.
+    pub partitions: usize,
+    /// Fanout of the hierarchy. Paper default: 2.
+    pub fanout: usize,
+    /// Target number of grid cells per dimension for the local join. Paper default:
+    /// 500. The effective resolution is capped so cells stay larger than
+    /// `min_cell_factor ×` the average object side (Section 5.2.2).
+    pub local_cells_per_dim: usize,
+    /// The local-join cell size is at least this multiple of the average object side.
+    pub min_cell_factor: f64,
+    /// Local-join strategy.
+    pub local_join: LocalJoinStrategy,
+    /// Which dataset the hierarchy is built on.
+    pub join_order: JoinOrder,
+}
+
+impl Default for TouchConfig {
+    fn default() -> Self {
+        TouchConfig {
+            partitions: 1024,
+            fanout: 2,
+            local_cells_per_dim: 500,
+            min_cell_factor: 2.0,
+            local_join: LocalJoinStrategy::Grid,
+            join_order: JoinOrder::SmallerAsTree,
+        }
+    }
+}
+
+/// The TOUCH in-memory spatial join (the paper's contribution).
+#[derive(Debug, Clone, Default)]
+pub struct TouchJoin {
+    config: TouchConfig,
+}
+
+impl TouchJoin {
+    /// Creates a TOUCH join with the given configuration.
+    pub fn new(config: TouchConfig) -> Self {
+        TouchJoin { config }
+    }
+
+    /// Creates a TOUCH join with the paper's default configuration but a custom
+    /// fanout (used by the fanout-impact experiment, Figure 14).
+    pub fn with_fanout(fanout: usize) -> Self {
+        TouchJoin { config: TouchConfig { fanout, ..TouchConfig::default() } }
+    }
+
+    /// The configuration this join runs with.
+    pub fn config(&self) -> &TouchConfig {
+        &self.config
+    }
+
+    fn should_build_on_a(&self, a: &Dataset, b: &Dataset) -> bool {
+        match self.config.join_order {
+            JoinOrder::TreeOnA => true,
+            JoinOrder::TreeOnB => false,
+            JoinOrder::SmallerAsTree => a.len() <= b.len(),
+        }
+    }
+}
+
+impl SpatialJoinAlgorithm for TouchJoin {
+    fn name(&self) -> String {
+        "TOUCH".to_string()
+    }
+
+    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
+        let mut report = RunReport::new(self.name(), a.len(), b.len());
+        let results_before = sink.count();
+        let build_on_a = self.should_build_on_a(a, b);
+        let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
+
+        // Phase 1: build the hierarchy on the tree dataset (Algorithm 2).
+        let mut tree = report.timer.time(Phase::Build, || {
+            TouchTree::build(tree_ds.objects(), self.config.partitions, self.config.fanout)
+        });
+
+        // Phase 2: assign the probe dataset to the hierarchy (Algorithm 3).
+        let mut counters = std::mem::take(&mut report.counters);
+        report.timer.time(Phase::Assignment, || {
+            tree.assign(probe_ds.objects(), &mut counters);
+        });
+
+        // Phase 3: local joins (Algorithm 4). Grid cells must stay larger than the
+        // average object (Section 5.2.2), measured over both inputs.
+        let avg_side = {
+            let avg = |ds: &Dataset| (0..3).map(|ax| ds.average_side(ax)).sum::<f64>() / 3.0;
+            avg(a).max(avg(b))
+        };
+        let min_cell = avg_side * self.config.min_cell_factor;
+        let peak_local_aux = report.timer.time(Phase::Join, || {
+            tree.join_assigned(
+                self.config.local_join.kind(),
+                self.config.local_cells_per_dim,
+                min_cell,
+                &mut counters,
+                &mut |tree_id, probe_id| {
+                    if build_on_a {
+                        sink.push(tree_id, probe_id);
+                    } else {
+                        sink.push(probe_id, tree_id);
+                    }
+                },
+            )
+        });
+
+        counters.results = sink.count() - results_before;
+        report.counters = counters;
+        report.memory_bytes = tree.memory_bytes() + peak_local_aux;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect_join;
+    use touch_geom::{Aabb, Point3};
+
+    fn lattice(side: usize, spacing: f64, box_side: f64, offset: f64) -> Dataset {
+        let mut ds = Dataset::new();
+        for x in 0..side {
+            for y in 0..side {
+                for z in 0..side {
+                    let min = Point3::new(
+                        x as f64 * spacing + offset,
+                        y as f64 * spacing + offset,
+                        z as f64 * spacing + offset,
+                    );
+                    ds.push_mbr(Aabb::new(min, min + Point3::splat(box_side)));
+                }
+            }
+        }
+        ds
+    }
+
+    fn brute_pairs(a: &Dataset, b: &Dataset) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for oa in a.iter() {
+            for ob in b.iter() {
+                if oa.mbr.intersects(&ob.mbr) {
+                    out.push((oa.id, ob.id));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn default_configuration_matches_the_paper() {
+        let c = TouchConfig::default();
+        assert_eq!(c.partitions, 1024);
+        assert_eq!(c.fanout, 2);
+        assert_eq!(c.local_cells_per_dim, 500);
+        assert_eq!(c.local_join, LocalJoinStrategy::Grid);
+        assert_eq!(c.join_order, JoinOrder::SmallerAsTree);
+        assert_eq!(TouchJoin::default().name(), "TOUCH");
+    }
+
+    #[test]
+    fn matches_brute_force_on_overlapping_lattices() {
+        let a = lattice(5, 1.5, 1.0, 0.0);
+        let b = lattice(6, 1.3, 0.9, 0.4);
+        let expected = brute_pairs(&a, &b);
+        let (pairs, report) = collect_join(&TouchJoin::default(), &a, &b);
+        assert_eq!(pairs, expected);
+        assert_eq!(report.result_pairs(), expected.len() as u64);
+        assert!(report.memory_bytes > 0);
+    }
+
+    #[test]
+    fn join_order_does_not_change_results_or_orientation() {
+        let a = lattice(4, 1.4, 1.0, 0.0);
+        let b = lattice(6, 1.1, 0.8, 0.3); // larger than a
+        let expected = brute_pairs(&a, &b);
+        for order in [JoinOrder::SmallerAsTree, JoinOrder::TreeOnA, JoinOrder::TreeOnB] {
+            let algo = TouchJoin::new(TouchConfig { join_order: order, ..TouchConfig::default() });
+            let (pairs, _) = collect_join(&algo, &a, &b);
+            assert_eq!(pairs, expected, "join order {order:?} changed the result");
+        }
+    }
+
+    #[test]
+    fn all_local_join_strategies_agree() {
+        let a = lattice(4, 1.2, 1.0, 0.0);
+        let b = lattice(5, 1.0, 0.7, 0.2);
+        let expected = brute_pairs(&a, &b);
+        for strategy in [
+            LocalJoinStrategy::Grid,
+            LocalJoinStrategy::PlaneSweep,
+            LocalJoinStrategy::AllPairs,
+        ] {
+            let algo =
+                TouchJoin::new(TouchConfig { local_join: strategy, ..TouchConfig::default() });
+            let (pairs, _) = collect_join(&algo, &a, &b);
+            assert_eq!(pairs, expected, "strategy {strategy:?} changed the result");
+        }
+    }
+
+    #[test]
+    fn fanout_variants_agree_and_report_filtering() {
+        // Dataset A in a corner, half of B far away: those B objects are filtered.
+        let a = lattice(4, 1.5, 1.0, 0.0);
+        let mut b = lattice(4, 1.5, 1.0, 0.5);
+        for i in 0..32 {
+            b.push_mbr(Aabb::new(
+                Point3::splat(500.0 + i as f64 * 3.0),
+                Point3::splat(501.0 + i as f64 * 3.0),
+            ));
+        }
+        let expected = brute_pairs(&a, &b);
+        for fanout in [2, 4, 8, 16] {
+            let algo = TouchJoin::with_fanout(fanout);
+            let (pairs, report) = collect_join(&algo, &a, &b);
+            assert_eq!(pairs, expected, "fanout {fanout} changed the result");
+            assert_eq!(report.counters.filtered, 32, "far-away B objects must be filtered");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_results() {
+        let empty = Dataset::new();
+        let b = lattice(3, 2.0, 1.0, 0.0);
+        let (pairs, report) = collect_join(&TouchJoin::default(), &empty, &b);
+        assert!(pairs.is_empty());
+        assert_eq!(report.result_pairs(), 0);
+        let (pairs, _) = collect_join(&TouchJoin::default(), &b, &empty);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn phase_times_are_populated() {
+        let a = lattice(6, 1.5, 1.0, 0.0);
+        let b = lattice(6, 1.5, 1.0, 0.2);
+        let mut sink = ResultSink::counting();
+        let report = TouchJoin::default().join(&a, &b, &mut sink);
+        assert!(report.total_time() > std::time::Duration::ZERO);
+        assert_eq!(report.dataset_a, a.len());
+        assert_eq!(report.dataset_b, b.len());
+        assert_eq!(report.result_pairs(), sink.count());
+    }
+}

@@ -1,0 +1,125 @@
+//! The spatial-join algorithm interface and the distance-join translation.
+
+use crate::ResultSink;
+use touch_geom::{Dataset, ObjectId};
+use touch_metrics::RunReport;
+
+/// A two-way spatial intersection join over MBR datasets.
+///
+/// Implemented by [`crate::TouchJoin`] and by every baseline in `touch-baselines`
+/// (nested loop, plane-sweep, PBSM, S3, indexed nested loop, synchronous R-tree
+/// traversal). An implementation must report **every** pair `(a, b)` with
+/// `a.mbr.intersects(b.mbr)` **exactly once** into the sink — the paper's
+/// completeness, soundness and no-duplication guarantees (Theorem 1, Lemma 3) — and
+/// fill in the [`RunReport`] counters it is responsible for.
+pub trait SpatialJoinAlgorithm {
+    /// Human-readable name used in reports and figures (e.g. `"TOUCH"`, `"PBSM-500"`).
+    fn name(&self) -> String;
+
+    /// Joins datasets `a` and `b`, pushing every intersecting pair `(id_a, id_b)`
+    /// into `sink` exactly once and returning the measurement report.
+    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport;
+}
+
+/// Runs `algo` as a **distance join** with threshold `eps`.
+///
+/// Following Section 4 of the paper, the distance join is translated into an
+/// intersection join by enlarging every MBR of dataset A by `eps` and testing the
+/// enlarged boxes against dataset B. The returned report carries `eps` so the
+/// experiment harness can label its rows.
+pub fn distance_join(
+    algo: &dyn SpatialJoinAlgorithm,
+    a: &Dataset,
+    b: &Dataset,
+    eps: f64,
+    sink: &mut ResultSink,
+) -> RunReport {
+    let extended = a.extended(eps);
+    let mut report = algo.join(&extended, b, sink);
+    report.epsilon = eps;
+    report
+}
+
+/// Convenience wrapper: runs an intersection join and returns the materialised,
+/// lexicographically sorted result pairs together with the report.
+pub fn collect_join(
+    algo: &dyn SpatialJoinAlgorithm,
+    a: &Dataset,
+    b: &Dataset,
+) -> (Vec<(ObjectId, ObjectId)>, RunReport) {
+    let mut sink = ResultSink::collecting();
+    let report = algo.join(a, b, &mut sink);
+    (sink.sorted_pairs(), report)
+}
+
+/// Convenience wrapper: runs an intersection join in counting mode and returns the
+/// report only.
+pub fn count_join(algo: &dyn SpatialJoinAlgorithm, a: &Dataset, b: &Dataset) -> RunReport {
+    let mut sink = ResultSink::counting();
+    algo.join(a, b, &mut sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use touch_geom::{Aabb, Point3};
+
+    /// A deliberately naive reference implementation used to test the wrappers.
+    struct BruteForce;
+
+    impl SpatialJoinAlgorithm for BruteForce {
+        fn name(&self) -> String {
+            "BruteForce".into()
+        }
+
+        fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
+            let mut report = RunReport::new(self.name(), a.len(), b.len());
+            for oa in a.iter() {
+                for ob in b.iter() {
+                    report.counters.record_comparison();
+                    if oa.mbr.intersects(&ob.mbr) {
+                        report.counters.record_result();
+                        sink.push(oa.id, ob.id);
+                    }
+                }
+            }
+            report
+        }
+    }
+
+    fn boxes(offsets: &[f64]) -> Dataset {
+        Dataset::from_mbrs(offsets.iter().map(|&x| {
+            let min = Point3::new(x, 0.0, 0.0);
+            Aabb::new(min, min + Point3::splat(1.0))
+        }))
+    }
+
+    #[test]
+    fn distance_join_extends_only_a() {
+        let a = boxes(&[0.0]);
+        let b = boxes(&[3.0]);
+        // Gap of 2 between the boxes.
+        let algo = BruteForce;
+        let mut sink = ResultSink::counting();
+        let miss = distance_join(&algo, &a, &b, 1.0, &mut sink);
+        assert_eq!(miss.result_pairs(), 0);
+        assert_eq!(miss.epsilon, 1.0);
+        let mut sink = ResultSink::counting();
+        let hit = distance_join(&algo, &a, &b, 2.0, &mut sink);
+        assert_eq!(hit.result_pairs(), 1);
+        assert_eq!(hit.epsilon, 2.0);
+    }
+
+    #[test]
+    fn collect_and_count_wrappers_agree() {
+        let a = boxes(&[0.0, 2.0, 4.0]);
+        let b = boxes(&[0.5, 10.0]);
+        let algo = BruteForce;
+        let (pairs, report) = collect_join(&algo, &a, &b);
+        let count_report = count_join(&algo, &a, &b);
+        assert_eq!(pairs.len() as u64, report.result_pairs());
+        assert_eq!(report.result_pairs(), count_report.result_pairs());
+        assert_eq!(pairs, vec![(0, 0)]);
+        assert_eq!(report.counters.comparisons, 6);
+    }
+}

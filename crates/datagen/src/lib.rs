@@ -1,0 +1,50 @@
+//! # touch-datagen — workload generators for the TOUCH evaluation
+//!
+//! The paper evaluates TOUCH on two families of datasets (Section 6.2):
+//!
+//! * **Synthetic 3-D boxes** in a 1000³ space, with side lengths drawn uniformly from
+//!   `[0, 1]`, distributed
+//!   * *uniformly*,
+//!   * as a *Gaussian* (μ = 500, σ = 250 per axis), or
+//!   * *clustered* (up to 100 uniformly placed cluster centres, objects scattered
+//!     around them with σ = 220),
+//!   in sizes from 10 K to 9.6 M objects.
+//! * A **neuroscience** dataset: a rat-brain model subset with 644 K axon cylinders
+//!   (dataset A) and 1.285 M dendrite cylinders (dataset B) inside a 285 µm³ volume.
+//!
+//! The real neuroscience model is proprietary; [`NeuroscienceSpec`] generates a
+//! synthetic substitute — branching cylinder morphologies with a dense core and sparse
+//! periphery — that preserves the properties the paper's evaluation relies on
+//! (axon:dendrite ratio, elongated thin MBRs, a significant share of dataset B outside
+//! the extent of dataset A so that TOUCH's filtering has comparable impact). See
+//! DESIGN.md §4 for the substitution rationale.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod neuroscience;
+mod rng;
+mod synthetic;
+
+pub use neuroscience::{NeuroscienceDatasets, NeuroscienceSpec};
+pub use rng::SeededRng;
+pub use synthetic::{SpaceConfig, SyntheticDistribution, SyntheticSpec};
+
+use touch_geom::Dataset;
+
+/// Convenience: generates the paper's uniform dataset of `count` boxes with `seed`.
+pub fn uniform(count: usize, seed: u64) -> Dataset {
+    SyntheticSpec::new(count, SyntheticDistribution::Uniform).generate(seed)
+}
+
+/// Convenience: generates the paper's Gaussian dataset (μ = 500, σ = 250).
+pub fn gaussian(count: usize, seed: u64) -> Dataset {
+    SyntheticSpec::new(count, SyntheticDistribution::paper_gaussian()).generate(seed)
+}
+
+/// Convenience: generates the paper's clustered dataset (≤ 100 clusters, σ = 220).
+pub fn clustered(count: usize, seed: u64) -> Dataset {
+    SyntheticSpec::new(count, SyntheticDistribution::paper_clustered()).generate(seed)
+}

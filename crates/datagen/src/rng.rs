@@ -1,0 +1,143 @@
+//! Seeded random number generation helpers.
+//!
+//! The generators only need uniform and normal variates. `rand 0.8` ships uniform
+//! sampling; normal variates are produced with the Box–Muller transform so that no
+//! additional dependency (`rand_distr`) is required.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with the distributions the workload generators need.
+///
+/// Wraps [`StdRng`] so that every dataset in the experiments is reproducible from a
+/// `u64` seed.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    /// Cached second variate from the last Box–Muller draw.
+    spare_normal: Option<f64>,
+}
+
+impl SeededRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// A uniform variate in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`. When `lo == hi` the value `lo` is returned.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform range must be ordered: {lo} > {hi}");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A standard normal variate (Box–Muller transform).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A normal variate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// A uniform point on the unit sphere (used for random branch directions).
+    pub fn unit_vector(&mut self) -> [f64; 3] {
+        loop {
+            let v = [
+                self.uniform(-1.0, 1.0),
+                self.uniform(-1.0, 1.0),
+                self.uniform(-1.0, 1.0),
+            ];
+            let n2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
+            if n2 > 1e-9 && n2 <= 1.0 {
+                let n = n2.sqrt();
+                return [v[0] / n, v[1] / n, v[2] / n];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let xs: Vec<f64> = (0..10).map(|_| a.uniform(0.0, 1.0)).collect();
+        let ys: Vec<f64> = (0..10).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = SeededRng::new(7);
+        for _ in 0..1000 {
+            let v = r.uniform(10.0, 20.0);
+            assert!((10.0..20.0).contains(&v));
+        }
+        assert_eq!(r.uniform(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn normal_has_roughly_correct_moments() {
+        let mut r = SeededRng::new(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(500.0, 250.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 500.0).abs() < 10.0, "mean = {mean}");
+        assert!((var.sqrt() - 250.0).abs() < 10.0, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn unit_vectors_are_normalised() {
+        let mut r = SeededRng::new(3);
+        for _ in 0..100 {
+            let v = r.unit_vector();
+            let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+            assert!((n - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn index_within_range() {
+        let mut r = SeededRng::new(5);
+        for _ in 0..100 {
+            assert!(r.index(10) < 10);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Runs the TOUCH ablation study (local-join strategy, join order, partitions).
+//! Usage:
+//! `cargo run -p touch-experiments --release --bin ablation -- [--scale 0.01] [--out results]`
+
+fn main() {
+    let ctx = match touch_experiments::Context::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    touch_experiments::ablation::run(&ctx).finish(&ctx);
+}

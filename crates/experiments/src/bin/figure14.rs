@@ -1,0 +1,13 @@
+//! Regenerates Figure 14 (impact of the TOUCH fanout). Usage:
+//! `cargo run -p touch-experiments --release --bin figure14 -- [--scale 0.01] [--out results]`
+
+fn main() {
+    let ctx = match touch_experiments::Context::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    touch_experiments::figure14::run(&ctx).finish(&ctx);
+}

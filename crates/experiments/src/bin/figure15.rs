@@ -1,0 +1,13 @@
+//! Regenerates Figure 15 (neuroscience density scaling). Usage:
+//! `cargo run -p touch-experiments --release --bin figure15 -- [--scale 0.01] [--out results]`
+
+fn main() {
+    let ctx = match touch_experiments::Context::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    touch_experiments::figure15::run(&ctx).finish(&ctx);
+}

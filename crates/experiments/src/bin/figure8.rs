@@ -1,0 +1,13 @@
+//! Regenerates Figure 8 (small uniform datasets, all 8 algorithms). Usage:
+//! `cargo run -p touch-experiments --release --bin figure8 -- [--scale 0.01] [--out results]`
+
+fn main() {
+    let ctx = match touch_experiments::Context::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    touch_experiments::figure8::run(&ctx).finish(&ctx);
+}

@@ -1,0 +1,13 @@
+//! Regenerates the §6.3 loading-vs-join comparison. Usage:
+//! `cargo run -p touch-experiments --release --bin loading -- [--scale 0.01] [--out results]`
+
+fn main() {
+    let ctx = match touch_experiments::Context::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    touch_experiments::loading::run(&ctx).finish(&ctx);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 1 (dataset selectivity). Usage:
+//! `cargo run -p touch-experiments --release --bin table1 -- [--scale 0.01] [--out results]`
+
+fn main() {
+    let ctx = match touch_experiments::Context::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    touch_experiments::table1::run(&ctx).finish(&ctx);
+}

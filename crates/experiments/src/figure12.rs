@@ -1,0 +1,75 @@
+//! Figure 12 — impact of the distance threshold ε.
+//!
+//! Two 1.6 M-object datasets of each distribution are joined with ε = 5 and ε = 10.
+//! The paper's finding: for most approaches doubling ε roughly doubles execution
+//! time; the PBSM configurations degrade super-linearly because a larger ε causes
+//! more replication.
+
+use crate::{scaled_large_suite, workload, Context, ExperimentTable, Row};
+use touch_core::{distance_join, ResultSink};
+use touch_datagen::SyntheticDistribution;
+
+const PAPER_N: usize = 1_600_000;
+const EPSILONS: [f64; 2] = [5.0, 10.0];
+
+/// Runs the ε sweep over all three distributions and the large-scale suite.
+pub fn run(ctx: &Context) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "figure12_epsilon",
+        "Figure 12: execution time for eps = 5 and eps = 10 on all distributions",
+    );
+    let suite = scaled_large_suite(ctx.scale);
+
+    for dist in [
+        SyntheticDistribution::Uniform,
+        SyntheticDistribution::paper_gaussian(),
+        SyntheticDistribution::paper_clustered(),
+    ] {
+        let a = workload::synthetic(ctx, PAPER_N, dist, ctx.seed_a);
+        let b = workload::synthetic(ctx, PAPER_N, dist, ctx.seed_b);
+        for eps in EPSILONS {
+            for algo in &suite {
+                let mut sink = ResultSink::counting();
+                let report = distance_join(algo.as_ref(), &a, &b, eps, &mut sink);
+                table.push(Row::new(
+                    vec![("distribution", dist.name().to_string()), ("eps", format!("{eps}"))],
+                    report,
+                ));
+            }
+        }
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_epsilon_increases_work_for_every_algorithm() {
+        let table = run(&Context::for_tests());
+        assert_eq!(table.rows.len(), 3 * 2 * 6);
+        // Per distribution, compare each algorithm's eps=5 row with its eps=10 row.
+        for dist_chunk in table.rows.chunks(12) {
+            let (eps5, eps10) = dist_chunk.split_at(6);
+            for (lo, hi) in eps5.iter().zip(hi_rows(eps10)) {
+                assert_eq!(lo.report.algorithm, hi.report.algorithm);
+                assert!(
+                    hi.report.result_pairs() >= lo.report.result_pairs(),
+                    "{}: eps=10 must find at least as many pairs",
+                    lo.report.algorithm
+                );
+                assert!(
+                    hi.report.counters.comparisons >= lo.report.counters.comparisons,
+                    "{}: eps=10 must not reduce comparisons",
+                    lo.report.algorithm
+                );
+            }
+        }
+    }
+
+    fn hi_rows(rows: &[crate::Row]) -> impl Iterator<Item = &crate::Row> {
+        rows.iter()
+    }
+}

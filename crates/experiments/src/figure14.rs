@@ -1,0 +1,77 @@
+//! Figure 14 — impact of TOUCH's fanout parameter.
+//!
+//! Dataset A = 1.6 M, dataset B = 9.6 M, ε = 5, fanout swept from 2 to 20. The paper
+//! finds (a) a smaller fanout lets TOUCH filter slightly more objects (Gaussian and
+//! clustered data only — uniform data never filters), and (b) a smaller fanout gives
+//! a taller tree, better-distributed assignments and therefore noticeably fewer
+//! comparisons (≈ 1.5× between fanout 2 and fanout 20).
+
+use crate::{workload, Context, ExperimentTable, Row};
+use touch_core::{distance_join, ResultSink, TouchJoin};
+use touch_datagen::SyntheticDistribution;
+
+const PAPER_A: usize = 1_600_000;
+const PAPER_B: usize = 9_600_000;
+const EPS: f64 = 5.0;
+/// The fanouts the paper sweeps.
+pub const FANOUTS: [usize; 10] = [2, 4, 6, 8, 10, 12, 14, 16, 18, 20];
+
+/// Runs the fanout sweep for all three distributions.
+pub fn run(ctx: &Context) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "figure14_fanout",
+        "Figure 14: impact of the TOUCH fanout on filtering and comparisons (eps = 5)",
+    );
+
+    for dist in [
+        SyntheticDistribution::Uniform,
+        SyntheticDistribution::paper_gaussian(),
+        SyntheticDistribution::paper_clustered(),
+    ] {
+        let a = workload::synthetic(ctx, PAPER_A, dist, ctx.seed_a);
+        let b = workload::synthetic(ctx, PAPER_B, dist, ctx.seed_b);
+        for fanout in FANOUTS {
+            let touch = TouchJoin::with_fanout(fanout);
+            let mut sink = ResultSink::counting();
+            let report = distance_join(&touch, &a, &b, EPS, &mut sink);
+            table.push(Row::new(
+                vec![
+                    ("distribution", dist.name().to_string()),
+                    ("fanout", format!("{fanout}")),
+                    ("filtered", format!("{}", report.counters.filtered)),
+                ],
+                report,
+            ));
+        }
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fanout_needs_no_more_comparisons_than_large_fanout() {
+        let ctx = Context::for_tests();
+        let table = run(&ctx);
+        assert_eq!(table.rows.len(), 3 * FANOUTS.len());
+        for dist_chunk in table.rows.chunks(FANOUTS.len()) {
+            let first = &dist_chunk[0]; // fanout 2
+            let last = &dist_chunk[FANOUTS.len() - 1]; // fanout 20
+            assert!(
+                first.report.counters.comparisons <= last.report.counters.comparisons,
+                "{}: fanout 2 ({}) should not need more comparisons than fanout 20 ({})",
+                first.labels[0].1,
+                first.report.counters.comparisons,
+                last.report.counters.comparisons
+            );
+            // All fanouts must agree on the result count.
+            let expected = first.report.result_pairs();
+            for row in dist_chunk {
+                assert_eq!(row.report.result_pairs(), expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 15 — execution time for increasingly dense neuroscience datasets.
+//!
+//! The paper emulates growing model density by joining increasing random subsets
+//! (20 %, 40 %, …, 100 %) of the axon and dendrite cylinder sets with ε = 5. TOUCH's
+//! advantage grows with density: at the densest setting it is reported 8× faster than
+//! PBSM-500 and ~50× faster than the best of the remaining approaches, while needing
+//! an order of magnitude less memory than PBSM-500.
+
+use crate::{scaled_large_suite, Context, ExperimentTable, Row};
+use touch_core::{distance_join, ResultSink};
+use touch_datagen::NeuroscienceSpec;
+
+const EPS: f64 = 5.0;
+/// The density steps of the paper.
+pub const PERCENTAGES: [usize; 5] = [20, 40, 60, 80, 100];
+
+/// Runs the density sweep over the large-scale suite.
+pub fn run(ctx: &Context) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "figure15_density",
+        "Figure 15: execution time for increasingly dense neuroscience datasets (eps = 5)",
+    );
+    let data = NeuroscienceSpec::scaled(ctx.scale).generate(ctx.seed_a);
+    let suite = scaled_large_suite(ctx.scale);
+
+    for pct in PERCENTAGES {
+        let a = data.axons.take_prefix(data.axons.len() * pct / 100);
+        let b = data.dendrites.take_prefix(data.dendrites.len() * pct / 100);
+        for algo in &suite {
+            let mut sink = ResultSink::counting();
+            let report = distance_join(algo.as_ref(), &a, &b, EPS, &mut sink);
+            table.push(Row::new(
+                vec![("percentage", format!("{pct}")), ("a_objects", format!("{}", a.len()))],
+                report,
+            ));
+        }
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_increases_results_and_algorithms_agree() {
+        let table = run(&Context::for_tests());
+        assert_eq!(table.rows.len(), PERCENTAGES.len() * 6);
+        let mut last_results = 0;
+        for chunk in table.rows.chunks(6) {
+            let expected = chunk[0].report.result_pairs();
+            for row in chunk {
+                assert_eq!(row.report.result_pairs(), expected, "{}", row.report.algorithm);
+            }
+            assert!(expected >= last_results, "denser subsets must produce at least as many pairs");
+            last_results = expected;
+        }
+        assert!(last_results > 0, "the densest setting must produce results");
+    }
+}

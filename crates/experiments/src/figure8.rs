@@ -1,0 +1,74 @@
+//! Figure 8 — small uniform datasets, all eight algorithms.
+//!
+//! Dataset A has 10 K objects, dataset B grows from 160 K to 640 K in steps of 160 K,
+//! ε = 10, uniform distribution. The paper's findings: TOUCH and PBSM drastically
+//! outperform the nested loop and the plane-sweep in both comparisons and time, and
+//! execution time tracks the number of comparisons.
+
+use crate::{scaled_small_suite, workload, Context, ExperimentTable, Row};
+use touch_core::{distance_join, ResultSink};
+use touch_datagen::SyntheticDistribution;
+
+const PAPER_A: usize = 10_000;
+const PAPER_B_STEPS: [usize; 4] = [160_000, 320_000, 480_000, 640_000];
+const EPS: f64 = 10.0;
+
+/// Runs the Figure 8 sweep: every algorithm × every size of dataset B.
+pub fn run(ctx: &Context) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "figure8_small_uniform",
+        "Figure 8: small uniform datasets, increasing |B|, eps = 10",
+    );
+    let a = workload::synthetic(ctx, PAPER_A, SyntheticDistribution::Uniform, ctx.seed_a);
+    let suite = scaled_small_suite(ctx.scale);
+
+    for paper_b in PAPER_B_STEPS {
+        let b = workload::synthetic(ctx, paper_b, SyntheticDistribution::Uniform, ctx.seed_b);
+        for algo in &suite {
+            let mut sink = ResultSink::counting();
+            let report = distance_join(algo.as_ref(), &a, &b, EPS, &mut sink);
+            table.push(Row::new(
+                vec![("b_objects", format!("{}", b.len())), ("eps", format!("{EPS}"))],
+                report,
+            ));
+        }
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_agree_on_the_result_count() {
+        let table = run(&Context::for_tests());
+        assert_eq!(table.rows.len(), PAPER_B_STEPS.len() * 8);
+        // Per |B| step, every algorithm must report the identical number of pairs.
+        for chunk in table.rows.chunks(8) {
+            let expected = chunk[0].report.result_pairs();
+            for row in chunk {
+                assert_eq!(
+                    row.report.result_pairs(),
+                    expected,
+                    "{} disagrees on the result count",
+                    row.report.algorithm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn touch_beats_the_nested_loop_on_comparisons() {
+        let table = run(&Context::for_tests());
+        for chunk in table.rows.chunks(8) {
+            let nl = chunk.iter().find(|r| r.report.algorithm == "NL").unwrap();
+            let touch = chunk.iter().find(|r| r.report.algorithm == "TOUCH").unwrap();
+            assert!(
+                touch.report.counters.comparisons < nl.report.counters.comparisons,
+                "TOUCH must need fewer comparisons than the nested loop"
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Figures 9, 10 and 11 — large synthetic datasets (uniform, Gaussian, clustered).
+//!
+//! Dataset A is fixed at 1.6 M objects, dataset B grows from 1.6 M to 9.6 M in steps
+//! of 1.6 M, ε = 5. The six large-scale algorithms (TOUCH, PBSM-500, PBSM-100, S3,
+//! INL, RTree) are measured on comparisons (chart a), execution time (chart b) and
+//! memory (chart c). The paper's findings: TOUCH is about an order of magnitude
+//! faster than PBSM-500, which in turn is an order of magnitude faster than the rest
+//! but needs roughly two orders of magnitude more memory.
+
+use crate::{scaled_large_suite, workload, Context, ExperimentTable, Row};
+use touch_core::{distance_join, ResultSink};
+use touch_datagen::SyntheticDistribution;
+
+const PAPER_A: usize = 1_600_000;
+/// The paper sweeps B from 1.6 M to 9.6 M in six steps.
+pub const PAPER_B_STEPS: [usize; 6] =
+    [1_600_000, 3_200_000, 4_800_000, 6_400_000, 8_000_000, 9_600_000];
+const EPS: f64 = 5.0;
+
+/// Runs one of the three figures, selected by the dataset distribution
+/// (uniform → Figure 9, Gaussian → Figure 10, clustered → Figure 11).
+pub fn run(ctx: &Context, dist: SyntheticDistribution) -> ExperimentTable {
+    let figure = match dist {
+        SyntheticDistribution::Uniform => "figure9",
+        SyntheticDistribution::Gaussian { .. } => "figure10",
+        SyntheticDistribution::Clustered { .. } => "figure11",
+    };
+    let mut table = ExperimentTable::new(
+        format!("{figure}_{}", dist.name()),
+        format!(
+            "Figures 9-11: large {} datasets, increasing |B|, eps = 5 (comparisons / time / memory)",
+            dist.name()
+        ),
+    );
+    let a = workload::synthetic(ctx, PAPER_A, dist, ctx.seed_a);
+    let suite = scaled_large_suite(ctx.scale);
+
+    for paper_b in PAPER_B_STEPS {
+        let b = workload::synthetic(ctx, paper_b, dist, ctx.seed_b);
+        for algo in &suite {
+            let mut sink = ResultSink::counting();
+            let report = distance_join(algo.as_ref(), &a, &b, EPS, &mut sink);
+            table.push(Row::new(
+                vec![
+                    ("distribution", dist.name().to_string()),
+                    ("b_objects", format!("{}", b.len())),
+                ],
+                report,
+            ));
+        }
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_run(dist: SyntheticDistribution) -> ExperimentTable {
+        // Keep the unit test fast: only exercise the first |B| step by using a very
+        // small scale through Context::for_tests(), then slice the table.
+        run(&Context::for_tests(), dist)
+    }
+
+    #[test]
+    fn algorithms_agree_and_touch_uses_less_memory_than_pbsm500() {
+        let table = small_run(SyntheticDistribution::Uniform);
+        assert_eq!(table.rows.len(), PAPER_B_STEPS.len() * 6);
+        for chunk in table.rows.chunks(6) {
+            let expected = chunk[0].report.result_pairs();
+            for row in chunk {
+                assert_eq!(row.report.result_pairs(), expected, "{}", row.report.algorithm);
+            }
+            let pbsm500 = chunk.iter().find(|r| r.report.algorithm == "PBSM-500").unwrap();
+            let touch = chunk.iter().find(|r| r.report.algorithm == "TOUCH").unwrap();
+            assert!(
+                touch.report.memory_bytes < pbsm500.report.memory_bytes,
+                "TOUCH must use less memory than PBSM-500"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_runs_keep_the_algorithms_in_agreement() {
+        let table = small_run(SyntheticDistribution::paper_clustered());
+        assert_eq!(table.rows.len(), PAPER_B_STEPS.len() * 6);
+        for chunk in table.rows.chunks(6) {
+            let expected = chunk[0].report.result_pairs();
+            assert!(expected > 0, "clustered data is dense enough to produce results");
+            for row in chunk {
+                assert_eq!(row.report.result_pairs(), expected, "{}", row.report.algorithm);
+            }
+        }
+    }
+}

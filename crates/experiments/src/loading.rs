@@ -1,0 +1,77 @@
+//! §6.3 — loading the data vs. performing the join.
+//!
+//! The paper shows that reading the data into memory (≤ 2 s) is dwarfed by the join
+//! itself (334–1512 s for PBSM-500 on 1.6 M × 1.6–9.6 M objects), so speeding up the
+//! in-memory join is what matters. We reproduce the comparison by timing the
+//! in-memory materialisation of the datasets against the PBSM-500 join on the same
+//! workload.
+
+use crate::{scaled_resolution, workload, Context, ExperimentTable, Row};
+use std::time::Instant;
+use touch_baselines::PbsmJoin;
+use touch_core::{distance_join, ResultSink};
+use touch_datagen::SyntheticDistribution;
+use touch_geom::Dataset;
+
+const PAPER_A: usize = 1_600_000;
+const PAPER_B_STEPS: [usize; 3] = [1_600_000, 4_800_000, 9_600_000];
+const EPS: f64 = 5.0;
+
+/// Runs the loading-vs-join comparison.
+pub fn run(ctx: &Context) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "loading_vs_join",
+        "Section 6.3: loading the data vs. the PBSM-500 join (uniform, eps = 5)",
+    );
+    let a = workload::synthetic(ctx, PAPER_A, SyntheticDistribution::Uniform, ctx.seed_a);
+    let pbsm = PbsmJoin::with_label(scaled_resolution(500, ctx.scale), "PBSM-500");
+
+    for paper_b in PAPER_B_STEPS {
+        let b = workload::synthetic(ctx, paper_b, SyntheticDistribution::Uniform, ctx.seed_b);
+
+        // "Loading": materialising both datasets in memory from their raw MBRs —
+        // the in-memory analogue of reading them from disk.
+        let load_start = Instant::now();
+        let loaded_a = Dataset::from_mbrs(a.iter().map(|o| o.mbr));
+        let loaded_b = Dataset::from_mbrs(b.iter().map(|o| o.mbr));
+        let load_time = load_start.elapsed();
+
+        let mut sink = ResultSink::counting();
+        let report = distance_join(&pbsm, &loaded_a, &loaded_b, EPS, &mut sink);
+        let join_time = report.total_time();
+
+        table.push(Row::new(
+            vec![
+                ("b_objects", format!("{}", loaded_b.len())),
+                ("load_seconds", format!("{:.4}", load_time.as_secs_f64())),
+                ("join_seconds", format!("{:.4}", join_time.as_secs_f64())),
+                (
+                    "join_over_load",
+                    format!("{:.1}", join_time.as_secs_f64() / load_time.as_secs_f64().max(1e-9)),
+                ),
+            ],
+            report,
+        ));
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_dominates_loading() {
+        let table = run(&Context::for_tests());
+        assert_eq!(table.rows.len(), PAPER_B_STEPS.len());
+        for row in &table.rows {
+            let load: f64 = row.labels[1].1.parse().unwrap();
+            let join: f64 = row.labels[2].1.parse().unwrap();
+            assert!(
+                join > load,
+                "the join ({join}s) must dominate loading ({load}s) as in the paper"
+            );
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Algorithm suites with resolutions scaled to the experiment's workload size.
+
+use touch_baselines::{
+    IndexedNestedLoopJoin, NestedLoopJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, S3Join,
+};
+use touch_core::{SpatialJoinAlgorithm, TouchJoin};
+
+/// Scales one of the paper's grid resolutions (cells per dimension) to a workload
+/// that is `scale ×` the paper's cardinality.
+///
+/// Object density per unit volume scales linearly with the cardinality (the space is
+/// kept fixed), so keeping the *objects per grid cell* constant — the quantity that
+/// drives PBSM's and the local join's behaviour — means scaling the number of cells
+/// per dimension with the cube root of the scale factor.
+pub fn scaled_resolution(paper_cells_per_dim: usize, scale: f64) -> usize {
+    ((paper_cells_per_dim as f64 * scale.cbrt()).round() as usize).max(4)
+}
+
+/// PBSM-500 and PBSM-100 with resolutions scaled for `scale`, keeping the paper's
+/// labels so the output tables read like the paper's figures.
+fn scaled_pbsms(scale: f64) -> (PbsmJoin, PbsmJoin) {
+    (
+        PbsmJoin::with_label(scaled_resolution(500, scale), "PBSM-500"),
+        PbsmJoin::with_label(scaled_resolution(100, scale), "PBSM-100"),
+    )
+}
+
+/// TOUCH with its local-join grid resolution scaled for `scale`.
+fn scaled_touch(scale: f64) -> TouchJoin {
+    let mut config = touch_core::TouchConfig::default();
+    config.local_cells_per_dim = scaled_resolution(500, scale);
+    TouchJoin::new(config)
+}
+
+/// The paper's full suite (Figure 8): NL, PS, PBSM-500, PBSM-100, S3, INL, RTree and
+/// TOUCH, with grid resolutions scaled for `scale`.
+pub fn scaled_small_suite(scale: f64) -> Vec<Box<dyn SpatialJoinAlgorithm>> {
+    let (pbsm500, pbsm100) = scaled_pbsms(scale);
+    vec![
+        Box::new(NestedLoopJoin::new()),
+        Box::new(PlaneSweepJoin::new()),
+        Box::new(pbsm500),
+        Box::new(pbsm100),
+        Box::new(S3Join::paper_default()),
+        Box::new(IndexedNestedLoopJoin::paper_default()),
+        Box::new(RTreeSyncJoin::paper_default()),
+        Box::new(scaled_touch(scale)),
+    ]
+}
+
+/// The paper's large-dataset suite (Figures 9–12, 15, 16): as above but without the
+/// quadratic NL and PS.
+pub fn scaled_large_suite(scale: f64) -> Vec<Box<dyn SpatialJoinAlgorithm>> {
+    let (pbsm500, pbsm100) = scaled_pbsms(scale);
+    vec![
+        Box::new(pbsm500),
+        Box::new(pbsm100),
+        Box::new(S3Join::paper_default()),
+        Box::new(IndexedNestedLoopJoin::paper_default()),
+        Box::new(RTreeSyncJoin::paper_default()),
+        Box::new(scaled_touch(scale)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_scaling_preserves_objects_per_cell() {
+        assert_eq!(scaled_resolution(500, 1.0), 500);
+        assert_eq!(scaled_resolution(100, 1.0), 100);
+        // At 1 % of the objects, ~21.5 % of the cells per dimension keeps objects
+        // per cell constant (0.01^(1/3) ≈ 0.215).
+        assert_eq!(scaled_resolution(500, 0.01), 108);
+        // Never degenerate.
+        assert_eq!(scaled_resolution(100, 1e-9), 4);
+    }
+
+    #[test]
+    fn suites_have_paper_names() {
+        let small: Vec<String> = scaled_small_suite(0.01).iter().map(|a| a.name()).collect();
+        assert_eq!(
+            small,
+            vec!["NL", "PS", "PBSM-500", "PBSM-100", "S3", "Indexed NL", "RTree", "TOUCH"]
+        );
+        let large: Vec<String> = scaled_large_suite(0.01).iter().map(|a| a.name()).collect();
+        assert_eq!(large.len(), 6);
+        assert!(!large.contains(&"NL".to_string()));
+    }
+}

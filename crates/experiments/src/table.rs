@@ -1,0 +1,205 @@
+//! Experiment result tables: rows of labelled [`RunReport`]s with CSV and markdown
+//! rendering.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use touch_metrics::{format_count, format_duration, RunReport};
+
+/// One measured data point of an experiment: the run report plus the experiment's own
+/// labels (distribution, |B|, ε, fanout, …).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Experiment-specific labels, in column order.
+    pub labels: Vec<(String, String)>,
+    /// The measurement of this run.
+    pub report: RunReport,
+}
+
+impl Row {
+    /// Creates a row from labels (`(column, value)` pairs) and a report.
+    pub fn new(labels: Vec<(&str, String)>, report: RunReport) -> Self {
+        Row {
+            labels: labels.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            report,
+        }
+    }
+}
+
+/// The complete result of one experiment: an identifier, a description and its rows.
+#[derive(Debug, Clone)]
+pub struct ExperimentTable {
+    /// Stable identifier used for file names (e.g. `"figure9_uniform"`).
+    pub id: String,
+    /// Human-readable title (e.g. `"Figure 9: large uniform datasets, eps = 5"`).
+    pub title: String,
+    /// Measured rows in presentation order.
+    pub rows: Vec<Row>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentTable { id: id.into(), title: title.into(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table as CSV (experiment labels first, then the standard
+    /// [`RunReport`] columns).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let label_header: Vec<&str> = self
+            .rows
+            .first()
+            .map(|r| r.labels.iter().map(|(k, _)| k.as_str()).collect())
+            .unwrap_or_default();
+        out.push_str(&label_header.join(","));
+        if !label_header.is_empty() {
+            out.push(',');
+        }
+        out.push_str(RunReport::csv_header());
+        out.push('\n');
+        for row in &self.rows {
+            let labels: Vec<&str> = row.labels.iter().map(|(_, v)| v.as_str()).collect();
+            out.push_str(&labels.join(","));
+            if !labels.is_empty() {
+                out.push(',');
+            }
+            out.push_str(&row.report.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as a compact markdown table (the columns the paper plots:
+    /// comparisons, execution time, memory, plus results/filtered).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        let label_header: Vec<String> =
+            self.rows.first().map(|r| r.labels.iter().map(|(k, _)| k.clone()).collect()).unwrap_or_default();
+        let mut header: Vec<String> = label_header.clone();
+        header.extend(
+            ["algorithm", "comparisons", "results", "filtered", "memory", "time"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        out.push_str(&format!("| {} |\n", header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(header.len())));
+        for row in &self.rows {
+            let mut cells: Vec<String> = row.labels.iter().map(|(_, v)| v.clone()).collect();
+            cells.push(row.report.algorithm.clone());
+            cells.push(format_count(row.report.counters.comparisons));
+            cells.push(format_count(row.report.counters.results));
+            cells.push(format_count(row.report.counters.filtered));
+            cells.push(format_bytes(row.report.memory_bytes));
+            cells.push(format_duration(row.report.total_time()));
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Writes the CSV rendering to `<dir>/<id>.csv`, creating the directory if needed.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut file = fs::File::create(&path)?;
+        file.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Convenience used by the experiment binaries: print (if `verbose`) and write
+    /// the CSV (if an output directory is configured).
+    pub fn finish(&self, ctx: &crate::Context) {
+        if ctx.verbose {
+            print!("{}", self.to_markdown());
+        }
+        if let Some(dir) = &ctx.output_dir {
+            match self.write_csv(dir) {
+                Ok(path) => {
+                    if ctx.verbose {
+                        println!("wrote {}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("failed to write {}: {e}", self.id),
+            }
+        }
+    }
+}
+
+/// Formats a byte count for the markdown tables (`"1.5 MB"`, `"320 KB"`, …).
+pub fn format_bytes(bytes: usize) -> String {
+    let b = bytes as f64;
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.1} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.0} KB", b / 1e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> ExperimentTable {
+        let mut t = ExperimentTable::new("test_table", "A test table");
+        let mut report = RunReport::new("TOUCH", 10, 20);
+        report.counters.comparisons = 123;
+        report.counters.results = 7;
+        report.memory_bytes = 2048;
+        t.push(Row::new(vec![("b_size", "20".into()), ("eps", "5".into())], report));
+        t
+    }
+
+    #[test]
+    fn csv_has_labels_and_report_columns() {
+        let t = sample_table();
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("b_size,eps,algorithm,"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("20,5,TOUCH,10,20,"));
+        assert_eq!(
+            header.split(',').count(),
+            row.split(',').count(),
+            "header and row arity must match"
+        );
+    }
+
+    #[test]
+    fn markdown_contains_title_and_formatted_values() {
+        let t = sample_table();
+        let md = t.to_markdown();
+        assert!(md.contains("### A test table"));
+        assert!(md.contains("| TOUCH |"));
+        assert!(md.contains("123"));
+        assert!(md.contains("2 KB"));
+    }
+
+    #[test]
+    fn write_csv_creates_the_file() {
+        let t = sample_table();
+        let dir = std::env::temp_dir().join("touch_experiments_test");
+        let path = t.write_csv(&dir).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("TOUCH"));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2_048), "2 KB");
+        assert_eq!(format_bytes(3_500_000), "3.5 MB");
+        assert_eq!(format_bytes(7_250_000_000), "7.25 GB");
+    }
+}

@@ -1,0 +1,97 @@
+//! Table 1 — join selectivity of the evaluation datasets.
+//!
+//! The paper characterises its datasets by the selectivity of the ε-distance join
+//! (Equation 1: `|results| / (|A|·|B|)`): uniform, Gaussian and clustered synthetic
+//! datasets of 160 K × 1.6 M objects for ε ∈ {5, 10}, plus the neuroscience dataset
+//! (644 K axons × 1.285 M dendrites). Gaussian data is the most selective, followed
+//! by clustered, then uniform; the neuroscience data sits above all synthetic ones.
+
+use crate::{workload, Context, ExperimentTable, Row};
+use touch_core::{distance_join, ResultSink, TouchJoin};
+use touch_datagen::{NeuroscienceSpec, SyntheticDistribution};
+
+/// Paper cardinalities for the synthetic rows of Table 1.
+const PAPER_A: usize = 160_000;
+const PAPER_B: usize = 1_600_000;
+/// The two distance thresholds used throughout the paper.
+pub const EPSILONS: [f64; 2] = [5.0, 10.0];
+
+/// Runs the selectivity measurement and returns one row per (dataset, ε).
+pub fn run(ctx: &Context) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "table1_selectivity",
+        "Table 1: selectivity of the datasets (x 1e-6)",
+    );
+    let touch = TouchJoin::default();
+
+    // Synthetic datasets.
+    for dist in [
+        SyntheticDistribution::Uniform,
+        SyntheticDistribution::paper_gaussian(),
+        SyntheticDistribution::paper_clustered(),
+    ] {
+        let a = workload::synthetic(ctx, PAPER_A, dist, ctx.seed_a);
+        let b = workload::synthetic(ctx, PAPER_B, dist, ctx.seed_b);
+        for eps in EPSILONS {
+            let mut sink = ResultSink::counting();
+            let report = distance_join(&touch, &a, &b, eps, &mut sink);
+            table.push(Row::new(
+                vec![
+                    ("dataset", dist.name().to_string()),
+                    ("eps", format!("{eps}")),
+                    ("selectivity_e6", format!("{:.2}", report.selectivity() * 1e6)),
+                ],
+                report,
+            ));
+        }
+    }
+
+    // Neuroscience dataset.
+    let neuro = NeuroscienceSpec::scaled(ctx.scale).generate(ctx.seed_a);
+    for eps in EPSILONS {
+        let mut sink = ResultSink::counting();
+        let report = distance_join(&touch, &neuro.axons, &neuro.dendrites, eps, &mut sink);
+        table.push(Row::new(
+            vec![
+                ("dataset", "neuroscience".to_string()),
+                ("eps", format!("{eps}")),
+                ("selectivity_e6", format!("{:.2}", report.selectivity() * 1e6)),
+            ],
+            report,
+        ));
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_eight_rows_with_consistent_selectivity() {
+        let table = run(&Context::for_tests());
+        assert_eq!(table.rows.len(), 8);
+        let total_pairs: u64 = table.rows.iter().map(|r| r.report.result_pairs()).sum();
+        assert!(total_pairs > 0, "the selectivity table cannot be all zeros");
+        for row in &table.rows {
+            assert_eq!(row.report.algorithm, "TOUCH");
+        }
+        // The paper's ordering: for every dataset, eps = 10 is at least as selective
+        // as eps = 5 (strictly more at paper scale).
+        for pair in table.rows.chunks(2) {
+            assert!(pair[1].report.selectivity() >= pair[0].report.selectivity());
+        }
+        // ... and the denser Gaussian dataset is more selective than the uniform one.
+        let sel = |dataset: &str, eps: &str| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| r.labels[0].1 == dataset && r.labels[1].1 == eps)
+                .unwrap()
+                .report
+                .selectivity()
+        };
+        assert!(sel("gaussian", "10") > sel("uniform", "10"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Workload construction with constant-density scaling.
+//!
+//! The experiments shrink the paper's workloads by a scale factor. Simply generating
+//! fewer objects in the paper's 1000³ space would change the *density* — and with it
+//! the selectivity, the filtering behaviour and the grid occupancies that the paper's
+//! findings rest on. The harness therefore scales at **constant density**: object
+//! counts shrink by the scale factor and every spatial parameter of the generators
+//! (space side, Gaussian μ/σ, cluster scatter) shrinks by its cube root, while the
+//! object sizes and ε keep their absolute values from the paper. Per-object structure
+//! (how many neighbours an object has within ε, how many grid cells it overlaps) is
+//! thereby preserved, which is what keeps the figures' *shapes* intact at laptop
+//! scale.
+
+use crate::Context;
+use touch_datagen::{SpaceConfig, SyntheticDistribution, SyntheticSpec};
+use touch_geom::Dataset;
+
+/// Scales a spatial parameter (space side, σ, μ) with the cube root of the scale
+/// factor so that object density stays at the paper's value.
+pub fn scaled_length(paper_length: f64, scale: f64) -> f64 {
+    paper_length * scale.cbrt()
+}
+
+/// The synthetic-dataset spec for `paper_count` objects of `dist`, scaled for `ctx`.
+pub fn synthetic_spec(ctx: &Context, paper_count: usize, dist: SyntheticDistribution) -> SyntheticSpec {
+    let s = ctx.scale;
+    let scaled_dist = match dist {
+        SyntheticDistribution::Uniform => SyntheticDistribution::Uniform,
+        SyntheticDistribution::Gaussian { mean, std_dev } => SyntheticDistribution::Gaussian {
+            mean: scaled_length(mean, s),
+            std_dev: scaled_length(std_dev, s),
+        },
+        SyntheticDistribution::Clustered { clusters, std_dev } => {
+            SyntheticDistribution::Clustered { clusters, std_dev: scaled_length(std_dev, s) }
+        }
+    };
+    SyntheticSpec {
+        count: ctx.scaled_count(paper_count),
+        distribution: scaled_dist,
+        space: SpaceConfig {
+            size: scaled_length(1000.0, s),
+            max_object_side: 1.0, // object sizes keep their absolute (paper) value
+        },
+    }
+}
+
+/// Generates the synthetic dataset for `paper_count` objects of `dist` with `seed`,
+/// scaled for `ctx`.
+pub fn synthetic(ctx: &Context, paper_count: usize, dist: SyntheticDistribution, seed: u64) -> Dataset {
+    synthetic_spec(ctx, paper_count, dist).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_preserved_across_scales() {
+        let paper_count = 1_600_000;
+        for scale in [1.0, 0.1, 0.01] {
+            let ctx = Context::new(scale);
+            let spec = synthetic_spec(&ctx, paper_count, SyntheticDistribution::Uniform);
+            let density = spec.count as f64 / spec.space.size.powi(3);
+            let paper_density = paper_count as f64 / 1000.0f64.powi(3);
+            assert!(
+                (density / paper_density - 1.0).abs() < 0.05,
+                "density at scale {scale} drifted: {density} vs {paper_density}"
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_parameters_scale_with_the_space() {
+        let ctx = Context::new(0.001); // cbrt = 0.1
+        let spec = synthetic_spec(&ctx, 100_000, SyntheticDistribution::paper_gaussian());
+        match spec.distribution {
+            SyntheticDistribution::Gaussian { mean, std_dev } => {
+                assert!((mean - 50.0).abs() < 1e-9);
+                assert!((std_dev - 25.0).abs() < 1e-9);
+            }
+            _ => panic!("distribution kind must be preserved"),
+        }
+        assert!((spec.space.size - 100.0).abs() < 1e-9);
+        assert_eq!(spec.space.max_object_side, 1.0);
+    }
+
+    #[test]
+    fn full_scale_is_the_paper_configuration() {
+        let ctx = Context::new(1.0);
+        let spec = synthetic_spec(&ctx, 160_000, SyntheticDistribution::paper_clustered());
+        assert_eq!(spec.count, 160_000);
+        assert_eq!(spec.space.size, 1000.0);
+        match spec.distribution {
+            SyntheticDistribution::Clustered { clusters, std_dev } => {
+                assert_eq!(clusters, 100);
+                assert!((std_dev - 220.0).abs() < 1e-9);
+            }
+            _ => panic!("distribution kind must be preserved"),
+        }
+    }
+}

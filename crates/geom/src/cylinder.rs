@@ -1,0 +1,220 @@
+//! Cylinders — the exact geometry of the neuroscience *touch detection* use case.
+//!
+//! The paper's motivating application models neuron branches (axons and dendrites) as
+//! chains of cylinders and places a synapse wherever an axon cylinder comes within a
+//! distance ε of a dendrite cylinder. The join algorithms operate on the cylinders'
+//! MBRs (filtering); the exact cylinder-to-cylinder distance below is what a
+//! refinement phase would evaluate on the candidate pairs.
+
+use crate::{Aabb, Point3};
+use serde::{Deserialize, Serialize};
+
+/// A capsule-shaped cylinder: the set of points within `radius` of the segment
+/// `[p0, p1]`.
+///
+/// Modelling the cylinder as a capsule (with spherical caps) is the standard
+/// simplification in the touch-detection pipeline; it makes the pairwise distance an
+/// exact segment-to-segment distance minus the radii.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cylinder {
+    /// First end point of the axis segment.
+    pub p0: Point3,
+    /// Second end point of the axis segment.
+    pub p1: Point3,
+    /// Radius around the axis segment.
+    pub radius: f64,
+}
+
+impl Cylinder {
+    /// Creates a cylinder from its axis end points and radius.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the radius is negative or a coordinate is not finite.
+    #[inline]
+    pub fn new(p0: Point3, p1: Point3, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "negative radius");
+        debug_assert!(p0.is_finite() && p1.is_finite(), "non-finite cylinder end points");
+        Cylinder { p0, p1, radius }
+    }
+
+    /// Length of the axis segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.p0.distance(self.p1)
+    }
+
+    /// The minimum bounding box of the cylinder (capsule).
+    #[inline]
+    pub fn mbr(&self) -> Aabb {
+        let r = Point3::splat(self.radius);
+        Aabb {
+            min: self.p0.min(self.p1) - r,
+            max: self.p0.max(self.p1) + r,
+        }
+    }
+
+    /// Exact minimum distance between the *surfaces* of two capsules
+    /// (0 if they overlap).
+    ///
+    /// `distance_to(other) ≤ ε` is the refinement predicate of the touch-detection
+    /// application.
+    pub fn distance_to(&self, other: &Cylinder) -> f64 {
+        let axis_dist = segment_segment_distance(self.p0, self.p1, other.p0, other.p1);
+        (axis_dist - self.radius - other.radius).max(0.0)
+    }
+
+    /// `true` if the two capsules are within `eps` of each other (touching counts).
+    #[inline]
+    pub fn touches(&self, other: &Cylinder, eps: f64) -> bool {
+        self.distance_to(other) <= eps
+    }
+}
+
+/// Minimum distance between two 3-D line segments `[p1, q1]` and `[p2, q2]`.
+///
+/// Implementation of the classic closest-point-between-segments algorithm
+/// (Ericson, *Real-Time Collision Detection*, §5.1.9), robust against degenerate
+/// (zero-length) segments.
+pub fn segment_segment_distance(p1: Point3, q1: Point3, p2: Point3, q2: Point3) -> f64 {
+    let d1 = q1 - p1; // direction of segment 1
+    let d2 = q2 - p2; // direction of segment 2
+    let r = p1 - p2;
+    let a = d1.norm_sq();
+    let e = d2.norm_sq();
+    let f = d2.dot(r);
+
+    let (s, t);
+    const EPS: f64 = 1e-12;
+
+    if a <= EPS && e <= EPS {
+        // Both segments degenerate to points.
+        return p1.distance(p2);
+    }
+    if a <= EPS {
+        // First segment degenerates to a point.
+        s = 0.0;
+        t = (f / e).clamp(0.0, 1.0);
+    } else {
+        let c = d1.dot(r);
+        if e <= EPS {
+            // Second segment degenerates to a point.
+            t = 0.0;
+            s = (-c / a).clamp(0.0, 1.0);
+        } else {
+            let b = d1.dot(d2);
+            let denom = a * e - b * b;
+            let mut s_tmp = if denom > EPS { ((b * f - c * e) / denom).clamp(0.0, 1.0) } else { 0.0 };
+            let mut t_tmp = (b * s_tmp + f) / e;
+            if t_tmp < 0.0 {
+                t_tmp = 0.0;
+                s_tmp = (-c / a).clamp(0.0, 1.0);
+            } else if t_tmp > 1.0 {
+                t_tmp = 1.0;
+                s_tmp = ((b - c) / a).clamp(0.0, 1.0);
+            }
+            s = s_tmp;
+            t = t_tmp;
+        }
+    }
+
+    let c1 = p1 + d1 * s;
+    let c2 = p2 + d2 * t;
+    c1.distance(c2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbr_encloses_caps() {
+        let c = Cylinder::new(Point3::new(1.0, 1.0, 1.0), Point3::new(4.0, 1.0, 1.0), 0.5);
+        let mbr = c.mbr();
+        assert_eq!(mbr.min, Point3::new(0.5, 0.5, 0.5));
+        assert_eq!(mbr.max, Point3::new(4.5, 1.5, 1.5));
+        assert!((c.length() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_segments_distance() {
+        let d = segment_segment_distance(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(10.0, 0.0, 0.0),
+            Point3::new(0.0, 3.0, 0.0),
+            Point3::new(10.0, 3.0, 0.0),
+        );
+        assert!((d - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossing_segments_distance_zero() {
+        let d = segment_segment_distance(
+            Point3::new(-1.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, -1.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+        );
+        assert!(d.abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_segments_distance() {
+        // Segments along x and y axes separated by 2 in z.
+        let d = segment_segment_distance(
+            Point3::new(-1.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, -1.0, 2.0),
+            Point3::new(0.0, 1.0, 2.0),
+        );
+        assert!((d - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoint_to_endpoint_distance() {
+        // Collinear, disjoint segments: closest points are the facing end points.
+        let d = segment_segment_distance(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(3.0, 0.0, 0.0),
+            Point3::new(5.0, 0.0, 0.0),
+        );
+        assert!((d - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_segments() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        let q = Point3::new(4.0, 6.0, 3.0);
+        // Both degenerate.
+        assert!((segment_segment_distance(p, p, q, q) - 5.0).abs() < 1e-9);
+        // One degenerate: point vs segment.
+        let d = segment_segment_distance(
+            p,
+            p,
+            Point3::new(0.0, 0.0, 3.0),
+            Point3::new(2.0, 0.0, 3.0),
+        );
+        assert!((d - 2.0).abs() < 1e-9, "distance from (1,2) to x-axis segment is 2, got {d}");
+    }
+
+    #[test]
+    fn capsule_distance_and_touch() {
+        let a = Cylinder::new(Point3::new(0.0, 0.0, 0.0), Point3::new(10.0, 0.0, 0.0), 1.0);
+        let b = Cylinder::new(Point3::new(0.0, 5.0, 0.0), Point3::new(10.0, 5.0, 0.0), 1.0);
+        assert!((a.distance_to(&b) - 3.0).abs() < 1e-9);
+        assert!(a.touches(&b, 3.0));
+        assert!(!a.touches(&b, 2.9));
+        // Overlapping capsules have distance 0.
+        let c = Cylinder::new(Point3::new(0.0, 1.5, 0.0), Point3::new(10.0, 1.5, 0.0), 1.0);
+        assert_eq!(a.distance_to(&c), 0.0);
+    }
+
+    #[test]
+    fn filtering_is_conservative_for_refinement() {
+        // If the capsules touch within eps, their eps-extended MBRs must intersect.
+        let a = Cylinder::new(Point3::new(0.0, 0.0, 0.0), Point3::new(4.0, 0.0, 0.0), 0.3);
+        let b = Cylinder::new(Point3::new(1.0, 2.0, 1.0), Point3::new(5.0, 2.0, 1.0), 0.2);
+        let eps = a.distance_to(&b) + 0.01;
+        assert!(a.mbr().extended(eps).intersects(&b.mbr()));
+    }
+}

@@ -1,0 +1,231 @@
+//! Owned collections of spatial objects.
+
+use crate::{Aabb, ObjectId, SpatialObject};
+use serde::{Deserialize, Serialize};
+
+/// An owned, in-memory collection of spatial objects — one side of a join.
+///
+/// A `Dataset` is little more than a `Vec<SpatialObject>` plus a cached joint extent,
+/// but it is the vocabulary type passed between the generators, the indexes and the
+/// join algorithms. Object ids are expected (and, when built through [`Dataset::from_mbrs`]
+/// or [`Dataset::push_mbr`], guaranteed) to equal the object's position in the vector.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    objects: Vec<SpatialObject>,
+    extent: Option<Aabb>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    #[inline]
+    pub fn new() -> Self {
+        Dataset { objects: Vec::new(), extent: None }
+    }
+
+    /// Creates an empty dataset with pre-allocated capacity.
+    #[inline]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Dataset { objects: Vec::with_capacity(capacity), extent: None }
+    }
+
+    /// Builds a dataset from MBRs, assigning ids `0..n` in iteration order.
+    pub fn from_mbrs<I: IntoIterator<Item = Aabb>>(mbrs: I) -> Self {
+        let mut ds = Dataset::new();
+        for mbr in mbrs {
+            ds.push_mbr(mbr);
+        }
+        ds
+    }
+
+    /// Builds a dataset from already-identified objects.
+    ///
+    /// # Panics
+    /// In debug builds, panics if ids are not the dense sequence `0..n`.
+    pub fn from_objects(objects: Vec<SpatialObject>) -> Self {
+        debug_assert!(
+            objects.iter().enumerate().all(|(i, o)| o.id as usize == i),
+            "object ids must be dense and in order"
+        );
+        let extent = Aabb::union_all(objects.iter().map(|o| o.mbr));
+        Dataset { objects, extent }
+    }
+
+    /// Appends an object with the next dense id and returns that id.
+    #[inline]
+    pub fn push_mbr(&mut self, mbr: Aabb) -> ObjectId {
+        let id = self.objects.len() as ObjectId;
+        self.objects.push(SpatialObject::new(id, mbr));
+        match &mut self.extent {
+            Some(e) => e.expand_to_include(&mbr),
+            None => self.extent = Some(mbr),
+        }
+        id
+    }
+
+    /// Number of objects in the dataset.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` if the dataset holds no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The objects as a slice.
+    #[inline]
+    pub fn objects(&self) -> &[SpatialObject] {
+        &self.objects
+    }
+
+    /// The object with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> &SpatialObject {
+        &self.objects[id as usize]
+    }
+
+    /// Iterator over the objects.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, SpatialObject> {
+        self.objects.iter()
+    }
+
+    /// The joint extent (union of all MBRs), or `None` for an empty dataset.
+    #[inline]
+    pub fn extent(&self) -> Option<Aabb> {
+        self.extent
+    }
+
+    /// Average volume of the object MBRs (0 for an empty dataset).
+    pub fn average_volume(&self) -> f64 {
+        if self.objects.is_empty() {
+            return 0.0;
+        }
+        self.objects.iter().map(|o| o.mbr.volume()).sum::<f64>() / self.objects.len() as f64
+    }
+
+    /// Average side length of the object MBRs per axis (0 for an empty dataset).
+    pub fn average_side(&self, axis: usize) -> f64 {
+        if self.objects.is_empty() {
+            return 0.0;
+        }
+        self.objects.iter().map(|o| o.mbr.side(axis)).sum::<f64>() / self.objects.len() as f64
+    }
+
+    /// Returns a new dataset whose MBRs are all enlarged by `eps` on every side,
+    /// with ids preserved.
+    ///
+    /// This is the ε-extension step that turns a distance join into an intersection
+    /// join (Section 4 of the paper).
+    pub fn extended(&self, eps: f64) -> Dataset {
+        let objects = self
+            .objects
+            .iter()
+            .map(|o| SpatialObject::new(o.id, o.mbr.extended(eps)))
+            .collect();
+        Dataset::from_objects(objects)
+    }
+
+    /// Returns a dataset containing the first `n` objects (ids re-assigned densely).
+    ///
+    /// Used by the density-scaling experiment (Figure 15), which joins increasing
+    /// subsets of the neuroscience datasets.
+    pub fn take_prefix(&self, n: usize) -> Dataset {
+        Dataset::from_mbrs(self.objects.iter().take(n).map(|o| o.mbr))
+    }
+
+    /// Approximate heap footprint of the dataset in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.objects.capacity() * std::mem::size_of::<SpatialObject>()
+    }
+}
+
+impl FromIterator<Aabb> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Aabb>>(iter: I) -> Self {
+        Dataset::from_mbrs(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a SpatialObject;
+    type IntoIter = std::slice::Iter<'a, SpatialObject>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.objects.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point3;
+
+    fn unit_box_at(x: f64) -> Aabb {
+        Aabb::new(Point3::new(x, 0.0, 0.0), Point3::new(x + 1.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn push_assigns_dense_ids_and_tracks_extent() {
+        let mut ds = Dataset::new();
+        assert!(ds.is_empty());
+        assert!(ds.extent().is_none());
+        let id0 = ds.push_mbr(unit_box_at(0.0));
+        let id1 = ds.push_mbr(unit_box_at(5.0));
+        assert_eq!((id0, id1), (0, 1));
+        assert_eq!(ds.len(), 2);
+        let extent = ds.extent().unwrap();
+        assert_eq!(extent.min, Point3::ORIGIN);
+        assert_eq!(extent.max, Point3::new(6.0, 1.0, 1.0));
+        assert_eq!(ds.get(1).mbr, unit_box_at(5.0));
+    }
+
+    #[test]
+    fn from_mbrs_matches_push() {
+        let ds = Dataset::from_mbrs([unit_box_at(0.0), unit_box_at(2.0)]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.get(0).id, 0);
+        assert_eq!(ds.get(1).id, 1);
+    }
+
+    #[test]
+    fn extended_preserves_ids_and_grows_boxes() {
+        let ds = Dataset::from_mbrs([unit_box_at(0.0), unit_box_at(3.0)]);
+        let ext = ds.extended(0.5);
+        assert_eq!(ext.len(), 2);
+        assert_eq!(ext.get(1).id, 1);
+        assert_eq!(ext.get(0).mbr.min, Point3::new(-0.5, -0.5, -0.5));
+        assert_eq!(ext.get(0).mbr.max, Point3::new(1.5, 1.5, 1.5));
+        // original untouched
+        assert_eq!(ds.get(0).mbr, unit_box_at(0.0));
+    }
+
+    #[test]
+    fn averages() {
+        let ds = Dataset::from_mbrs([unit_box_at(0.0), unit_box_at(2.0)]);
+        assert!((ds.average_volume() - 1.0).abs() < 1e-12);
+        assert!((ds.average_side(0) - 1.0).abs() < 1e-12);
+        assert_eq!(Dataset::new().average_volume(), 0.0);
+    }
+
+    #[test]
+    fn take_prefix_reassigns_ids() {
+        let ds = Dataset::from_mbrs([unit_box_at(0.0), unit_box_at(1.0), unit_box_at(2.0)]);
+        let p = ds.take_prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(1).mbr, unit_box_at(1.0));
+        let all = ds.take_prefix(100);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn iteration_and_collect() {
+        let ds: Dataset = [unit_box_at(0.0), unit_box_at(1.0)].into_iter().collect();
+        assert_eq!(ds.iter().count(), 2);
+        assert_eq!((&ds).into_iter().map(|o| o.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert!(ds.memory_bytes() >= 2 * std::mem::size_of::<SpatialObject>());
+    }
+}

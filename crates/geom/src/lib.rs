@@ -1,0 +1,46 @@
+//! # touch-geom — 3-D geometry kernel for the TOUCH spatial join
+//!
+//! This crate provides the geometric primitives every other crate of the TOUCH
+//! reproduction builds on:
+//!
+//! * [`Point3`] — a point in 3-D space,
+//! * [`Aabb`] — an axis-aligned bounding box (the paper's *MBR*, minimum bounding
+//!   rectangle), with intersection, containment, union, ε-extension and distance
+//!   predicates,
+//! * [`SpatialObject`] — an identified MBR, the unit both join inputs are made of,
+//! * [`Dataset`] — an owned collection of spatial objects with cached extent,
+//! * [`Cylinder`] — the exact geometry used by the neuroscience *touch detection*
+//!   use case (axon/dendrite segments); used by the refinement phase and by the
+//!   synthetic morphology generator.
+//!
+//! The paper performs the join in two phases, *filtering* on MBRs followed by
+//! *refinement* on exact geometry. All join algorithms in this workspace operate on
+//! [`Aabb`]s (filtering); [`Cylinder::distance_to`] is provided so applications can
+//! implement refinement on the candidate pairs.
+//!
+//! ## Conventions
+//!
+//! * Geometry is fixed to three dimensions ([`DIMS`]), matching the paper's datasets.
+//!   Two-dimensional workloads are expressed with a degenerate (zero-extent) third
+//!   dimension.
+//! * Coordinates are `f64`. Boxes are closed: boxes that merely touch on a face,
+//!   edge or corner *do* intersect, which mirrors the ≤ in the paper's distance
+//!   predicate `distance(a, b) ≤ ε`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod aabb;
+mod cylinder;
+mod dataset;
+mod object;
+mod point;
+
+pub use aabb::Aabb;
+pub use cylinder::Cylinder;
+pub use dataset::Dataset;
+pub use object::{ObjectId, SpatialObject};
+pub use point::Point3;
+
+/// Number of spatial dimensions used throughout the workspace.
+pub const DIMS: usize = 3;

@@ -1,0 +1,51 @@
+//! Spatial objects: an identifier plus an MBR.
+
+use crate::Aabb;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a spatial object within its dataset.
+///
+/// Identifiers are dense indices assigned by the generators / loaders; result pairs are
+/// reported as `(ObjectId, ObjectId)` where the first component refers to dataset A and
+/// the second to dataset B.
+pub type ObjectId = u32;
+
+/// A spatial object as seen by the filtering phase: an identifier and its MBR.
+///
+/// The exact geometry (cylinder, polygon, …) lives with the application; the join only
+/// needs the bounding box. 28 bytes + padding, `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialObject {
+    /// Identifier of the object, unique within its dataset.
+    pub id: ObjectId,
+    /// Minimum bounding rectangle of the object.
+    pub mbr: Aabb,
+}
+
+impl SpatialObject {
+    /// Creates a spatial object from an identifier and its MBR.
+    #[inline]
+    pub const fn new(id: ObjectId, mbr: Aabb) -> Self {
+        SpatialObject { id, mbr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point3;
+
+    #[test]
+    fn construction() {
+        let mbr = Aabb::new(Point3::ORIGIN, Point3::splat(1.0));
+        let o = SpatialObject::new(7, mbr);
+        assert_eq!(o.id, 7);
+        assert_eq!(o.mbr, mbr);
+    }
+
+    #[test]
+    fn object_is_small() {
+        // Keep the hot type small: one id + 6 f64 coordinates.
+        assert!(std::mem::size_of::<SpatialObject>() <= 64);
+    }
+}

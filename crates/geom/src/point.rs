@@ -1,0 +1,251 @@
+//! Points in 3-D space.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Index, Mul, Sub};
+
+/// A point (or vector) in 3-D space.
+///
+/// `Point3` is a plain-old-data type: 24 bytes, `Copy`, no heap allocation. It is used
+/// for box corners, cylinder end points and cluster centres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+    /// Z coordinate.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// The origin `(0, 0, 0)`.
+    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a point from its three coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Creates a point with all coordinates equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Point3 { x: v, y: v, z: v }
+    }
+
+    /// Creates a point from a coordinate array `[x, y, z]`.
+    #[inline]
+    pub const fn from_array(a: [f64; 3]) -> Self {
+        Point3 { x: a[0], y: a[1], z: a[2] }
+    }
+
+    /// Returns the coordinates as an array `[x, y, z]`.
+    #[inline]
+    pub const fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Returns the coordinate along `axis` (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    /// Panics if `axis >= 3`.
+    #[inline]
+    pub fn coord(&self, axis: usize) -> f64 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis out of range: {axis}"),
+        }
+    }
+
+    /// Sets the coordinate along `axis` (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    /// Panics if `axis >= 3`.
+    #[inline]
+    pub fn set_coord(&mut self, axis: usize, value: f64) {
+        match axis {
+            0 => self.x = value,
+            1 => self.y = value,
+            2 => self.z = value,
+            _ => panic!("axis out of range: {axis}"),
+        }
+    }
+
+    /// Component-wise minimum of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Point3) -> Point3 {
+        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Point3) -> Point3 {
+        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Dot product of two vectors.
+    #[inline]
+    pub fn dot(self, other: Point3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Squared Euclidean length of the vector.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean length of the vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean distance between two points.
+    #[inline]
+    pub fn distance_sq(self, other: Point3) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Euclidean distance between two points.
+    #[inline]
+    pub fn distance(self, other: Point3) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(self, other: Point3, t: f64) -> Point3 {
+        self + (other - self) * t
+    }
+
+    /// `true` if every coordinate is finite (neither NaN nor ±∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point3 {
+        Point3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Index<usize> for Point3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, axis: usize) -> &f64 {
+        match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis out of range: {axis}"),
+        }
+    }
+}
+
+impl From<[f64; 3]> for Point3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Point3::from_array(a)
+    }
+}
+
+impl From<Point3> for [f64; 3] {
+    #[inline]
+    fn from(p: Point3) -> Self {
+        p.to_array()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!(p.coord(0), 1.0);
+        assert_eq!(p.coord(1), 2.0);
+        assert_eq!(p.coord(2), 3.0);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p.to_array(), [1.0, 2.0, 3.0]);
+        assert_eq!(Point3::from_array([1.0, 2.0, 3.0]), p);
+        assert_eq!(Point3::splat(4.0), Point3::new(4.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn set_coord_updates_single_axis() {
+        let mut p = Point3::ORIGIN;
+        p.set_coord(1, 5.0);
+        assert_eq!(p, Point3::new(0.0, 5.0, 0.0));
+        p.set_coord(2, -1.0);
+        assert_eq!(p, Point3::new(0.0, 5.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis out of range")]
+    fn coord_out_of_range_panics() {
+        let p = Point3::ORIGIN;
+        let _ = p.coord(3);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Point3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Point3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(b), 4.0 + 10.0 + 18.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(b.norm(), 5.0);
+    }
+
+    #[test]
+    fn min_max_lerp() {
+        let a = Point3::new(0.0, 5.0, -2.0);
+        let b = Point3::new(3.0, 1.0, 4.0);
+        assert_eq!(a.min(b), Point3::new(0.0, 1.0, -2.0));
+        assert_eq!(a.max(b), Point3::new(3.0, 5.0, 4.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!(mid, Point3::new(1.5, 3.0, 1.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Point3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Point3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the geometry kernel.
+//!
+//! These properties are the foundation the join algorithms' correctness rests on:
+//! symmetry and reflexivity of intersection, consistency between union/containment,
+//! the equivalence between ε-extension and L∞ distance, and conservativeness of the
+//! MBR filter with respect to exact cylinder distances.
+
+use proptest::prelude::*;
+use touch_geom::{Aabb, Cylinder, Point3};
+
+fn coord() -> impl Strategy<Value = f64> {
+    -1000.0..1000.0f64
+}
+
+fn point() -> impl Strategy<Value = Point3> {
+    (coord(), coord(), coord()).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+fn aabb() -> impl Strategy<Value = Aabb> {
+    (point(), point()).prop_map(|(a, b)| Aabb::from_corners(a, b))
+}
+
+fn small_eps() -> impl Strategy<Value = f64> {
+    0.0..50.0f64
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_symmetric(a in aabb(), b in aabb()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn intersection_is_reflexive(a in aabb()) {
+        prop_assert!(a.intersects(&a));
+        prop_assert!(a.contains(&a));
+    }
+
+    #[test]
+    fn union_contains_both(a in aabb(), b in aabb()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+        prop_assert!(u.volume() + 1e-9 >= a.volume().max(b.volume()));
+    }
+
+    #[test]
+    fn containment_implies_intersection(a in aabb(), b in aabb()) {
+        let u = a.union(&b);
+        // u contains a, therefore u intersects a
+        prop_assert!(u.intersects(&a));
+        if a.contains(&b) {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn intersection_region_is_contained_in_both(a in aabb(), b in aabb()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains(&i));
+            prop_assert!(b.contains(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn reference_point_lies_in_both_boxes(a in aabb(), b in aabb()) {
+        if a.intersects(&b) {
+            let rp = a.intersection_reference_point(&b);
+            prop_assert!(a.contains_point(&rp));
+            prop_assert!(b.contains_point(&rp));
+            prop_assert_eq!(rp, b.intersection_reference_point(&a));
+        }
+    }
+
+    #[test]
+    fn extension_matches_linf_distance(a in aabb(), b in aabb(), eps in small_eps()) {
+        // distance join translation (Section 4 of the paper):
+        //   L∞-distance(a, b) <= eps  <=>  a.extended(eps) intersects b
+        let extended_hit = a.extended(eps).intersects(&b);
+        let within = a.min_distance_linf(&b) <= eps + 1e-9;
+        prop_assert_eq!(extended_hit, within,
+            "extended-intersects = {}, d_linf = {}, eps = {}",
+            extended_hit, a.min_distance_linf(&b), eps);
+    }
+
+    #[test]
+    fn extension_is_superset_of_euclidean_distance(a in aabb(), b in aabb(), eps in small_eps()) {
+        // The filter must never miss a pair within Euclidean distance eps.
+        if a.min_distance(&b) <= eps {
+            prop_assert!(a.extended(eps).intersects(&b));
+        }
+    }
+
+    #[test]
+    fn euclidean_distance_lower_bounds_linf_scaled(a in aabb(), b in aabb()) {
+        // d_linf <= d_euclid <= sqrt(3) * d_linf
+        let de = a.min_distance(&b);
+        let dc = a.min_distance_linf(&b);
+        prop_assert!(dc <= de + 1e-9);
+        prop_assert!(de <= dc * 3f64.sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn extension_monotone_in_eps(a in aabb(), b in aabb(), eps in small_eps()) {
+        if a.extended(eps).intersects(&b) {
+            prop_assert!(a.extended(eps + 1.0).intersects(&b));
+        }
+    }
+
+    #[test]
+    fn union_all_equals_pairwise_fold(boxes in prop::collection::vec(aabb(), 1..20)) {
+        let all = Aabb::union_all(boxes.iter().copied()).unwrap();
+        let folded = boxes.iter().skip(1).fold(boxes[0], |acc, b| acc.union(b));
+        prop_assert_eq!(all, folded);
+        for b in &boxes {
+            prop_assert!(all.contains(b));
+        }
+    }
+
+    #[test]
+    fn volume_is_nonnegative_and_additive_bound(a in aabb(), b in aabb()) {
+        prop_assert!(a.volume() >= 0.0);
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.volume() <= a.volume() + 1e-9);
+            prop_assert!(i.volume() <= b.volume() + 1e-9);
+        }
+    }
+}
+
+fn cylinder() -> impl Strategy<Value = Cylinder> {
+    (point(), point(), 0.0..10.0f64).prop_map(|(p0, p1, r)| Cylinder::new(p0, p1, r))
+}
+
+proptest! {
+    #[test]
+    fn cylinder_mbr_contains_endpoints(c in cylinder()) {
+        let mbr = c.mbr();
+        prop_assert!(mbr.contains_point(&c.p0));
+        prop_assert!(mbr.contains_point(&c.p1));
+    }
+
+    #[test]
+    fn cylinder_distance_is_symmetric(a in cylinder(), b in cylinder()) {
+        prop_assert!((a.distance_to(&b) - b.distance_to(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mbr_filter_is_conservative_for_cylinders(a in cylinder(), b in cylinder(), eps in small_eps()) {
+        // If the exact geometries are within eps, the eps-extended MBRs must intersect:
+        // the filtering phase may produce false positives but never false negatives.
+        if a.touches(&b, eps) {
+            prop_assert!(a.mbr().extended(eps).intersects(&b.mbr()));
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Region octree with multiple assignment — the 3-D analogue of the quadtree double
+//! index traversal discussed in Section 2.2.1 of the paper.
+//!
+//! A region octree recursively splits the space at the centre of each node into eight
+//! equal octants until a node holds at most `leaf_capacity` objects or the maximum
+//! depth is reached. Objects are assigned to **every** leaf whose region they overlap
+//! (like the R+-tree, Section 2.2.1), so a join over octree leaves may discover the
+//! same pair several times and has to de-duplicate — which is exactly the drawback the
+//! paper contrasts TOUCH against. The [`crate::UniformGrid`]-style reference-point
+//! rule is applied by the octree join baseline in `touch-baselines`.
+
+use touch_geom::{Aabb, Point3, SpatialObject};
+use touch_metrics::{vec_bytes, MemoryUsage};
+
+/// One node of an [`Octree`].
+#[derive(Debug, Clone)]
+struct OctreeNode {
+    /// The region this node is responsible for (a partition of the parent's region).
+    region: Aabb,
+    /// Index of the first child (children are contiguous), or `None` for a leaf.
+    first_child: Option<u32>,
+    /// Number of children (8 in the general case; fewer when some axes are
+    /// degenerate — e.g. 4 for planar 2-D data — so that sibling regions never
+    /// coincide).
+    child_count: u8,
+    /// Objects assigned to this node (only non-empty for leaves).
+    entries: Vec<u32>,
+}
+
+/// A region octree over a set of spatial objects with multiple assignment.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    nodes: Vec<OctreeNode>,
+    objects: usize,
+    assignments: usize,
+    leaf_capacity: usize,
+    max_depth: u32,
+}
+
+impl Octree {
+    /// Builds an octree over `objects` covering `extent`.
+    ///
+    /// * `leaf_capacity` — a leaf holding more objects is split (unless `max_depth`
+    ///   is reached).
+    /// * `max_depth` — hard recursion limit; keeps heavily overlapping inputs from
+    ///   splitting forever.
+    ///
+    /// # Panics
+    /// Panics if `leaf_capacity` is zero.
+    pub fn build(
+        extent: Aabb,
+        objects: &[SpatialObject],
+        leaf_capacity: usize,
+        max_depth: u32,
+    ) -> Self {
+        assert!(leaf_capacity > 0, "leaf capacity must be positive");
+        let root = OctreeNode {
+            region: extent,
+            first_child: None,
+            child_count: 0,
+            entries: (0..objects.len() as u32).collect(),
+        };
+        let mut tree = Octree {
+            nodes: vec![root],
+            objects: objects.len(),
+            assignments: objects.len(),
+            leaf_capacity,
+            max_depth,
+        };
+        tree.split_recursively(0, objects, 0);
+        tree
+    }
+
+    /// A reasonable default configuration: 32 objects per leaf, depth at most 8.
+    pub fn with_defaults(extent: Aabb, objects: &[SpatialObject]) -> Self {
+        Self::build(extent, objects, 32, 8)
+    }
+
+    fn split_recursively(&mut self, node: usize, objects: &[SpatialObject], depth: u32) {
+        if self.nodes[node].entries.len() <= self.leaf_capacity || depth >= self.max_depth {
+            return;
+        }
+        let region = self.nodes[node].region;
+        let centre = region.center();
+        // Only split axes with positive extent; degenerate (e.g. planar 2-D) axes
+        // would otherwise produce coinciding sibling regions.
+        let splittable: Vec<usize> = (0..3).filter(|&axis| region.side(axis) > 0.0).collect();
+        if splittable.is_empty() {
+            return;
+        }
+        let child_count = 1u32 << splittable.len();
+        let first = self.nodes.len() as u32;
+        for combo in 0..child_count {
+            let child_region = sub_region(&region, centre, &splittable, combo);
+            self.nodes.push(OctreeNode {
+                region: child_region,
+                first_child: None,
+                child_count: 0,
+                entries: Vec::new(),
+            });
+        }
+        // Distribute the parent's entries to every overlapping child.
+        let entries = std::mem::take(&mut self.nodes[node].entries);
+        self.assignments -= entries.len();
+        for id in entries {
+            let mbr = objects[id as usize].mbr;
+            for child_offset in 0..child_count as usize {
+                let child = first as usize + child_offset;
+                if self.nodes[child].region.intersects(&mbr) {
+                    self.nodes[child].entries.push(id);
+                    self.assignments += 1;
+                }
+            }
+        }
+        self.nodes[node].first_child = Some(first);
+        self.nodes[node].child_count = child_count as u8;
+        // Recurse.
+        for child_offset in 0..child_count as usize {
+            self.split_recursively(first as usize + child_offset, objects, depth + 1);
+        }
+    }
+
+    /// Number of indexed objects (before replication).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects
+    }
+
+    /// `true` if the tree indexes no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects == 0
+    }
+
+    /// Total number of (object, leaf) assignments; replication is
+    /// `total_assignments() - len()`.
+    #[inline]
+    pub fn total_assignments(&self) -> usize {
+        self.assignments
+    }
+
+    /// Number of nodes (inner + leaf).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Calls `f` with the region and object ids of every non-empty leaf.
+    pub fn for_each_leaf(&self, mut f: impl FnMut(&Aabb, &[u32])) {
+        for node in &self.nodes {
+            if node.first_child.is_none() && !node.entries.is_empty() {
+                f(&node.region, &node.entries);
+            }
+        }
+    }
+
+    /// The ids of all objects whose leaf regions overlap `query` (deduplicated).
+    pub fn query_candidates(&self, query: &Aabb) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            if !node.region.intersects(query) {
+                continue;
+            }
+            match node.first_child {
+                Some(first) => stack
+                    .extend((first as usize)..(first as usize + node.child_count as usize)),
+                None => out.extend_from_slice(&node.entries),
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// `true` if `leaf_region` is the unique *owner* of point `p` among the leaves of
+    /// this tree: ownership uses half-open intervals (`[min, max)`, closed at the
+    /// global upper boundary), so a point lying exactly on a split plane belongs to
+    /// exactly one leaf. Join algorithms use this to report a replicated pair from a
+    /// single leaf.
+    pub fn owns_point(&self, leaf_region: &Aabb, p: &Point3) -> bool {
+        let global = self.nodes[0].region;
+        for axis in 0..3 {
+            let v = p.coord(axis);
+            if v < leaf_region.min.coord(axis) {
+                return false;
+            }
+            let hi = leaf_region.max.coord(axis);
+            let at_global_max = hi >= global.max.coord(axis);
+            if v > hi || (v == hi && !at_global_max) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl MemoryUsage for Octree {
+    fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<OctreeNode>()
+            + self.nodes.iter().map(|n| vec_bytes(&n.entries)).sum::<usize>()
+    }
+}
+
+/// The sub-region selected by `combo` (one bit per *splittable* axis, low bit = first
+/// splittable axis; bit set = upper half) of `region` split at `centre`. Axes not in
+/// `splittable` keep the parent's full (degenerate) range.
+fn sub_region(region: &Aabb, centre: Point3, splittable: &[usize], combo: u32) -> Aabb {
+    let mut min = region.min;
+    let mut max = region.max;
+    for (bit, &axis) in splittable.iter().enumerate() {
+        if combo & (1 << bit) != 0 {
+            min.set_coord(axis, centre.coord(axis));
+        } else {
+            max.set_coord(axis, centre.coord(axis));
+        }
+    }
+    Aabb::new(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use touch_geom::Dataset;
+
+    fn sample(n: usize, seed: u64, spread: f64) -> Dataset {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        Dataset::from_mbrs((0..n).map(|_| {
+            let min = Point3::new(next() * spread, next() * spread, next() * spread);
+            Aabb::new(min, min + Point3::splat(0.3 + next() * 2.0))
+        }))
+    }
+
+    #[test]
+    fn octant_regions_tile_the_parent() {
+        let region = Aabb::new(Point3::ORIGIN, Point3::new(8.0, 4.0, 2.0));
+        let centre = region.center();
+        let splittable = [0usize, 1, 2];
+        let mut total_volume = 0.0;
+        for combo in 0..8 {
+            let r = sub_region(&region, centre, &splittable, combo);
+            assert!(region.contains(&r));
+            total_volume += r.volume();
+        }
+        assert!((total_volume - region.volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_axes_are_not_split_and_ownership_is_unique() {
+        // Planar (2-D) data: the z axis must not be split, and every point must be
+        // owned by exactly one leaf.
+        let mut ds = Dataset::new();
+        for x in 0..20 {
+            for y in 0..20 {
+                let min = Point3::new(x as f64, y as f64, 0.0);
+                ds.push_mbr(Aabb::new(min, min + Point3::new(0.9, 0.9, 0.0)));
+            }
+        }
+        let tree = Octree::build(ds.extent().unwrap(), ds.objects(), 16, 6);
+        assert!(tree.node_count() > 1);
+        let probes = [
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(10.45, 9.95, 0.0), // on/near split planes
+            Point3::new(19.9, 19.9, 0.0),  // the global max corner of the extent
+            Point3::new(5.2, 17.3, 0.0),
+        ];
+        for p in probes {
+            let mut owners = 0;
+            tree.for_each_leaf(|region, _| {
+                if tree.owns_point(region, &p) {
+                    owners += 1;
+                }
+            });
+            assert_eq!(owners, 1, "point {p:?} must be owned by exactly one leaf");
+        }
+    }
+
+    #[test]
+    fn small_inputs_stay_in_the_root_leaf() {
+        let ds = sample(10, 1, 50.0);
+        let tree = Octree::build(ds.extent().unwrap(), ds.objects(), 32, 8);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.total_assignments(), 10);
+        let mut leaves = 0;
+        tree.for_each_leaf(|_, ids| {
+            leaves += 1;
+            assert_eq!(ids.len(), 10);
+        });
+        assert_eq!(leaves, 1);
+    }
+
+    #[test]
+    fn every_object_is_assigned_to_every_overlapping_leaf() {
+        let ds = sample(600, 2, 60.0);
+        let tree = Octree::with_defaults(ds.extent().unwrap(), ds.objects());
+        assert!(tree.node_count() > 1, "600 objects must force splits");
+        assert!(tree.total_assignments() >= ds.len(), "multiple assignment only adds copies");
+        // Each leaf's entries actually overlap the leaf region; and each object is
+        // present in every leaf it overlaps.
+        let mut per_object = vec![0usize; ds.len()];
+        tree.for_each_leaf(|region, ids| {
+            for &id in ids {
+                assert!(region.intersects(&ds.get(id).mbr));
+                per_object[id as usize] += 1;
+            }
+        });
+        assert!(per_object.iter().all(|&c| c >= 1), "no object may be lost");
+    }
+
+    #[test]
+    fn query_candidates_superset_of_true_matches() {
+        let ds = sample(500, 3, 40.0);
+        let tree = Octree::with_defaults(ds.extent().unwrap(), ds.objects());
+        let query = Aabb::new(Point3::splat(10.0), Point3::splat(18.0));
+        let candidates = tree.query_candidates(&query);
+        for o in ds.iter() {
+            if o.mbr.intersects(&query) {
+                assert!(candidates.binary_search(&o.id).is_ok(), "missing candidate {}", o.id);
+            }
+        }
+        assert!(tree.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn max_depth_limits_splitting() {
+        // Identical boxes can never be separated; the depth limit must stop recursion.
+        let ds = Dataset::from_mbrs(
+            std::iter::repeat(Aabb::new(Point3::ORIGIN, Point3::splat(1.0))).take(200),
+        );
+        let tree = Octree::build(
+            Aabb::new(Point3::ORIGIN, Point3::splat(10.0)),
+            ds.objects(),
+            4,
+            3,
+        );
+        // Depth 3 means at most 1 + 8 + 64 + 512 nodes.
+        assert!(tree.node_count() <= 585);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let ds = sample(5, 4, 10.0);
+        let _ = Octree::build(ds.extent().unwrap(), ds.objects(), 0, 4);
+    }
+}

@@ -1,0 +1,31 @@
+//! # touch-metrics — instrumentation for the TOUCH spatial join reproduction
+//!
+//! The paper evaluates every algorithm along three axes:
+//!
+//! 1. **Number of comparisons** — pairwise *object–object* MBR intersection tests
+//!    (Figures 8a, 9a, 10a, 11a, 14b, 16b),
+//! 2. **Execution time**, broken into build / assignment / join phases where
+//!    applicable (Figures 8b, 9b, 10b, 11b, 12, 15, 16a),
+//! 3. **Memory footprint** of the auxiliary join structures (Figures 9c, 10c, 11c,
+//!    16c).
+//!
+//! This crate provides the shared vocabulary for those measurements:
+//!
+//! * [`Counters`] — cheap, always-on counters every algorithm increments,
+//! * [`PhaseTimer`] / [`Phase`] — wall-clock phase breakdown,
+//! * [`MemoryUsage`] — analytic memory accounting trait + helpers,
+//! * [`RunReport`] — the complete record of one algorithm execution, the unit the
+//!   experiment harness aggregates into tables and figures.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod counters;
+mod memory;
+mod report;
+mod timer;
+
+pub use counters::Counters;
+pub use memory::{vec_bytes, MemoryUsage};
+pub use report::{format_count, format_duration, RunReport};
+pub use timer::{Phase, PhaseTimer};

@@ -1,0 +1,61 @@
+//! Analytic memory accounting.
+//!
+//! The paper reports the memory footprint of each algorithm's auxiliary structures
+//! (Figures 9c/10c/11c/16c). Process-level RSS is too noisy to assert on inside a
+//! library test suite, so every index/join structure in this workspace implements
+//! [`MemoryUsage`] and sums the exact heap bytes of the vectors it owns. The numbers
+//! track what the paper measures: PBSM's replicated cell lists dwarf everything else,
+//! TOUCH sits slightly above a single R-tree, the dual-tree and dual-hierarchy
+//! approaches sit above TOUCH.
+
+/// Types that can report the heap memory they occupy.
+pub trait MemoryUsage {
+    /// Number of heap bytes owned by this structure (capacity, not length, for
+    /// vectors — mirroring what the allocator actually reserved).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Heap bytes owned by a vector (capacity × element size).
+#[inline]
+pub fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+impl<T> MemoryUsage for Vec<T> {
+    fn memory_bytes(&self) -> usize {
+        vec_bytes(self)
+    }
+}
+
+impl<T: MemoryUsage> MemoryUsage for Option<T> {
+    fn memory_bytes(&self) -> usize {
+        self.as_ref().map_or(0, MemoryUsage::memory_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_bytes_uses_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        assert_eq!(vec_bytes(&v), 16 * 8);
+        assert_eq!(v.memory_bytes(), 16 * 8);
+    }
+
+    #[test]
+    fn empty_vec_is_zero() {
+        let v: Vec<u32> = Vec::new();
+        assert_eq!(vec_bytes(&v), 0);
+    }
+
+    #[test]
+    fn option_delegates() {
+        let some: Option<Vec<u64>> = Some(Vec::with_capacity(4));
+        let none: Option<Vec<u64>> = None;
+        assert_eq!(some.memory_bytes(), 32);
+        assert_eq!(none.memory_bytes(), 0);
+    }
+}

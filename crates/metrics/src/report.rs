@@ -1,0 +1,162 @@
+//! Run reports: the complete record of one algorithm execution.
+
+use crate::{Counters, Phase, PhaseTimer};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The complete measurement record of one join execution.
+///
+/// A `RunReport` is what every algorithm returns alongside its result pairs and what
+/// the experiment harness aggregates into the paper's tables and figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Human-readable algorithm name, e.g. `"TOUCH"`, `"PBSM-500"`.
+    pub algorithm: String,
+    /// Number of objects in dataset A.
+    pub dataset_a: usize,
+    /// Number of objects in dataset B.
+    pub dataset_b: usize,
+    /// Distance threshold ε of the distance join (0 for a plain intersection join).
+    pub epsilon: f64,
+    /// Comparison / filtering counters.
+    pub counters: Counters,
+    /// Phase timing breakdown.
+    pub timer: PhaseTimer,
+    /// Analytic memory footprint of the algorithm's auxiliary structures, in bytes.
+    pub memory_bytes: usize,
+}
+
+impl RunReport {
+    /// Creates a report for `algorithm` joining `|A| = dataset_a` and `|B| = dataset_b`.
+    pub fn new(algorithm: impl Into<String>, dataset_a: usize, dataset_b: usize) -> Self {
+        RunReport {
+            algorithm: algorithm.into(),
+            dataset_a,
+            dataset_b,
+            epsilon: 0.0,
+            counters: Counters::new(),
+            timer: PhaseTimer::new(),
+            memory_bytes: 0,
+        }
+    }
+
+    /// Total execution time (build + assignment + join), the paper's reported time.
+    pub fn total_time(&self) -> Duration {
+        self.timer.total()
+    }
+
+    /// Result pairs reported by the join.
+    pub fn result_pairs(&self) -> u64 {
+        self.counters.results
+    }
+
+    /// Join selectivity as defined in Equation 1 of the paper:
+    /// `|result pairs| / (|A| × |B|)`.
+    pub fn selectivity(&self) -> f64 {
+        if self.dataset_a == 0 || self.dataset_b == 0 {
+            return 0.0;
+        }
+        self.counters.results as f64 / (self.dataset_a as f64 * self.dataset_b as f64)
+    }
+
+    /// One CSV row with the standard columns (see [`RunReport::csv_header`]).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
+            self.algorithm,
+            self.dataset_a,
+            self.dataset_b,
+            self.epsilon,
+            self.counters.comparisons,
+            self.counters.node_tests,
+            self.counters.results,
+            self.counters.filtered,
+            self.counters.duplicates_suppressed,
+            self.memory_bytes,
+            self.timer.get(Phase::Build).as_secs_f64(),
+            self.timer.get(Phase::Assignment).as_secs_f64(),
+            self.timer.get(Phase::Join).as_secs_f64(),
+            self.total_time().as_secs_f64(),
+        )
+    }
+
+    /// The CSV header matching [`RunReport::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "algorithm,a,b,epsilon,comparisons,node_tests,results,filtered,duplicates_suppressed,memory_bytes,build_s,assignment_s,join_s,total_s"
+    }
+}
+
+/// Formats a count with thousands separators (`1234567` → `"1,234,567"`).
+pub fn format_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    let bytes = s.as_bytes();
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+/// Formats a duration compactly (`"1.23 s"`, `"45.6 ms"`, `"789 µs"`).
+pub fn format_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{:.0} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_matches_equation_1() {
+        let mut r = RunReport::new("NL", 100, 200);
+        r.counters.results = 50;
+        assert!((r.selectivity() - 50.0 / 20_000.0).abs() < 1e-15);
+        let empty = RunReport::new("NL", 0, 200);
+        assert_eq!(empty.selectivity(), 0.0);
+    }
+
+    #[test]
+    fn csv_row_has_header_arity() {
+        let mut r = RunReport::new("TOUCH", 10, 20);
+        r.epsilon = 5.0;
+        r.counters.comparisons = 123;
+        let header_cols = RunReport::csv_header().split(',').count();
+        let row_cols = r.to_csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert!(r.to_csv_row().starts_with("TOUCH,10,20,5,123"));
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(format_count(0), "0");
+        assert_eq!(format_count(999), "999");
+        assert_eq!(format_count(1_000), "1,000");
+        assert_eq!(format_count(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+        assert_eq!(format_duration(Duration::from_millis(45)), "45.0 ms");
+        assert_eq!(format_duration(Duration::from_micros(789)), "789 µs");
+    }
+
+    #[test]
+    fn total_time_sums_phases() {
+        let mut r = RunReport::new("RTree", 1, 1);
+        r.timer.add(Phase::Build, Duration::from_millis(10));
+        r.timer.add(Phase::Join, Duration::from_millis(5));
+        assert_eq!(r.total_time(), Duration::from_millis(15));
+        assert_eq!(r.result_pairs(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Phase timers.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The phases of a spatial join, following the structure of Algorithm 1 in the paper.
+///
+/// Not every algorithm has every phase: the nested loop join only has [`Phase::Join`],
+/// index-based baselines have [`Phase::Build`] and [`Phase::Join`], TOUCH has all
+/// three. Data loading/generation is *not* part of a join's reported time (the paper
+/// shows in §6.3 that loading is negligible and reports it separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Building support structures (TOUCH tree, R-tree(s), grids, sorting).
+    Build,
+    /// Assigning the second dataset to the structure (TOUCH assignment, PBSM/S3
+    /// partitioning of dataset B).
+    Assignment,
+    /// The actual join (probing / local joins / traversal).
+    Join,
+}
+
+impl Phase {
+    /// All phases, in execution order.
+    pub const ALL: [Phase; 3] = [Phase::Build, Phase::Assignment, Phase::Join];
+
+    /// Stable lowercase name of the phase.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Build => "build",
+            Phase::Assignment => "assignment",
+            Phase::Join => "join",
+        }
+    }
+}
+
+/// Accumulates wall-clock time per [`Phase`].
+///
+/// The total (`total()`) is what the paper reports as *execution time*: it includes
+/// index building, exactly as stated in §6.1 ("The time to build the indexing
+/// structures is included as part of the reported query execution times").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhaseTimer {
+    build: Duration,
+    assignment: Duration,
+    join: Duration,
+}
+
+impl PhaseTimer {
+    /// A timer with all phases at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f`, charging its duration to `phase`, and returns its result.
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Adds an externally measured duration to `phase`.
+    pub fn add(&mut self, phase: Phase, d: Duration) {
+        match phase {
+            Phase::Build => self.build += d,
+            Phase::Assignment => self.assignment += d,
+            Phase::Join => self.join += d,
+        }
+    }
+
+    /// Time accumulated in `phase`.
+    pub fn get(&self, phase: Phase) -> Duration {
+        match phase {
+            Phase::Build => self.build,
+            Phase::Assignment => self.assignment,
+            Phase::Join => self.join,
+        }
+    }
+
+    /// Total time across all phases — the paper's *execution time*.
+    pub fn total(&self) -> Duration {
+        self.build + self.assignment + self.join
+    }
+
+    /// Merges another timer into this one.
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        self.build += other.build;
+        self.assignment += other.assignment;
+        self.join += other.join;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_have_stable_names() {
+        assert_eq!(Phase::Build.name(), "build");
+        assert_eq!(Phase::Assignment.name(), "assignment");
+        assert_eq!(Phase::Join.name(), "join");
+        assert_eq!(Phase::ALL.len(), 3);
+    }
+
+    #[test]
+    fn time_charges_the_right_phase_and_returns_value() {
+        let mut t = PhaseTimer::new();
+        let v = t.time(Phase::Join, || {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(t.get(Phase::Join) >= Duration::from_millis(1));
+        assert_eq!(t.get(Phase::Build), Duration::ZERO);
+        assert_eq!(t.total(), t.get(Phase::Join));
+    }
+
+    #[test]
+    fn add_and_merge_accumulate() {
+        let mut a = PhaseTimer::new();
+        a.add(Phase::Build, Duration::from_millis(5));
+        a.add(Phase::Build, Duration::from_millis(5));
+        let mut b = PhaseTimer::new();
+        b.add(Phase::Join, Duration::from_millis(7));
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Build), Duration::from_millis(10));
+        assert_eq!(a.get(Phase::Join), Duration::from_millis(7));
+        assert_eq!(a.total(), Duration::from_millis(17));
+    }
+}

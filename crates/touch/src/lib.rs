@@ -1,0 +1,64 @@
+//! # touch — in-memory spatial joins by hierarchical data-oriented partitioning
+//!
+//! This is the facade crate of the TOUCH workspace: it re-exports the complete public
+//! API so that applications depend on a single crate.
+//!
+//! * [`geom`] — geometry kernel: [`Aabb`] (MBRs), [`Point3`], [`Cylinder`],
+//!   [`Dataset`],
+//! * [`datagen`] — workload generators (uniform / Gaussian / clustered boxes,
+//!   synthetic neuron morphologies),
+//! * [`index`] — indexing substrates (STR packing, packed R-tree, uniform and
+//!   hierarchical grids),
+//! * [`core`] — the TOUCH algorithm itself ([`TouchJoin`]) and the join interface
+//!   ([`SpatialJoinAlgorithm`], [`ResultSink`], [`distance_join`]),
+//! * [`baselines`] — the competitor algorithms of the paper's evaluation,
+//! * [`metrics`] — counters, timers and [`RunReport`]s.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use touch::{distance_join, Dataset, Aabb, Point3, ResultSink, TouchJoin};
+//!
+//! // Dataset A: a row of unit boxes. Dataset B: the same row, shifted by 1.5 units.
+//! let a: Dataset = (0..100)
+//!     .map(|i| {
+//!         let min = Point3::new(i as f64 * 3.0, 0.0, 0.0);
+//!         Aabb::new(min, min + Point3::splat(1.0))
+//!     })
+//!     .collect();
+//! let b: Dataset = (0..100)
+//!     .map(|i| {
+//!         let min = Point3::new(i as f64 * 3.0 + 1.5, 0.0, 0.0);
+//!         Aabb::new(min, min + Point3::splat(1.0))
+//!     })
+//!     .collect();
+//!
+//! // Find every pair within distance 1.0 of each other.
+//! let mut sink = ResultSink::collecting();
+//! let report = distance_join(&TouchJoin::default(), &a, &b, 1.0, &mut sink);
+//!
+//! assert_eq!(report.result_pairs() as usize, sink.pairs().len());
+//! assert!(report.counters.comparisons < (a.len() * b.len()) as u64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use touch_baselines as baselines;
+pub use touch_core as core;
+pub use touch_datagen as datagen;
+pub use touch_geom as geom;
+pub use touch_index as index;
+pub use touch_metrics as metrics;
+
+// The most common types, re-exported at the top level for convenience.
+pub use touch_baselines::{
+    IndexedNestedLoopJoin, NestedLoopJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, S3Join,
+};
+pub use touch_core::{
+    collect_join, count_join, distance_join, JoinOrder, LocalJoinStrategy, ResultSink,
+    SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
+};
+pub use touch_datagen::{NeuroscienceSpec, SyntheticDistribution, SyntheticSpec};
+pub use touch_geom::{Aabb, Cylinder, Dataset, ObjectId, Point3, SpatialObject};
+pub use touch_metrics::{Counters, Phase, RunReport};

@@ -1,0 +1,53 @@
+//! Algorithm shootout: run the paper's full algorithm suite on one workload and print
+//! a comparison table (a miniature Figure 8).
+//!
+//! ```text
+//! cargo run -p touch --release --example algorithm_shootout [epsilon]
+//! ```
+
+use touch::baselines::full_suite;
+use touch::{distance_join, ResultSink, SyntheticDistribution, SyntheticSpec};
+
+fn main() {
+    let epsilon: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0);
+
+    // A small-scale version of the paper's Figure 8 workload: uniform data,
+    // |A| = 5 000, |B| = 40 000, eps = 10 (override via the first CLI argument).
+    let a = SyntheticSpec::new(5_000, SyntheticDistribution::Uniform).generate(11);
+    let b = SyntheticSpec::new(40_000, SyntheticDistribution::Uniform).generate(12);
+    println!(
+        "joining |A| = {} with |B| = {} (uniform, eps = {epsilon})\n",
+        a.len(),
+        b.len()
+    );
+    println!(
+        "{:<12} {:>14} {:>10} {:>12} {:>12}",
+        "algorithm", "comparisons", "results", "memory [KB]", "time [ms]"
+    );
+
+    let mut reference_results: Option<u64> = None;
+    for algo in full_suite() {
+        let mut sink = ResultSink::counting();
+        let report = distance_join(algo.as_ref(), &a, &b, epsilon, &mut sink);
+        println!(
+            "{:<12} {:>14} {:>10} {:>12.0} {:>12.1}",
+            report.algorithm,
+            report.counters.comparisons,
+            report.result_pairs(),
+            report.memory_bytes as f64 / 1e3,
+            report.total_time().as_secs_f64() * 1e3
+        );
+        // Every algorithm must agree on the result count — the same guarantee the
+        // integration tests enforce.
+        match reference_results {
+            None => reference_results = Some(report.result_pairs()),
+            Some(expected) => assert_eq!(
+                report.result_pairs(),
+                expected,
+                "{} disagrees with the other algorithms",
+                report.algorithm
+            ),
+        }
+    }
+    println!("\nall algorithms reported {} pairs", reference_results.unwrap_or(0));
+}

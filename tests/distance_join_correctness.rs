@@ -1,0 +1,158 @@
+//! Integration test of the distance-join semantics: the ε-extension translation used
+//! by every algorithm must find exactly the pairs whose MBRs are within L∞ distance ε
+//! (and therefore a superset of the pairs within Euclidean distance ε, which the
+//! refinement phase confirms on exact geometry).
+
+use touch::{
+    distance_join, Aabb, Cylinder, Dataset, NeuroscienceSpec, Point3, ResultSink, TouchJoin,
+};
+
+fn grid_dataset(side: usize, spacing: f64, box_side: f64) -> Dataset {
+    let mut ds = Dataset::new();
+    for x in 0..side {
+        for y in 0..side {
+            for z in 0..side {
+                let min = Point3::new(x as f64 * spacing, y as f64 * spacing, z as f64 * spacing);
+                ds.push_mbr(Aabb::new(min, min + Point3::splat(box_side)));
+            }
+        }
+    }
+    ds
+}
+
+#[test]
+fn epsilon_thresholds_are_inclusive_and_monotone() {
+    // Boxes on a lattice with 2-unit gaps: the set of matching pairs changes exactly
+    // at eps = 0, 2, ... and the eps = 2 threshold is inclusive.
+    let a = grid_dataset(4, 3.0, 1.0);
+    let b = grid_dataset(4, 3.0, 1.0);
+    let touch = TouchJoin::default();
+
+    let count = |eps: f64| {
+        let mut sink = ResultSink::counting();
+        distance_join(&touch, &a, &b, eps, &mut sink).result_pairs()
+    };
+
+    let at_zero = count(0.0);
+    assert_eq!(at_zero, a.len() as u64, "with eps 0 every box matches only its twin");
+    let below_gap = count(1.9);
+    assert_eq!(below_gap, at_zero, "below the 2-unit gap nothing new matches");
+    let at_gap = count(2.0);
+    assert!(at_gap > below_gap, "the gap distance itself is inclusive (<=)");
+    let above_gap = count(2.1);
+    assert!(above_gap >= at_gap);
+    // Monotonicity over a sweep.
+    let mut last = 0;
+    for eps in [0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0] {
+        let c = count(eps);
+        assert!(c >= last, "result count must grow with eps");
+        last = c;
+    }
+}
+
+#[test]
+fn exact_pair_set_on_a_known_configuration() {
+    // Three A boxes on a line, B boxes placed at controlled distances.
+    let a = Dataset::from_mbrs([
+        Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)),
+        Aabb::new(Point3::new(10.0, 0.0, 0.0), Point3::new(11.0, 1.0, 1.0)),
+        Aabb::new(Point3::new(20.0, 0.0, 0.0), Point3::new(21.0, 1.0, 1.0)),
+    ]);
+    let b = Dataset::from_mbrs([
+        // 2 units right of a0.
+        Aabb::new(Point3::new(3.0, 0.0, 0.0), Point3::new(4.0, 1.0, 1.0)),
+        // exactly 5 units above a1.
+        Aabb::new(Point3::new(10.0, 6.0, 0.0), Point3::new(11.0, 7.0, 1.0)),
+        // far away from everything.
+        Aabb::new(Point3::new(100.0, 100.0, 100.0), Point3::new(101.0, 101.0, 101.0)),
+    ]);
+    let touch = TouchJoin::default();
+
+    let pairs_at = |eps: f64| {
+        let mut sink = ResultSink::collecting();
+        distance_join(&touch, &a, &b, eps, &mut sink);
+        sink.sorted_pairs()
+    };
+
+    assert_eq!(pairs_at(1.0), vec![]);
+    assert_eq!(pairs_at(2.0), vec![(0, 0)]);
+    assert_eq!(pairs_at(5.0), vec![(0, 0), (1, 1)]);
+    // At eps = 20 every A box reaches both nearby B boxes (the extension applies to
+    // every axis), but never the far-away one.
+    assert_eq!(pairs_at(20.0), vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]);
+}
+
+#[test]
+fn filtering_never_loses_a_matching_pair() {
+    // Dataset A confined to a corner, dataset B spread widely: many B objects are
+    // filtered, but every pair the nested scan finds must still be reported.
+    let a = grid_dataset(3, 2.0, 1.0); // occupies [0, 7]^3
+    let mut b = grid_dataset(3, 2.0, 1.0);
+    for i in 0..200 {
+        let min = Point3::new(50.0 + (i % 20) as f64 * 4.0, 50.0 + (i / 20) as f64 * 4.0, 30.0);
+        b.push_mbr(Aabb::new(min, min + Point3::splat(1.0)));
+    }
+    let eps = 1.5;
+    let mut sink = ResultSink::collecting();
+    let report = distance_join(&TouchJoin::default(), &a, &b, eps, &mut sink);
+    assert!(report.counters.filtered > 0, "the far-away B objects must be filtered");
+
+    // Brute force over the eps-extended A (same translation the library applies).
+    let mut expected = Vec::new();
+    for oa in a.extended(eps).iter() {
+        for ob in b.iter() {
+            if oa.mbr.intersects(&ob.mbr) {
+                expected.push((oa.id, ob.id));
+            }
+        }
+    }
+    expected.sort_unstable();
+    assert_eq!(sink.sorted_pairs(), expected);
+}
+
+#[test]
+fn refinement_on_cylinders_is_a_subset_of_the_filter_output() {
+    // End-to-end touch detection on a small tissue model: every exact touch found by
+    // scanning all cylinder pairs must also be present among the MBR-filter
+    // candidates (conservativeness), and refinement only removes pairs.
+    let spec = NeuroscienceSpec {
+        axon_cylinders: 300,
+        dendrite_cylinders: 600,
+        volume_side: 40.0,
+        ..NeuroscienceSpec::default()
+    };
+    let tissue = spec.generate(3);
+    let eps = 2.0;
+
+    let mut sink = ResultSink::collecting();
+    distance_join(&TouchJoin::default(), &tissue.axons, &tissue.dendrites, eps, &mut sink);
+    let candidates: std::collections::HashSet<(u32, u32)> = sink.pairs().iter().copied().collect();
+
+    let mut exact_touches = 0usize;
+    for (ia, axon) in tissue.axon_cylinders.iter().enumerate() {
+        for (ib, dendrite) in tissue.dendrite_cylinders.iter().enumerate() {
+            if axon.touches(dendrite, eps) {
+                exact_touches += 1;
+                assert!(
+                    candidates.contains(&(ia as u32, ib as u32)),
+                    "exact touch ({ia}, {ib}) missing from the filter output"
+                );
+            }
+        }
+    }
+    assert!(exact_touches > 0, "the test tissue must contain real touches");
+    assert!(
+        candidates.len() >= exact_touches,
+        "the MBR filter is conservative, never smaller than the exact result"
+    );
+
+    // Refinement via the public Cylinder API yields exactly the exact_touches count.
+    let refined = candidates
+        .iter()
+        .filter(|(ia, ib)| {
+            let axon: &Cylinder = &tissue.axon_cylinders[*ia as usize];
+            axon.touches(&tissue.dendrite_cylinders[*ib as usize], eps)
+        })
+        .count();
+    assert_eq!(refined, exact_touches);
+}
