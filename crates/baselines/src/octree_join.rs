@@ -87,14 +87,19 @@ impl SpatialJoinAlgorithm for OctreeJoin {
                 scratch_a.extend(ids_a.iter().map(|&id| *a.get(id)));
                 scratch_b.extend(candidates_b.iter().map(|&id| *b.get(id)));
                 peak_scratch = peak_scratch.max(vec_bytes(&scratch_a) + vec_bytes(&scratch_b));
-                kernels::plane_sweep(&mut scratch_a, &mut scratch_b, &mut counters, &mut |ia, ib| {
-                    let rp = a.get(ia).mbr.intersection_reference_point(&b.get(ib).mbr);
-                    if tree_a.owns_point(region, &rp) {
-                        sink.push(ia, ib);
-                    } else {
-                        suppressed += 1;
-                    }
-                });
+                kernels::plane_sweep(
+                    &mut scratch_a,
+                    &mut scratch_b,
+                    &mut counters,
+                    &mut |ia, ib| {
+                        let rp = a.get(ia).mbr.intersection_reference_point(&b.get(ib).mbr);
+                        if tree_a.owns_point(region, &rp) {
+                            sink.push(ia, ib);
+                        } else {
+                            suppressed += 1;
+                        }
+                    },
+                );
             });
         });
         counters.duplicates_suppressed += suppressed;

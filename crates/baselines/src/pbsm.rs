@@ -98,16 +98,21 @@ impl SpatialJoinAlgorithm for PbsmJoin {
                 scratch_a.extend(ids_a.iter().map(|&id| *a.get(id)));
                 scratch_b.extend(ids_b.iter().map(|&id| *b.get(id)));
                 peak_scratch = peak_scratch.max(vec_bytes(&scratch_a) + vec_bytes(&scratch_b));
-                kernels::plane_sweep(&mut scratch_a, &mut scratch_b, &mut counters, &mut |ia, ib| {
-                    // A pair replicated into several cells is reported only from the
-                    // cell containing the lower corner of its MBR intersection.
-                    let ref_point = a.get(ia).mbr.intersection_reference_point(&b.get(ib).mbr);
-                    if grid.linear_index(grid.cell_of_point(&ref_point)) == cell {
-                        sink.push(ia, ib);
-                    } else {
-                        suppressed += 1;
-                    }
-                });
+                kernels::plane_sweep(
+                    &mut scratch_a,
+                    &mut scratch_b,
+                    &mut counters,
+                    &mut |ia, ib| {
+                        // A pair replicated into several cells is reported only from the
+                        // cell containing the lower corner of its MBR intersection.
+                        let ref_point = a.get(ia).mbr.intersection_reference_point(&b.get(ib).mbr);
+                        if grid.linear_index(grid.cell_of_point(&ref_point)) == cell {
+                            sink.push(ia, ib);
+                        } else {
+                            suppressed += 1;
+                        }
+                    },
+                );
             }
         });
         counters.duplicates_suppressed += suppressed;

@@ -32,9 +32,8 @@ impl SpatialJoinAlgorithm for PlaneSweepJoin {
         let mut counters = std::mem::take(&mut report.counters);
 
         // Build phase: the sort working copies.
-        let (mut sa, mut sb) = report.timer.time(Phase::Build, || {
-            (a.objects().to_vec(), b.objects().to_vec())
-        });
+        let (mut sa, mut sb) =
+            report.timer.time(Phase::Build, || (a.objects().to_vec(), b.objects().to_vec()));
         report.memory_bytes = vec_bytes(&sa) + vec_bytes(&sb);
 
         report.timer.time(Phase::Join, || {

@@ -108,7 +108,14 @@ impl SpatialJoinAlgorithm for S3Join {
                     let ancestor = hier.ancestor(cell_b, level_a);
                     if let Some(ids_a) = index_a.cell(ancestor) {
                         Self::join_cells(
-                            a, b, ids_a, ids_b, &mut counters, &mut scratch_a, &mut scratch_b, sink,
+                            a,
+                            b,
+                            ids_a,
+                            ids_b,
+                            &mut counters,
+                            &mut scratch_a,
+                            &mut scratch_b,
+                            sink,
                         );
                         peak_scratch =
                             peak_scratch.max(vec_bytes(&scratch_a) + vec_bytes(&scratch_b));
@@ -122,7 +129,14 @@ impl SpatialJoinAlgorithm for S3Join {
                     let ancestor: LevelCell = hier.ancestor(cell_a, level_b);
                     if let Some(ids_b) = index_b.cell(ancestor) {
                         Self::join_cells(
-                            a, b, ids_a, ids_b, &mut counters, &mut scratch_a, &mut scratch_b, sink,
+                            a,
+                            b,
+                            ids_a,
+                            ids_b,
+                            &mut counters,
+                            &mut scratch_a,
+                            &mut scratch_b,
+                            sink,
                         );
                         peak_scratch =
                             peak_scratch.max(vec_bytes(&scratch_a) + vec_bytes(&scratch_b));

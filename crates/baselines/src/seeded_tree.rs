@@ -214,7 +214,10 @@ mod tests {
         let (expected, _) = collect_join(&NestedLoopJoin::new(), &a, &b);
         for (cap, fanout, seeds) in [(4, 2, 4), (16, 4, 8), (64, 2, 64)] {
             let (pairs, _) = collect_join(&SeededTreeJoin::new(cap, fanout, seeds), &a, &b);
-            assert_eq!(pairs, expected, "configuration ({cap},{fanout},{seeds}) changed the result");
+            assert_eq!(
+                pairs, expected,
+                "configuration ({cap},{fanout},{seeds}) changed the result"
+            );
         }
     }
 

@@ -1,0 +1,37 @@
+//! Thread scaling — the `touch-parallel` subsystem against the sequential TOUCH on
+//! Figure 8's uniform workload (A = 10 K, B = 160 K scaled), ε = 10, at 1/2/4/8
+//! worker threads. Speedups saturate at the machine's physical core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use touch_bench::{run_distance_join, synthetic};
+use touch_core::TouchJoin;
+use touch_datagen::SyntheticDistribution;
+use touch_parallel::ParallelTouchJoin;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_threads");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let a = synthetic(10_000, SyntheticDistribution::Uniform, 1);
+    let b = synthetic(160_000, SyntheticDistribution::Uniform, 2);
+
+    let sequential = TouchJoin::default();
+    group.bench_with_input(BenchmarkId::new("TOUCH", "sequential"), &b, |bencher, b| {
+        bencher.iter(|| black_box(run_distance_join(&sequential, &a, b, 10.0)))
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        let parallel = ParallelTouchJoin::with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("TOUCH-P", format!("t{threads}")),
+            &b,
+            |bencher, b| bencher.iter(|| black_box(run_distance_join(&parallel, &a, b, 10.0))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

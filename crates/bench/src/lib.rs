@@ -33,7 +33,12 @@ pub fn synthetic(
 
 /// Runs one ε-distance join in counting mode and returns the number of result pairs
 /// (returned so Criterion cannot optimise the join away).
-pub fn run_distance_join(algo: &dyn SpatialJoinAlgorithm, a: &Dataset, b: &Dataset, eps: f64) -> u64 {
+pub fn run_distance_join(
+    algo: &dyn SpatialJoinAlgorithm,
+    a: &Dataset,
+    b: &Dataset,
+    eps: f64,
+) -> u64 {
     let mut sink = ResultSink::counting();
     let report = distance_join(algo, a, b, eps, &mut sink);
     report.result_pairs()

@@ -83,11 +83,7 @@ pub fn plane_sweep(
 
 fn sort_by_xmin(objs: &mut [SpatialObject]) {
     objs.sort_unstable_by(|p, q| {
-        p.mbr
-            .min
-            .x
-            .partial_cmp(&q.mbr.min.x)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        p.mbr.min.x.partial_cmp(&q.mbr.min.x).unwrap_or(std::cmp::Ordering::Equal)
     });
 }
 

@@ -24,6 +24,13 @@
 //! result collector, the [`distance_join`] ε-translation wrapper and the pairwise
 //! join kernels ([`kernels`]).
 //!
+//! For multi-threaded execution (the `touch-parallel` crate) the tree exposes its
+//! per-phase building blocks — [`TouchTree::from_tiled`],
+//! [`TouchTree::assignment_target`] (read-only), [`TouchTree::extend_assigned`],
+//! [`TouchTree::nodes_with_assignments`] and [`TouchTree::local_join_node`] — and
+//! [`ShardedSink`] provides a lock-free per-worker result collector that merges back
+//! into a [`ResultSink`].
+//!
 //! ## Quick example
 //!
 //! ```
@@ -57,7 +64,7 @@ mod touch;
 mod traits;
 mod tree;
 
-pub use sink::ResultSink;
+pub use sink::{ResultSink, ShardedSink, SinkShard};
 pub use touch::{JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};
 pub use traits::{collect_join, count_join, distance_join, SpatialJoinAlgorithm};
 pub use tree::{LocalJoinKind, TouchNode, TouchTree};

@@ -76,6 +76,110 @@ impl ResultSink {
     }
 }
 
+/// One shard of a [`ShardedSink`]: a private result collector owned by a single
+/// worker thread.
+///
+/// A shard is deliberately *not* shared: each worker pushes into its own shard
+/// without synchronisation, and the shards are merged into one [`ResultSink`] when
+/// the parallel section is over. `SinkShard` mirrors the [`ResultSink`] modes —
+/// counting or collecting — so merging preserves the caller's choice.
+#[derive(Debug, Clone)]
+pub struct SinkShard {
+    collect: bool,
+    count: u64,
+    pairs: Vec<(ObjectId, ObjectId)>,
+}
+
+impl SinkShard {
+    /// Reports one result pair `(a, b)`.
+    #[inline]
+    pub fn push(&mut self, a: ObjectId, b: ObjectId) {
+        self.count += 1;
+        if self.collect {
+            self.pairs.push((a, b));
+        }
+    }
+
+    /// Number of pairs reported into this shard so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The pairs materialised in this shard (empty in counting mode).
+    #[inline]
+    pub fn pairs(&self) -> &[(ObjectId, ObjectId)] {
+        &self.pairs
+    }
+}
+
+/// A thread-safe result collector for parallel joins: one [`SinkShard`] per worker.
+///
+/// [`ResultSink`] is single-threaded by design (`push` takes `&mut self`).
+/// `ShardedSink` is the concurrent counterpart used by `touch-parallel`: it is split
+/// into independent shards handed to worker threads (via [`ShardedSink::shards_mut`]
+/// and `split_at_mut`-style slice borrows, e.g. `iter_mut` inside
+/// [`std::thread::scope`]), then drained back into a regular sink with
+/// [`ShardedSink::merge_into`]. No locks are involved — disjoint `&mut` borrows are
+/// all the synchronisation needed.
+#[derive(Debug, Clone)]
+pub struct ShardedSink {
+    shards: Vec<SinkShard>,
+}
+
+impl ShardedSink {
+    /// A sharded sink whose shards only count result pairs.
+    pub fn counting(shards: usize) -> Self {
+        Self::with_mode(false, shards)
+    }
+
+    /// A sharded sink whose shards count and materialise result pairs.
+    pub fn collecting(shards: usize) -> Self {
+        Self::with_mode(true, shards)
+    }
+
+    /// A sharded sink matching the collection mode of `sink`, so that
+    /// [`ShardedSink::merge_into`] loses nothing the caller asked for.
+    pub fn for_sink(sink: &ResultSink, shards: usize) -> Self {
+        Self::with_mode(sink.is_collecting(), shards)
+    }
+
+    fn with_mode(collect: bool, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded sink needs at least one shard");
+        ShardedSink { shards: vec![SinkShard { collect, count: 0, pairs: Vec::new() }; shards] }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Mutable access to the shards, for handing one to each worker thread.
+    #[inline]
+    pub fn shards_mut(&mut self) -> &mut [SinkShard] {
+        &mut self.shards
+    }
+
+    /// Total number of pairs reported across all shards.
+    pub fn total_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.count).sum()
+    }
+
+    /// Drains every shard into `sink`, in shard order.
+    ///
+    /// Counts always transfer; materialised pairs transfer only if `sink` is
+    /// collecting (matching what [`ResultSink::push`] would have done).
+    pub fn merge_into(self, sink: &mut ResultSink) {
+        for shard in self.shards {
+            sink.count += shard.count;
+            if sink.collect {
+                sink.pairs.extend(shard.pairs);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +214,64 @@ mod tests {
         assert_eq!(s.count(), 0);
         assert!(s.pairs().is_empty());
         assert!(s.is_collecting());
+    }
+
+    #[test]
+    fn sharded_sink_merges_counts_and_pairs() {
+        let mut sink = ResultSink::collecting();
+        let mut sharded = ShardedSink::for_sink(&sink, 3);
+        assert_eq!(sharded.shard_count(), 3);
+        sharded.shards_mut()[0].push(1, 10);
+        sharded.shards_mut()[2].push(2, 20);
+        sharded.shards_mut()[2].push(3, 30);
+        assert_eq!(sharded.total_count(), 3);
+        assert_eq!(sharded.shards_mut()[2].count(), 2);
+        assert_eq!(sharded.shards_mut()[2].pairs(), &[(2, 20), (3, 30)]);
+        sharded.merge_into(&mut sink);
+        assert_eq!(sink.count(), 3);
+        assert_eq!(sink.sorted_pairs(), vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn sharded_sink_counting_mode_does_not_materialise() {
+        let mut sink = ResultSink::counting();
+        let mut sharded = ShardedSink::for_sink(&sink, 2);
+        sharded.shards_mut()[0].push(1, 1);
+        sharded.shards_mut()[1].push(2, 2);
+        sharded.merge_into(&mut sink);
+        assert_eq!(sink.count(), 2);
+        assert!(sink.pairs().is_empty());
+    }
+
+    #[test]
+    fn sharded_sink_merge_preserves_prior_sink_contents() {
+        let mut sink = ResultSink::collecting();
+        sink.push(9, 9);
+        let mut sharded = ShardedSink::collecting(2);
+        sharded.shards_mut()[1].push(5, 5);
+        sharded.merge_into(&mut sink);
+        assert_eq!(sink.count(), 2);
+        assert_eq!(sink.sorted_pairs(), vec![(5, 5), (9, 9)]);
+    }
+
+    #[test]
+    fn shards_can_be_used_from_scoped_threads() {
+        let mut sharded = ShardedSink::collecting(4);
+        std::thread::scope(|scope| {
+            for (i, shard) in sharded.shards_mut().iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for j in 0..10 {
+                        shard.push(i as ObjectId, j);
+                    }
+                });
+            }
+        });
+        assert_eq!(sharded.total_count(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedSink::counting(0);
     }
 }

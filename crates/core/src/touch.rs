@@ -20,7 +20,9 @@ pub enum LocalJoinStrategy {
 }
 
 impl LocalJoinStrategy {
-    fn kind(self) -> LocalJoinKind {
+    /// The tree-level join kind this strategy selects (used by the sequential join
+    /// and by `touch-parallel` when driving [`crate::TouchTree::local_join_node`]).
+    pub fn kind(self) -> LocalJoinKind {
         match self {
             LocalJoinStrategy::Grid => LocalJoinKind::Grid,
             LocalJoinStrategy::PlaneSweep => LocalJoinKind::PlaneSweep,
@@ -93,6 +95,27 @@ pub struct TouchJoin {
     config: TouchConfig,
 }
 
+impl TouchConfig {
+    /// Whether the hierarchy is built on dataset A under this configuration's
+    /// [`JoinOrder`]. Shared by the sequential join and `touch-parallel`, so the two
+    /// can never diverge on the decision.
+    pub fn builds_tree_on_a(&self, a: &Dataset, b: &Dataset) -> bool {
+        match self.join_order {
+            JoinOrder::TreeOnA => true,
+            JoinOrder::TreeOnB => false,
+            JoinOrder::SmallerAsTree => a.len() <= b.len(),
+        }
+    }
+
+    /// The minimum local-join grid cell size for joining `a` and `b`: grid cells
+    /// must stay larger than the average object (Section 5.2.2), measured over both
+    /// inputs. Shared by the sequential join and `touch-parallel`.
+    pub fn min_local_cell_size(&self, a: &Dataset, b: &Dataset) -> f64 {
+        let avg = |ds: &Dataset| (0..3).map(|ax| ds.average_side(ax)).sum::<f64>() / 3.0;
+        avg(a).max(avg(b)) * self.min_cell_factor
+    }
+}
+
 impl TouchJoin {
     /// Creates a TOUCH join with the given configuration.
     pub fn new(config: TouchConfig) -> Self {
@@ -109,14 +132,6 @@ impl TouchJoin {
     pub fn config(&self) -> &TouchConfig {
         &self.config
     }
-
-    fn should_build_on_a(&self, a: &Dataset, b: &Dataset) -> bool {
-        match self.config.join_order {
-            JoinOrder::TreeOnA => true,
-            JoinOrder::TreeOnB => false,
-            JoinOrder::SmallerAsTree => a.len() <= b.len(),
-        }
-    }
 }
 
 impl SpatialJoinAlgorithm for TouchJoin {
@@ -127,7 +142,7 @@ impl SpatialJoinAlgorithm for TouchJoin {
     fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
         let mut report = RunReport::new(self.name(), a.len(), b.len());
         let results_before = sink.count();
-        let build_on_a = self.should_build_on_a(a, b);
+        let build_on_a = self.config.builds_tree_on_a(a, b);
         let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
 
         // Phase 1: build the hierarchy on the tree dataset (Algorithm 2).
@@ -141,13 +156,8 @@ impl SpatialJoinAlgorithm for TouchJoin {
             tree.assign(probe_ds.objects(), &mut counters);
         });
 
-        // Phase 3: local joins (Algorithm 4). Grid cells must stay larger than the
-        // average object (Section 5.2.2), measured over both inputs.
-        let avg_side = {
-            let avg = |ds: &Dataset| (0..3).map(|ax| ds.average_side(ax)).sum::<f64>() / 3.0;
-            avg(a).max(avg(b))
-        };
-        let min_cell = avg_side * self.config.min_cell_factor;
+        // Phase 3: local joins (Algorithm 4).
+        let min_cell = self.config.min_local_cell_size(a, b);
         let peak_local_aux = report.timer.time(Phase::Join, || {
             tree.join_assigned(
                 self.config.local_join.kind(),
@@ -246,11 +256,9 @@ mod tests {
         let a = lattice(4, 1.2, 1.0, 0.0);
         let b = lattice(5, 1.0, 0.7, 0.2);
         let expected = brute_pairs(&a, &b);
-        for strategy in [
-            LocalJoinStrategy::Grid,
-            LocalJoinStrategy::PlaneSweep,
-            LocalJoinStrategy::AllPairs,
-        ] {
+        for strategy in
+            [LocalJoinStrategy::Grid, LocalJoinStrategy::PlaneSweep, LocalJoinStrategy::AllPairs]
+        {
             let algo =
                 TouchJoin::new(TouchConfig { local_join: strategy, ..TouchConfig::default() });
             let (pairs, _) = collect_join(&algo, &a, &b);

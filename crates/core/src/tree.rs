@@ -89,6 +89,19 @@ pub struct TouchTree {
 }
 
 impl TouchTree {
+    /// The STR bucket (leaf) capacity for `len` objects split into `partitions`
+    /// buckets. The single source of the chunking that [`TouchTree::build`],
+    /// [`TouchTree::from_tiled`] and the parallel sort in `touch-parallel` must all
+    /// agree on.
+    ///
+    /// # Panics
+    /// Panics if `partitions` is zero.
+    #[inline]
+    pub fn leaf_capacity(len: usize, partitions: usize) -> usize {
+        assert!(partitions > 0, "partitions must be positive");
+        len.div_ceil(partitions).max(1)
+    }
+
     /// Builds the hierarchy over dataset A (Algorithm 2).
     ///
     /// * `partitions` — the number of STR buckets (leaves); the paper uses 1024.
@@ -97,9 +110,34 @@ impl TouchTree {
     /// # Panics
     /// Panics if `partitions` is zero or `fanout < 2`.
     pub fn build(a_objects: &[SpatialObject], partitions: usize, fanout: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2"); // fail before the O(n log n) sort
+        let mut a_items = a_objects.to_vec();
+        if !a_items.is_empty() {
+            let cap = Self::leaf_capacity(a_items.len(), partitions);
+            str_sort(&mut a_items, |o| o.mbr.center(), cap);
+        }
+        Self::from_tiled(a_items, partitions, fanout)
+    }
+
+    /// Builds the hierarchy from objects that are **already in STR tile order**.
+    ///
+    /// `a_items` must be ordered so that consecutive chunks of
+    /// [`TouchTree::leaf_capacity`] objects form spatially coherent buckets —
+    /// exactly what [`touch_index::str_sort`] with that capacity produces. This is
+    /// the entry point for `touch-parallel`, which runs the STR sort on multiple
+    /// threads and then hands the tiled objects over; [`TouchTree::build`] is the
+    /// single-threaded sort + this constructor.
+    ///
+    /// Correctness does not depend on *how good* the tiling is (any permutation
+    /// yields a correct join — Theorem 1 only needs the leaves to partition A); the
+    /// tiling quality only affects how much work the assignment and join phases can
+    /// prune.
+    ///
+    /// # Panics
+    /// Panics if `partitions` is zero or `fanout < 2`.
+    pub fn from_tiled(a_items: Vec<SpatialObject>, partitions: usize, fanout: usize) -> Self {
         assert!(partitions > 0, "partitions must be positive");
         assert!(fanout >= 2, "fanout must be at least 2");
-        let mut a_items = a_objects.to_vec();
         let mut nodes = Vec::new();
         let mut levels = Vec::new();
 
@@ -107,9 +145,8 @@ impl TouchTree {
             return TouchTree { a_items, nodes, levels, partitions, fanout };
         }
 
-        // Leaf level: STR buckets of dataset A.
-        let leaf_capacity = a_items.len().div_ceil(partitions).max(1);
-        str_sort(&mut a_items, |o| o.mbr.center(), leaf_capacity);
+        // Leaf level: one node per STR bucket.
+        let leaf_capacity = Self::leaf_capacity(a_items.len(), partitions);
         let mut start = 0;
         while start < a_items.len() {
             let end = (start + leaf_capacity).min(a_items.len());
@@ -137,8 +174,7 @@ impl TouchTree {
                 let child_end = (child + fanout).min(prev.end);
                 let mbr = Aabb::union_all(nodes[child..child_end].iter().map(|n| n.mbr))
                     .expect("non-empty inner node");
-                let a_range =
-                    nodes[child].a_range.start..nodes[child_end - 1].a_range.end;
+                let a_range = nodes[child].a_range.start..nodes[child_end - 1].a_range.end;
                 nodes.push(TouchNode {
                     mbr,
                     level,
@@ -256,7 +292,7 @@ impl TouchTree {
                 }
             }
             match (overlapping, multiple) {
-                (None, _) => return None,            // overlaps no child: filtered
+                (None, _) => return None,                // overlaps no child: filtered
                 (Some(_), true) => return Some(current), // overlaps several: stay here
                 (Some(child), false) => current = child, // overlaps exactly one: descend
             }
@@ -274,11 +310,44 @@ impl TouchTree {
         }
     }
 
+    /// Attaches pre-computed assignments to the tree: every `(node_index, object)`
+    /// pair is stored at that node, in iteration order.
+    ///
+    /// This is the write half of the two-step parallel assignment used by
+    /// `touch-parallel`: worker threads compute targets concurrently with the
+    /// read-only [`TouchTree::assignment_target`], and the coordinator applies the
+    /// collected batches with this method. It is equivalent to what
+    /// [`TouchTree::assign`] does for the non-filtered objects.
+    ///
+    /// # Panics
+    /// Panics if a node index is out of range.
+    pub fn extend_assigned(
+        &mut self,
+        assignments: impl IntoIterator<Item = (usize, SpatialObject)>,
+    ) {
+        for (node, obj) in assignments {
+            self.nodes[node].b_items.push(obj);
+        }
+    }
+
     /// Removes all assigned B-objects (so the tree can be reused for another join).
     pub fn clear_assignment(&mut self) {
         for node in &mut self.nodes {
             node.b_items.clear();
         }
+    }
+
+    /// Indices of the nodes the join phase has to visit: nodes holding at least one
+    /// B-object over a non-empty A-subtree. These are the independent work units a
+    /// parallel scheduler distributes; joining them in any order, each exactly once,
+    /// produces the same result set as [`TouchTree::join_assigned`].
+    pub fn nodes_with_assignments(&self) -> Vec<usize> {
+        self.node_indices()
+            .filter(|&idx| {
+                let node = &self.nodes[idx];
+                !node.b_items.is_empty() && node.a_count() > 0
+            })
+            .collect()
     }
 
     /// Runs the join phase (Algorithm 4) over every node holding B-objects, emitting
@@ -297,12 +366,9 @@ impl TouchTree {
         emit: &mut impl FnMut(ObjectId, ObjectId),
     ) -> usize {
         let mut peak_aux = 0usize;
-        for idx in 0..self.nodes.len() {
-            let node = &self.nodes[idx];
-            if node.b_items.is_empty() || node.a_count() == 0 {
-                continue;
-            }
-            let aux = self.local_join_node(idx, kind, grid_cells_per_dim, min_cell_size, counters, emit);
+        for idx in self.nodes_with_assignments() {
+            let aux =
+                self.local_join_node(idx, kind, grid_cells_per_dim, min_cell_size, counters, emit);
             peak_aux = peak_aux.max(aux);
         }
         peak_aux
@@ -426,7 +492,8 @@ mod tests {
         for x in 0..side {
             for y in 0..side {
                 for z in 0..side {
-                    let min = Point3::new(x as f64 * spacing, y as f64 * spacing, z as f64 * spacing);
+                    let min =
+                        Point3::new(x as f64 * spacing, y as f64 * spacing, z as f64 * spacing);
                     ds.push_mbr(Aabb::new(min, min + Point3::splat(box_side)));
                 }
             }
@@ -638,5 +705,99 @@ mod tests {
     fn fanout_one_rejected() {
         let a = lattice(2, 2.0, 1.0);
         let _ = TouchTree::build(a.objects(), 4, 1);
+    }
+
+    #[test]
+    fn from_tiled_matches_build_when_given_sorted_input() {
+        let a = lattice(4, 2.0, 1.0);
+        let built = TouchTree::build(a.objects(), 8, 2);
+        // Feed build's own tile order back through from_tiled: identical structure.
+        let tiled = TouchTree::from_tiled(built.a_objects().to_vec(), 8, 2);
+        assert_eq!(built.node_count(), tiled.node_count());
+        assert_eq!(built.height(), tiled.height());
+        for idx in built.node_indices() {
+            assert_eq!(built.node(idx).mbr, tiled.node(idx).mbr);
+            assert_eq!(built.node(idx).a_count(), tiled.node(idx).a_count());
+        }
+    }
+
+    #[test]
+    fn from_tiled_is_correct_even_for_unsorted_input() {
+        // Tiling quality affects pruning, never correctness: a deliberately
+        // scrambled object order must still produce the full result set.
+        let a = lattice(4, 1.5, 1.0);
+        let b = lattice(5, 1.2, 0.8);
+        let mut scrambled = a.objects().to_vec();
+        scrambled.sort_by_key(|o| (o.id as usize).wrapping_mul(2654435761) % 1024);
+        let mut tree = TouchTree::from_tiled(scrambled, 8, 2);
+        let mut counters = Counters::new();
+        tree.assign(b.objects(), &mut counters);
+        let mut pairs = Vec::new();
+        tree.join_assigned(LocalJoinKind::Grid, 10, 0.5, &mut counters, &mut |x, y| {
+            pairs.push((x, y))
+        });
+        pairs.sort_unstable();
+        assert_eq!(pairs, brute_pairs(&a, &b));
+    }
+
+    #[test]
+    fn extend_assigned_matches_assign() {
+        let a = lattice(4, 2.0, 1.0);
+        let b = lattice(4, 1.7, 0.9);
+        let mut counters = Counters::new();
+
+        let mut direct = TouchTree::build(a.objects(), 8, 2);
+        direct.assign(b.objects(), &mut counters);
+
+        // Two-step form: compute targets read-only, then apply in one batch.
+        let mut two_step = TouchTree::build(a.objects(), 8, 2);
+        let mut batch = Vec::new();
+        let mut c2 = Counters::new();
+        for obj in b.iter() {
+            if let Some(node) = two_step.assignment_target(&obj.mbr, &mut c2) {
+                batch.push((node, *obj));
+            }
+        }
+        two_step.extend_assigned(batch);
+
+        assert_eq!(direct.assigned_b_count(), two_step.assigned_b_count());
+        for idx in direct.node_indices() {
+            assert_eq!(
+                direct.node(idx).assigned_b().len(),
+                two_step.node(idx).assigned_b().len(),
+                "node {idx} differs between assign and extend_assigned"
+            );
+        }
+    }
+
+    #[test]
+    fn nodes_with_assignments_lists_exactly_the_join_work() {
+        let a = lattice(4, 2.0, 1.0);
+        let mut tree = TouchTree::build(a.objects(), 8, 2);
+        let mut counters = Counters::new();
+        assert!(tree.nodes_with_assignments().is_empty(), "no work before assignment");
+        let b = lattice(4, 1.7, 0.9);
+        tree.assign(b.objects(), &mut counters);
+        let work = tree.nodes_with_assignments();
+        assert!(!work.is_empty());
+        for idx in tree.node_indices() {
+            let node = tree.node(idx);
+            let expected = !node.assigned_b().is_empty() && node.a_count() > 0;
+            assert_eq!(work.contains(&idx), expected, "node {idx}");
+        }
+        // Joining exactly these nodes gives the same pairs as join_assigned.
+        let mut via_list = Vec::new();
+        for idx in &work {
+            tree.local_join_node(*idx, LocalJoinKind::Grid, 10, 0.5, &mut counters, &mut |x, y| {
+                via_list.push((x, y))
+            });
+        }
+        let mut via_all = Vec::new();
+        tree.join_assigned(LocalJoinKind::Grid, 10, 0.5, &mut counters, &mut |x, y| {
+            via_all.push((x, y))
+        });
+        via_list.sort_unstable();
+        via_all.sort_unstable();
+        assert_eq!(via_list, via_all);
     }
 }

@@ -8,6 +8,7 @@
 //!   * as a *Gaussian* (μ = 500, σ = 250 per axis), or
 //!   * *clustered* (up to 100 uniformly placed cluster centres, objects scattered
 //!     around them with σ = 220),
+//!
 //!   in sizes from 10 K to 9.6 M objects.
 //! * A **neuroscience** dataset: a rat-brain model subset with 644 K axon cylinders
 //!   (dataset A) and 1.285 M dendrite cylinders (dataset B) inside a 285 µm³ volume.

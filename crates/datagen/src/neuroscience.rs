@@ -92,7 +92,12 @@ impl NeuroscienceSpec {
             self.generate_branch_set(&mut rng, BranchKind::Dendrite, self.dendrite_cylinders);
         let axons = Dataset::from_mbrs(axon_cyls.iter().map(Cylinder::mbr));
         let dendrites = Dataset::from_mbrs(dendrite_cyls.iter().map(Cylinder::mbr));
-        NeuroscienceDatasets { axons, dendrites, axon_cylinders: axon_cyls, dendrite_cylinders: dendrite_cyls }
+        NeuroscienceDatasets {
+            axons,
+            dendrites,
+            axon_cylinders: axon_cyls,
+            dendrite_cylinders: dendrite_cyls,
+        }
     }
 
     fn generate_branch_set(
@@ -135,7 +140,8 @@ impl NeuroscienceSpec {
                 }
                 let mut pos = soma;
                 let mut dir = rng.unit_vector();
-                let segments = (self.segments_per_branch / 2).max(1) + rng.index(self.segments_per_branch.max(1));
+                let segments = (self.segments_per_branch / 2).max(1)
+                    + rng.index(self.segments_per_branch.max(1));
                 for _ in 0..segments {
                     if cylinders.len() >= count {
                         break;
@@ -242,11 +248,8 @@ mod tests {
         let data = spec.generate(11);
         let centre = Point3::splat(spec.volume_side * 0.5);
         let core = Aabb::from_center_extent(centre, Point3::splat(spec.volume_side * 0.5));
-        let in_core = data
-            .dendrites
-            .iter()
-            .filter(|o| core.contains_point(&o.mbr.center()))
-            .count() as f64;
+        let in_core =
+            data.dendrites.iter().filter(|o| core.contains_point(&o.mbr.center())).count() as f64;
         let frac = in_core / data.dendrites.len() as f64;
         // The core box occupies 12.5 % of the volume; for the dense-core /
         // sparse-periphery structure the paper's filtering relies on, its object

@@ -65,11 +65,7 @@ impl SeededRng {
     /// A uniform point on the unit sphere (used for random branch directions).
     pub fn unit_vector(&mut self) -> [f64; 3] {
         loop {
-            let v = [
-                self.uniform(-1.0, 1.0),
-                self.uniform(-1.0, 1.0),
-                self.uniform(-1.0, 1.0),
-            ];
+            let v = [self.uniform(-1.0, 1.0), self.uniform(-1.0, 1.0), self.uniform(-1.0, 1.0)];
             let n2 = v[0] * v[0] + v[1] * v[1] + v[2] * v[2];
             if n2 > 1e-9 && n2 <= 1.0 {
                 let n = n2.sqrt();

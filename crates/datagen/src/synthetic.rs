@@ -129,11 +129,9 @@ impl SyntheticSpec {
         let size = self.space.size;
         let clamp = |v: f64| v.clamp(0.0, size);
         match self.distribution {
-            SyntheticDistribution::Uniform => Point3::new(
-                rng.uniform(0.0, size),
-                rng.uniform(0.0, size),
-                rng.uniform(0.0, size),
-            ),
+            SyntheticDistribution::Uniform => {
+                Point3::new(rng.uniform(0.0, size), rng.uniform(0.0, size), rng.uniform(0.0, size))
+            }
             SyntheticDistribution::Gaussian { mean, std_dev } => Point3::new(
                 clamp(rng.normal(mean, std_dev)),
                 clamp(rng.normal(mean, std_dev)),
@@ -201,7 +199,8 @@ mod tests {
         let uni = SyntheticSpec::new(n, SyntheticDistribution::Uniform).generate(3);
         let gau = SyntheticSpec::new(n, SyntheticDistribution::paper_gaussian()).generate(3);
         let central = Aabb::new(Point3::splat(350.0), Point3::splat(650.0));
-        let count = |ds: &Dataset| ds.iter().filter(|o| central.contains_point(&o.mbr.center())).count();
+        let count =
+            |ds: &Dataset| ds.iter().filter(|o| central.contains_point(&o.mbr.center())).count();
         assert!(
             count(&gau) > count(&uni),
             "gaussian should concentrate mass near the centre ({} vs {})",

@@ -1,0 +1,14 @@
+//! Runs the thread-scaling experiment (parallel TOUCH at 1/2/4/8 threads vs. the
+//! sequential baseline). Usage:
+//! `cargo run -p touch-experiments --release --bin scaling -- [--scale 0.01] [--out results]`
+
+fn main() {
+    let ctx = match touch_experiments::Context::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    touch_experiments::scaling::run(&ctx).finish(&ctx);
+}

@@ -63,9 +63,8 @@ impl Context {
             };
             match args[i].as_str() {
                 "--scale" => {
-                    ctx.scale = take_value(i)?
-                        .parse()
-                        .map_err(|e| format!("invalid --scale: {e}"))?;
+                    ctx.scale =
+                        take_value(i)?.parse().map_err(|e| format!("invalid --scale: {e}"))?;
                     i += 2;
                 }
                 "--out" => {

@@ -25,7 +25,8 @@ pub fn run(ctx: &Context) -> ExperimentTable {
         for algo in &suite {
             let mut sink = ResultSink::counting();
             let report = distance_join(algo.as_ref(), &data.axons, &data.dendrites, eps, &mut sink);
-            let filtered_pct = 100.0 * report.counters.filtered as f64 / data.dendrites.len() as f64;
+            let filtered_pct =
+                100.0 * report.counters.filtered as f64 / data.dendrites.len() as f64;
             table.push(Row::new(
                 vec![("eps", format!("{eps}")), ("filtered_pct", format!("{filtered_pct:.2}"))],
                 report,

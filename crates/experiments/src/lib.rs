@@ -15,6 +15,7 @@
 //! | [`figure15`] | Figure 15 — neuroscience density scaling |
 //! | [`figure16`] | Figure 16 — neuroscience datasets, time / comparisons / memory |
 //! | [`ablation`] | beyond the paper: TOUCH local-join strategy and join order |
+//! | [`scaling`] | beyond the paper: `touch-parallel` thread scaling at 1/2/4/8 threads |
 //!
 //! ## Scaling
 //!
@@ -43,6 +44,7 @@ pub mod figure16;
 pub mod figure8;
 pub mod figure9_11;
 pub mod loading;
+pub mod scaling;
 mod suite;
 mod table;
 pub mod table1;
@@ -68,5 +70,6 @@ pub fn run_all(ctx: &Context) -> Vec<ExperimentTable> {
         figure15::run(ctx),
         figure16::run(ctx),
         ablation::run(ctx),
+        scaling::run(ctx),
     ]
 }

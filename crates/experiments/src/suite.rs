@@ -27,9 +27,10 @@ fn scaled_pbsms(scale: f64) -> (PbsmJoin, PbsmJoin) {
 
 /// TOUCH with its local-join grid resolution scaled for `scale`.
 fn scaled_touch(scale: f64) -> TouchJoin {
-    let mut config = touch_core::TouchConfig::default();
-    config.local_cells_per_dim = scaled_resolution(500, scale);
-    TouchJoin::new(config)
+    TouchJoin::new(touch_core::TouchConfig {
+        local_cells_per_dim: scaled_resolution(500, scale),
+        ..Default::default()
+    })
 }
 
 /// The paper's full suite (Figure 8): NL, PS, PBSM-500, PBSM-100, S3, INL, RTree and

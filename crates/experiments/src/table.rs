@@ -19,10 +19,7 @@ pub struct Row {
 impl Row {
     /// Creates a row from labels (`(column, value)` pairs) and a report.
     pub fn new(labels: Vec<(&str, String)>, report: RunReport) -> Self {
-        Row {
-            labels: labels.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-            report,
-        }
+        Row { labels: labels.into_iter().map(|(k, v)| (k.to_string(), v)).collect(), report }
     }
 }
 
@@ -79,8 +76,11 @@ impl ExperimentTable {
     /// comparisons, execution time, memory, plus results/filtered).
     pub fn to_markdown(&self) -> String {
         let mut out = format!("### {}\n\n", self.title);
-        let label_header: Vec<String> =
-            self.rows.first().map(|r| r.labels.iter().map(|(k, _)| k.clone()).collect()).unwrap_or_default();
+        let label_header: Vec<String> = self
+            .rows
+            .first()
+            .map(|r| r.labels.iter().map(|(k, _)| k.clone()).collect())
+            .unwrap_or_default();
         let mut header: Vec<String> = label_header.clone();
         header.extend(
             ["algorithm", "comparisons", "results", "filtered", "memory", "time"]

@@ -18,10 +18,8 @@ pub const EPSILONS: [f64; 2] = [5.0, 10.0];
 
 /// Runs the selectivity measurement and returns one row per (dataset, ε).
 pub fn run(ctx: &Context) -> ExperimentTable {
-    let mut table = ExperimentTable::new(
-        "table1_selectivity",
-        "Table 1: selectivity of the datasets (x 1e-6)",
-    );
+    let mut table =
+        ExperimentTable::new("table1_selectivity", "Table 1: selectivity of the datasets (x 1e-6)");
     let touch = TouchJoin::default();
 
     // Synthetic datasets.

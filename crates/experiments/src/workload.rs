@@ -22,7 +22,11 @@ pub fn scaled_length(paper_length: f64, scale: f64) -> f64 {
 }
 
 /// The synthetic-dataset spec for `paper_count` objects of `dist`, scaled for `ctx`.
-pub fn synthetic_spec(ctx: &Context, paper_count: usize, dist: SyntheticDistribution) -> SyntheticSpec {
+pub fn synthetic_spec(
+    ctx: &Context,
+    paper_count: usize,
+    dist: SyntheticDistribution,
+) -> SyntheticSpec {
     let s = ctx.scale;
     let scaled_dist = match dist {
         SyntheticDistribution::Uniform => SyntheticDistribution::Uniform,
@@ -46,7 +50,12 @@ pub fn synthetic_spec(ctx: &Context, paper_count: usize, dist: SyntheticDistribu
 
 /// Generates the synthetic dataset for `paper_count` objects of `dist` with `seed`,
 /// scaled for `ctx`.
-pub fn synthetic(ctx: &Context, paper_count: usize, dist: SyntheticDistribution, seed: u64) -> Dataset {
+pub fn synthetic(
+    ctx: &Context,
+    paper_count: usize,
+    dist: SyntheticDistribution,
+    seed: u64,
+) -> Dataset {
     synthetic_spec(ctx, paper_count, dist).generate(seed)
 }
 

@@ -75,10 +75,7 @@ impl Aabb {
     /// `min = +∞`, `max = −∞`. It intersects nothing and unions to the other operand.
     #[inline]
     pub fn empty() -> Self {
-        Aabb {
-            min: Point3::splat(f64::INFINITY),
-            max: Point3::splat(f64::NEG_INFINITY),
-        }
+        Aabb { min: Point3::splat(f64::INFINITY), max: Point3::splat(f64::NEG_INFINITY) }
     }
 
     /// `true` for boxes produced by [`Aabb::empty`] (or any box with inverted extent).
@@ -184,10 +181,7 @@ impl Aabb {
     /// The smallest box containing both operands.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb {
-            min: self.min.min(other.min),
-            max: self.max.max(other.max),
-        }
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
     }
 
     /// The overlap region of the two boxes, or `None` if they do not intersect.
@@ -196,10 +190,7 @@ impl Aabb {
         if !self.intersects(other) {
             return None;
         }
-        Some(Aabb {
-            min: self.min.max(other.min),
-            max: self.max.min(other.max),
-        })
+        Some(Aabb { min: self.min.max(other.min), max: self.max.min(other.max) })
     }
 
     /// Grows the box in place so that it contains `p`.

@@ -47,10 +47,7 @@ impl Cylinder {
     #[inline]
     pub fn mbr(&self) -> Aabb {
         let r = Point3::splat(self.radius);
-        Aabb {
-            min: self.p0.min(self.p1) - r,
-            max: self.p0.max(self.p1) + r,
-        }
+        Aabb { min: self.p0.min(self.p1) - r, max: self.p0.max(self.p1) + r }
     }
 
     /// Exact minimum distance between the *surfaces* of two capsules
@@ -103,7 +100,8 @@ pub fn segment_segment_distance(p1: Point3, q1: Point3, p2: Point3, q2: Point3) 
         } else {
             let b = d1.dot(d2);
             let denom = a * e - b * b;
-            let mut s_tmp = if denom > EPS { ((b * f - c * e) / denom).clamp(0.0, 1.0) } else { 0.0 };
+            let mut s_tmp =
+                if denom > EPS { ((b * f - c * e) / denom).clamp(0.0, 1.0) } else { 0.0 };
             let mut t_tmp = (b * s_tmp + f) / e;
             if t_tmp < 0.0 {
                 t_tmp = 0.0;
@@ -188,12 +186,8 @@ mod tests {
         // Both degenerate.
         assert!((segment_segment_distance(p, p, q, q) - 5.0).abs() < 1e-9);
         // One degenerate: point vs segment.
-        let d = segment_segment_distance(
-            p,
-            p,
-            Point3::new(0.0, 0.0, 3.0),
-            Point3::new(2.0, 0.0, 3.0),
-        );
+        let d =
+            segment_segment_distance(p, p, Point3::new(0.0, 0.0, 3.0), Point3::new(2.0, 0.0, 3.0));
         assert!((d - 2.0).abs() < 1e-9, "distance from (1,2) to x-axis segment is 2, got {d}");
     }
 

@@ -123,11 +123,8 @@ impl Dataset {
     /// This is the ε-extension step that turns a distance join into an intersection
     /// join (Section 4 of the paper).
     pub fn extended(&self, eps: f64) -> Dataset {
-        let objects = self
-            .objects
-            .iter()
-            .map(|o| SpatialObject::new(o.id, o.mbr.extended(eps)))
-            .collect();
+        let objects =
+            self.objects.iter().map(|o| SpatialObject::new(o.id, o.mbr.extended(eps))).collect();
         Dataset::from_objects(objects)
     }
 

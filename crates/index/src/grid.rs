@@ -49,7 +49,8 @@ impl UniformGrid {
         let sides = [ext.x, ext.y, ext.z];
         let mut cell_size = [0.0; 3];
         for axis in 0..3 {
-            cell_size[axis] = if sides[axis] > 0.0 { sides[axis] / cells[axis] as f64 } else { 0.0 };
+            cell_size[axis] =
+                if sides[axis] > 0.0 { sides[axis] / cells[axis] as f64 } else { 0.0 };
         }
         UniformGrid { extent, cells, cell_size }
     }

@@ -173,10 +173,7 @@ impl HierGridIndex {
 
     /// The object ids in the given cell, if any.
     pub fn cell(&self, cell: LevelCell) -> Option<&[u32]> {
-        self.levels
-            .get(cell.level as usize)
-            .and_then(|m| m.get(&cell.coords))
-            .map(Vec::as_slice)
+        self.levels.get(cell.level as usize).and_then(|m| m.get(&cell.coords)).map(Vec::as_slice)
     }
 
     /// Iterator over all non-empty cells and their object ids.
@@ -331,9 +328,7 @@ mod tests {
             assert!(ids.contains(&o.id));
         }
         // An untouched cell at the finest level is empty.
-        assert!(idx
-            .cell(LevelCell { level: h.levels() - 1, coords: [999, 999, 999] })
-            .is_none());
+        assert!(idx.cell(LevelCell { level: h.levels() - 1, coords: [999, 999, 999] }).is_none());
     }
 
     #[test]

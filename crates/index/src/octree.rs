@@ -164,8 +164,9 @@ impl Octree {
                 continue;
             }
             match node.first_child {
-                Some(first) => stack
-                    .extend((first as usize)..(first as usize + node.child_count as usize)),
+                Some(first) => {
+                    stack.extend((first as usize)..(first as usize + node.child_count as usize))
+                }
                 None => out.extend_from_slice(&node.entries),
             }
         }
@@ -332,12 +333,8 @@ mod tests {
         let ds = Dataset::from_mbrs(
             std::iter::repeat(Aabb::new(Point3::ORIGIN, Point3::splat(1.0))).take(200),
         );
-        let tree = Octree::build(
-            Aabb::new(Point3::ORIGIN, Point3::splat(10.0)),
-            ds.objects(),
-            4,
-            3,
-        );
+        let tree =
+            Octree::build(Aabb::new(Point3::ORIGIN, Point3::splat(10.0)), ds.objects(), 4, 3);
         // Depth 3 means at most 1 + 8 + 64 + 512 nodes.
         assert!(tree.node_count() <= 585);
     }

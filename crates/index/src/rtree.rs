@@ -94,8 +94,8 @@ impl PackedRTree {
         let mut start = 0;
         while start < items.len() {
             let end = (start + leaf_capacity).min(items.len());
-            let mbr = Aabb::union_all(items[start..end].iter().map(|o| o.mbr))
-                .expect("non-empty leaf");
+            let mbr =
+                Aabb::union_all(items[start..end].iter().map(|o| o.mbr)).expect("non-empty leaf");
             nodes.push(RTreeNode {
                 mbr,
                 level: 0,
@@ -376,11 +376,8 @@ mod tests {
             let mut c = Counters::new();
             let mut hits = tree.query_ids(q, &mut c);
             hits.sort_unstable();
-            let mut expected: Vec<u32> = ds
-                .iter()
-                .filter(|o| o.mbr.intersects(q))
-                .map(|o| o.id)
-                .collect();
+            let mut expected: Vec<u32> =
+                ds.iter().filter(|o| o.mbr.intersects(q)).map(|o| o.id).collect();
             expected.sort_unstable();
             assert_eq!(hits, expected);
         }

@@ -38,7 +38,12 @@ pub fn str_partition<T>(
     ranges
 }
 
-fn str_sort_axis<T>(items: &mut [T], center: impl Fn(&T) -> Point3 + Copy, cap: usize, axis: usize) {
+fn str_sort_axis<T>(
+    items: &mut [T],
+    center: impl Fn(&T) -> Point3 + Copy,
+    cap: usize,
+    axis: usize,
+) {
     let n = items.len();
     if n <= cap {
         return;

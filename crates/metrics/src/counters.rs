@@ -120,8 +120,22 @@ mod tests {
 
     #[test]
     fn merge_adds_fieldwise() {
-        let mut a = Counters { comparisons: 1, node_tests: 2, results: 3, filtered: 4, duplicates_suppressed: 5, replicas: 6 };
-        let b = Counters { comparisons: 10, node_tests: 20, results: 30, filtered: 40, duplicates_suppressed: 50, replicas: 60 };
+        let mut a = Counters {
+            comparisons: 1,
+            node_tests: 2,
+            results: 3,
+            filtered: 4,
+            duplicates_suppressed: 5,
+            replicas: 6,
+        };
+        let b = Counters {
+            comparisons: 10,
+            node_tests: 20,
+            results: 30,
+            filtered: 40,
+            duplicates_suppressed: 50,
+            replicas: 60,
+        };
         a.merge(&b);
         assert_eq!(a.comparisons, 11);
         assert_eq!(a.node_tests, 22);

@@ -24,6 +24,9 @@ pub struct RunReport {
     pub timer: PhaseTimer,
     /// Analytic memory footprint of the algorithm's auxiliary structures, in bytes.
     pub memory_bytes: usize,
+    /// Number of worker threads the join ran with (1 for every sequential
+    /// algorithm; `touch-parallel` reports its resolved thread count).
+    pub threads: usize,
 }
 
 impl RunReport {
@@ -37,6 +40,7 @@ impl RunReport {
             counters: Counters::new(),
             timer: PhaseTimer::new(),
             memory_bytes: 0,
+            threads: 1,
         }
     }
 
@@ -62,11 +66,12 @@ impl RunReport {
     /// One CSV row with the standard columns (see [`RunReport::csv_header`]).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
+            "{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
             self.algorithm,
             self.dataset_a,
             self.dataset_b,
             self.epsilon,
+            self.threads,
             self.counters.comparisons,
             self.counters.node_tests,
             self.counters.results,
@@ -82,7 +87,7 @@ impl RunReport {
 
     /// The CSV header matching [`RunReport::to_csv_row`].
     pub fn csv_header() -> &'static str {
-        "algorithm,a,b,epsilon,comparisons,node_tests,results,filtered,duplicates_suppressed,memory_bytes,build_s,assignment_s,join_s,total_s"
+        "algorithm,a,b,epsilon,threads,comparisons,node_tests,results,filtered,duplicates_suppressed,memory_bytes,build_s,assignment_s,join_s,total_s"
     }
 }
 
@@ -133,7 +138,16 @@ mod tests {
         let header_cols = RunReport::csv_header().split(',').count();
         let row_cols = r.to_csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
-        assert!(r.to_csv_row().starts_with("TOUCH,10,20,5,123"));
+        assert!(r.to_csv_row().starts_with("TOUCH,10,20,5,1,123"));
+    }
+
+    #[test]
+    fn thread_count_defaults_to_one_and_is_reported() {
+        let mut r = RunReport::new("TOUCH-P", 10, 20);
+        assert_eq!(r.threads, 1);
+        r.threads = 8;
+        assert!(r.to_csv_row().starts_with("TOUCH-P,10,20,0,8,"));
+        assert!(RunReport::csv_header().contains(",threads,"));
     }
 
     #[test]

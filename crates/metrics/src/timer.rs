@@ -83,11 +83,30 @@ impl PhaseTimer {
         self.build + self.assignment + self.join
     }
 
-    /// Merges another timer into this one.
+    /// Merges another timer into this one by **summing** each phase.
+    ///
+    /// Correct for aggregating *sequential* runs (e.g. several joins of one
+    /// experiment). For *concurrent* per-thread timers this over-counts — phases
+    /// that ran simultaneously would be added up into more than the elapsed wall
+    /// clock; use [`PhaseTimer::max_merge`] there instead.
     pub fn merge(&mut self, other: &PhaseTimer) {
         self.build += other.build;
         self.assignment += other.assignment;
         self.join += other.join;
+    }
+
+    /// Merges another timer into this one by taking the per-phase **maximum**.
+    ///
+    /// This is the correct combination for timers recorded on concurrently running
+    /// worker threads: a parallel phase is over when its *slowest* worker finishes,
+    /// so the wall-clock time of the phase is the maximum — not the sum — of the
+    /// per-worker times. (The `touch-parallel` coordinator prefers timing each phase
+    /// around its fork/join point, which measures wall clock directly; `max_merge`
+    /// covers the cases where only per-worker timers are available.)
+    pub fn max_merge(&mut self, other: &PhaseTimer) {
+        self.build = self.build.max(other.build);
+        self.assignment = self.assignment.max(other.assignment);
+        self.join = self.join.max(other.join);
     }
 }
 
@@ -114,6 +133,20 @@ mod tests {
         assert!(t.get(Phase::Join) >= Duration::from_millis(1));
         assert_eq!(t.get(Phase::Build), Duration::ZERO);
         assert_eq!(t.total(), t.get(Phase::Join));
+    }
+
+    #[test]
+    fn max_merge_takes_per_phase_maximum() {
+        let mut a = PhaseTimer::new();
+        a.add(Phase::Build, Duration::from_millis(10));
+        a.add(Phase::Join, Duration::from_millis(2));
+        let mut b = PhaseTimer::new();
+        b.add(Phase::Build, Duration::from_millis(4));
+        b.add(Phase::Join, Duration::from_millis(8));
+        a.max_merge(&b);
+        assert_eq!(a.get(Phase::Build), Duration::from_millis(10));
+        assert_eq!(a.get(Phase::Join), Duration::from_millis(8));
+        assert_eq!(a.get(Phase::Assignment), Duration::ZERO);
     }
 
     #[test]

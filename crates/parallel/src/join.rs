@@ -1,0 +1,420 @@
+//! The parallel TOUCH join: the three phases of Algorithm 1 executed on a thread
+//! pool, with results and counters sharded per worker and merged at the end.
+
+use crate::scheduler::StealQueues;
+use crate::sort::par_str_sort;
+use crate::ParallelConfig;
+use touch_core::{ResultSink, ShardedSink, SpatialJoinAlgorithm, TouchTree};
+use touch_geom::{Dataset, SpatialObject};
+use touch_metrics::{Counters, MemoryUsage, Phase, RunReport};
+
+/// Multi-threaded TOUCH (implements [`SpatialJoinAlgorithm`]).
+///
+/// Algorithmically this is exactly [`touch_core::TouchJoin`] — same hierarchy, same
+/// assignment rule, same local joins — executed on `threads` workers:
+///
+/// 1. **Build**: the STR sort of the tree dataset runs as a parallel stable merge
+///    sort with slab-parallel recursion ([`crate::sort::par_str_sort`]), then the
+///    hierarchy is assembled with [`TouchTree::from_tiled`].
+/// 2. **Assignment**: the probe dataset is cut into [`ParallelConfig::chunk_size`]
+///    chunks; workers claim chunks from work-stealing queues and compute each
+///    object's target node with the read-only [`TouchTree::assignment_target`]; the
+///    coordinator applies the batches in chunk order, reproducing the sequential
+///    assignment exactly.
+/// 3. **Join**: the nodes holding B-objects are sorted by estimated cost
+///    (descending) and distributed over work-stealing deques
+///    ([`crate::scheduler::StealQueues`]); each worker drains nodes through
+///    [`TouchTree::local_join_node`] into its own [`touch_core::SinkShard`] and
+///    [`Counters`], merged when the phase joins.
+///
+/// **Determinism**: because the parallel STR sort is stable and bit-identical to the
+/// sequential sort, the tree, the assignment and every per-node local join are the
+/// same for *every* thread count — the sorted result set **and all counters** equal
+/// the sequential `TouchJoin` run configured with the same
+/// [`touch_core::TouchConfig`]. Only the arrival order of pairs in the sink (and the
+/// wall-clock phase times) vary between runs.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelTouchJoin {
+    config: ParallelConfig,
+}
+
+impl ParallelTouchJoin {
+    /// Creates a parallel TOUCH join with the given configuration.
+    pub fn new(config: ParallelConfig) -> Self {
+        ParallelTouchJoin { config }
+    }
+
+    /// Default algorithmic configuration pinned to an explicit thread count
+    /// (`with_threads(1)` is the sequential algorithm on the pool machinery).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelTouchJoin { config: ParallelConfig::with_threads(threads) }
+    }
+
+    /// The configuration this join runs with.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.config
+    }
+}
+
+impl SpatialJoinAlgorithm for ParallelTouchJoin {
+    fn name(&self) -> String {
+        if self.config.threads > 0 {
+            format!("TOUCH-P{}", self.config.threads)
+        } else {
+            "TOUCH-P".to_string()
+        }
+    }
+
+    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
+        let threads = self.config.effective_threads();
+        let cfg = &self.config.touch;
+        let mut report = RunReport::new(self.name(), a.len(), b.len());
+        report.threads = threads;
+        let results_before = sink.count();
+        let build_on_a = cfg.builds_tree_on_a(a, b);
+        let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
+
+        // Phase 1: parallel STR sort, then hierarchy assembly (Algorithm 2). Each
+        // phase is timed at its fork/join point, so the recorded duration is wall
+        // clock — correct no matter how many workers ran inside.
+        let (mut tree, sort_aux) = report.timer.time(Phase::Build, || {
+            let mut items = tree_ds.objects().to_vec();
+            let mut sort_aux = 0;
+            if !items.is_empty() {
+                let cap = TouchTree::leaf_capacity(items.len(), cfg.partitions);
+                sort_aux = par_str_sort(&mut items, cap, threads, self.config.sort_threshold);
+            }
+            (TouchTree::from_tiled(items, cfg.partitions, cfg.fanout), sort_aux)
+        });
+
+        // Phase 2: chunked parallel assignment (Algorithm 3).
+        let mut counters = std::mem::take(&mut report.counters);
+        let assign_aux = report.timer.time(Phase::Assignment, || {
+            parallel_assign(
+                &mut tree,
+                probe_ds.objects(),
+                self.config.chunk_size.max(1),
+                threads,
+                &mut counters,
+            )
+        });
+
+        // Phase 3: work-stealing local joins (Algorithm 4). Grid sizing comes from
+        // the same shared helper as the sequential join.
+        let min_cell = cfg.min_local_cell_size(a, b);
+        let mut work = tree.nodes_with_assignments();
+        // Descending estimated cost: round-robin seeding then spreads the heavy
+        // nodes across workers, and owner pops and steals both take the largest
+        // remaining task first (LPT).
+        work.sort_by_key(|&idx| {
+            let node = tree.node(idx);
+            std::cmp::Reverse(node.a_count() as u64 * node.assigned_b().len() as u64)
+        });
+        // Never spawn more workers (or shards) than there are nodes to join.
+        let join_workers = threads.min(work.len()).max(1);
+        let mut sharded = ShardedSink::for_sink(sink, join_workers);
+        let aux_bytes = report.timer.time(Phase::Join, || {
+            parallel_join(&tree, work, cfg, min_cell, build_on_a, &mut sharded, &mut counters)
+        });
+        sharded.merge_into(sink);
+
+        counters.results = sink.count() - results_before;
+        report.counters = counters;
+        // Charge the transient buffers of every phase, not just the local joins:
+        // unlike the sequential join, the parallel one buffers sort scratch and
+        // assignment batches, and hiding them would flatter TOUCH-P in the
+        // experiments' memory comparison.
+        report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux + aux_bytes;
+        report
+    }
+}
+
+/// One worker's claim share of the assignment phase: the chunk index and the
+/// `(node, object)` placements computed for it.
+type ChunkBatch = (usize, Vec<(usize, SpatialObject)>);
+
+/// Phase 2: computes assignment targets on `workers` threads (read-only tree
+/// traversals over work-stealing chunk queues), then applies the batches in chunk
+/// order so the per-node B-lists match the sequential [`TouchTree::assign`] exactly.
+/// Returns the bytes of the transient batch buffers (0 on the sequential fallback).
+fn parallel_assign(
+    tree: &mut TouchTree,
+    probe: &[SpatialObject],
+    chunk_size: usize,
+    workers: usize,
+    counters: &mut Counters,
+) -> usize {
+    if probe.is_empty() {
+        return 0;
+    }
+    let chunk_count = probe.len().div_ceil(chunk_size);
+    // Never spawn more workers than there are chunks to claim.
+    let workers = workers.min(chunk_count);
+    if workers <= 1 {
+        tree.assign(probe, counters);
+        return 0;
+    }
+
+    let queues = StealQueues::distribute(0..chunk_count, workers);
+    let tree_ref: &TouchTree = tree;
+    let per_worker: Vec<(Counters, Vec<ChunkBatch>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                scope.spawn(move || {
+                    let mut local = Counters::new();
+                    let mut batches = Vec::new();
+                    while let Some(chunk) = queues.claim(w) {
+                        let lo = chunk * chunk_size;
+                        let hi = (lo + chunk_size).min(probe.len());
+                        let mut assigned = Vec::new();
+                        for obj in &probe[lo..hi] {
+                            match tree_ref.assignment_target(&obj.mbr, &mut local) {
+                                Some(node) => assigned.push((node, *obj)),
+                                None => local.record_filtered(),
+                            }
+                        }
+                        batches.push((chunk, assigned));
+                    }
+                    (local, batches)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("assignment worker panicked")).collect()
+    });
+
+    let mut all_batches = Vec::with_capacity(chunk_count);
+    for (local, batches) in per_worker {
+        counters.merge(&local);
+        all_batches.extend(batches);
+    }
+    // Peak transient footprint of this phase: every placement buffered at once,
+    // just before application.
+    let batch_elem = std::mem::size_of::<(usize, SpatialObject)>();
+    let aux_bytes: usize =
+        all_batches.iter().map(|(_, assigned)| assigned.capacity() * batch_elem).sum();
+    // Apply in chunk order: B-objects land in their nodes in probe-dataset order,
+    // exactly as the sequential assignment would have placed them.
+    all_batches.sort_unstable_by_key(|(chunk, _)| *chunk);
+    for (_, assigned) in all_batches {
+        tree.extend_assigned(assigned);
+    }
+    aux_bytes
+}
+
+/// Phase 3: drains `nodes` (pre-sorted by descending estimated cost) through
+/// per-worker local joins, one worker per shard of `sharded`. Returns the auxiliary
+/// bytes charged to the join phase: the sum over workers of each worker's peak
+/// local-join allocation (concurrent peaks can coexist, unlike the sequential join
+/// which charges only the single largest).
+fn parallel_join(
+    tree: &TouchTree,
+    nodes: Vec<usize>,
+    cfg: &touch_core::TouchConfig,
+    min_cell: f64,
+    build_on_a: bool,
+    sharded: &mut ShardedSink,
+    counters: &mut Counters,
+) -> usize {
+    let queues = StealQueues::distribute(nodes, sharded.shard_count());
+    let kind = cfg.local_join.kind();
+    let cells = cfg.local_cells_per_dim;
+
+    let per_worker: Vec<(Counters, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sharded
+            .shards_mut()
+            .iter_mut()
+            .enumerate()
+            .map(|(w, shard)| {
+                let queues = &queues;
+                scope.spawn(move || {
+                    let mut local = Counters::new();
+                    let mut peak_aux = 0usize;
+                    while let Some(idx) = queues.claim(w) {
+                        let aux = tree.local_join_node(
+                            idx,
+                            kind,
+                            cells,
+                            min_cell,
+                            &mut local,
+                            &mut |tree_id, probe_id| {
+                                if build_on_a {
+                                    shard.push(tree_id, probe_id);
+                                } else {
+                                    shard.push(probe_id, tree_id);
+                                }
+                            },
+                        );
+                        peak_aux = peak_aux.max(aux);
+                    }
+                    (local, peak_aux)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join worker panicked")).collect()
+    });
+
+    let mut aux_bytes = 0usize;
+    for (local, peak) in per_worker {
+        counters.merge(&local);
+        aux_bytes += peak;
+    }
+    aux_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use touch_core::{
+        collect_join, distance_join, JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin,
+    };
+    use touch_geom::{Aabb, Point3};
+
+    fn lattice(side: usize, spacing: f64, box_side: f64, offset: f64) -> Dataset {
+        let mut ds = Dataset::new();
+        for x in 0..side {
+            for y in 0..side {
+                for z in 0..side {
+                    let min = Point3::new(
+                        x as f64 * spacing + offset,
+                        y as f64 * spacing + offset,
+                        z as f64 * spacing + offset,
+                    );
+                    ds.push_mbr(Aabb::new(min, min + Point3::splat(box_side)));
+                }
+            }
+        }
+        ds
+    }
+
+    fn brute_pairs(a: &Dataset, b: &Dataset) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for oa in a.iter() {
+            for ob in b.iter() {
+                if oa.mbr.intersects(&ob.mbr) {
+                    out.push((oa.id, ob.id));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// A config that actually exercises the parallel paths on test-sized inputs.
+    fn busy_config(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads,
+            chunk_size: 16,
+            sort_threshold: 32,
+            touch: TouchConfig { partitions: 16, ..TouchConfig::default() },
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_for_every_thread_count() {
+        let a = lattice(5, 1.5, 1.0, 0.0);
+        let b = lattice(6, 1.3, 0.9, 0.4);
+        let expected = brute_pairs(&a, &b);
+        for threads in [1, 2, 3, 8] {
+            let algo = ParallelTouchJoin::new(busy_config(threads));
+            let (pairs, report) = collect_join(&algo, &a, &b);
+            assert_eq!(pairs, expected, "threads = {threads}");
+            assert_eq!(report.result_pairs(), expected.len() as u64);
+            assert_eq!(report.threads, threads);
+        }
+    }
+
+    #[test]
+    fn is_bit_deterministic_against_the_sequential_join() {
+        let a = lattice(5, 1.4, 1.0, 0.0);
+        let b = lattice(6, 1.1, 0.8, 0.3);
+        let touch_cfg = TouchConfig { partitions: 16, ..TouchConfig::default() };
+        let (seq_pairs, seq_report) = collect_join(&TouchJoin::new(touch_cfg), &a, &b);
+        for threads in [1, 2, 8] {
+            let algo = ParallelTouchJoin::new(ParallelConfig {
+                threads,
+                chunk_size: 16,
+                sort_threshold: 32,
+                touch: touch_cfg,
+            });
+            let (pairs, report) = collect_join(&algo, &a, &b);
+            assert_eq!(pairs, seq_pairs, "threads = {threads}: result set diverged");
+            assert_eq!(
+                report.counters, seq_report.counters,
+                "threads = {threads}: counters diverged from the sequential join"
+            );
+        }
+    }
+
+    #[test]
+    fn all_local_join_strategies_agree() {
+        let a = lattice(4, 1.2, 1.0, 0.0);
+        let b = lattice(5, 1.0, 0.7, 0.2);
+        let expected = brute_pairs(&a, &b);
+        for strategy in
+            [LocalJoinStrategy::Grid, LocalJoinStrategy::PlaneSweep, LocalJoinStrategy::AllPairs]
+        {
+            let mut config = busy_config(4);
+            config.touch.local_join = strategy;
+            let (pairs, _) = collect_join(&ParallelTouchJoin::new(config), &a, &b);
+            assert_eq!(pairs, expected, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn join_order_does_not_change_results_or_orientation() {
+        let a = lattice(4, 1.4, 1.0, 0.0);
+        let b = lattice(6, 1.1, 0.8, 0.3); // larger than a
+        let expected = brute_pairs(&a, &b);
+        for order in [JoinOrder::SmallerAsTree, JoinOrder::TreeOnA, JoinOrder::TreeOnB] {
+            let mut config = busy_config(4);
+            config.touch.join_order = order;
+            let (pairs, _) = collect_join(&ParallelTouchJoin::new(config), &a, &b);
+            assert_eq!(pairs, expected, "join order {order:?}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_results() {
+        let empty = Dataset::new();
+        let b = lattice(3, 2.0, 1.0, 0.0);
+        for threads in [1, 4] {
+            let algo = ParallelTouchJoin::with_threads(threads);
+            let (pairs, report) = collect_join(&algo, &empty, &b);
+            assert!(pairs.is_empty());
+            assert_eq!(report.result_pairs(), 0);
+            let (pairs, report) = collect_join(&algo, &b, &empty);
+            assert!(pairs.is_empty());
+            // With an empty tree every probe object is filtered, like sequentially.
+            assert_eq!(report.counters.filtered, b.len() as u64);
+        }
+    }
+
+    #[test]
+    fn distance_join_translation_works() {
+        let a = lattice(3, 3.0, 1.0, 0.0);
+        let b = lattice(3, 3.0, 1.0, 1.6); // gap of 0.6 between neighbours
+        let algo = ParallelTouchJoin::new(busy_config(4));
+        let mut sink = ResultSink::counting();
+        let miss = distance_join(&algo, &a, &b, 0.3, &mut sink);
+        let mut sink = ResultSink::counting();
+        let hit = distance_join(&algo, &a, &b, 0.8, &mut sink);
+        assert!(hit.result_pairs() > miss.result_pairs());
+        assert_eq!(hit.epsilon, 0.8);
+    }
+
+    #[test]
+    fn phase_times_and_name_are_reported() {
+        let a = lattice(5, 1.5, 1.0, 0.0);
+        let b = lattice(5, 1.5, 1.0, 0.2);
+        let algo = ParallelTouchJoin::with_threads(2);
+        assert_eq!(algo.name(), "TOUCH-P2");
+        assert_eq!(ParallelTouchJoin::default().name(), "TOUCH-P");
+        let mut sink = ResultSink::counting();
+        let report = algo.join(&a, &b, &mut sink);
+        assert!(report.total_time() > std::time::Duration::ZERO);
+        assert_eq!(report.threads, 2);
+        assert!(report.memory_bytes > 0);
+        assert_eq!(report.result_pairs(), sink.count());
+    }
+}

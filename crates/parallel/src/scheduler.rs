@@ -1,0 +1,147 @@
+//! Work-stealing task distribution for the join phase.
+//!
+//! The local joins of TOUCH are independent per-node tasks of wildly varying size
+//! (the root node of a skewed workload can hold orders of magnitude more work than a
+//! leaf), so static splitting would leave threads idle. [`StealQueues`] implements a
+//! work-stealing discipline tuned for *pre-costed* task sets: every worker owns a
+//! deque seeded with a share of the tasks in descending cost order and pops from its
+//! *own front* (largest first — the LPT heuristic); a worker that runs dry steals
+//! from the *front* of a victim's deque, claiming the largest still-unclaimed task
+//! so the biggest jobs start as early as possible and never pile up at the end of
+//! the phase. (Classic Chase–Lev deques steal from the opposite end to reduce
+//! owner/thief contention; with tasks this coarse — whole per-node joins — the
+//! mutex contention is negligible and shortest-makespan ordering wins.)
+//!
+//! Tasks are claimed exactly once and never re-queued, so a worker that finds every
+//! deque empty can terminate: no new work can appear.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Per-worker task deques with stealing.
+///
+/// `T` is the task type — for the join phase a node index, for tests anything
+/// `Send`. The queues are populated once at construction and only ever drained.
+#[derive(Debug)]
+pub struct StealQueues<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> StealQueues<T> {
+    /// Distributes `tasks` round-robin over `workers` deques.
+    ///
+    /// Callers that know task costs should pass the tasks in **descending cost
+    /// order**: round-robin then gives every worker a balanced starter set, and
+    /// both own pops and steals (front-of-deque) pick up the biggest remaining
+    /// tasks first.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn distribute(tasks: impl IntoIterator<Item = T>, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let mut queues: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            queues[i % workers].push_back(task);
+        }
+        StealQueues { queues: queues.into_iter().map(Mutex::new).collect() }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Claims the next task for `worker`: its own deque's front, or — once that is
+    /// empty — the front of the first non-empty victim deque (the victim's largest
+    /// remaining task, given descending-cost seeding). Returns `None` when every
+    /// deque is empty, which is terminal (tasks are never re-queued).
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range or a deque's lock is poisoned (a worker
+    /// panicked; the join is failing anyway).
+    pub fn claim(&self, worker: usize) -> Option<T> {
+        if let Some(task) = self.queues[worker].lock().expect("queue poisoned").pop_front() {
+            return Some(task);
+        }
+        for offset in 1..self.queues.len() {
+            let victim = (worker + offset) % self.queues.len();
+            if let Some(task) = self.queues[victim].lock().expect("queue poisoned").pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn distributes_round_robin() {
+        let q = StealQueues::distribute(0..10, 3);
+        assert_eq!(q.workers(), 3);
+        // Worker 0 owns 0,3,6,9 and pops its own front first.
+        assert_eq!(q.claim(0), Some(0));
+        assert_eq!(q.claim(0), Some(3));
+        assert_eq!(q.claim(1), Some(1));
+    }
+
+    #[test]
+    fn claims_every_task_exactly_once() {
+        let q = StealQueues::distribute(0..100, 4);
+        let mut seen = HashSet::new();
+        // Worker 2 drains everything: own queue first, then steals.
+        while let Some(t) = q.claim(2) {
+            assert!(seen.insert(t), "task {t} claimed twice");
+        }
+        assert_eq!(seen.len(), 100);
+        for w in 0..4 {
+            assert_eq!(q.claim(w), None, "drained queues must stay empty");
+        }
+    }
+
+    #[test]
+    fn steals_the_victims_largest_remaining_task() {
+        // Tasks arrive in descending cost order, so lower value = costlier task.
+        let q = StealQueues::distribute(0..8, 2);
+        // Worker 1 owns 1,3,5,7. Drain it, then it steals worker 0's *front* (0),
+        // the costliest task worker 0 has not started yet.
+        for expected in [1, 3, 5, 7] {
+            assert_eq!(q.claim(1), Some(expected));
+        }
+        assert_eq!(q.claim(1), Some(0), "steal must take the victim's largest task");
+        assert_eq!(q.claim(0), Some(2), "owner continues with its next-largest");
+    }
+
+    #[test]
+    fn concurrent_workers_partition_the_tasks() {
+        let n = 10_000;
+        let q = StealQueues::distribute(0..n, 8);
+        let claimed: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|w| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(t) = q.claim(w) {
+                            mine.push(t);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let mut all: Vec<usize> = claimed.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "every task exactly once");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = StealQueues::distribute(0..3, 0);
+    }
+}

@@ -15,11 +15,7 @@ fn main() {
     // |A| = 5 000, |B| = 40 000, eps = 10 (override via the first CLI argument).
     let a = SyntheticSpec::new(5_000, SyntheticDistribution::Uniform).generate(11);
     let b = SyntheticSpec::new(40_000, SyntheticDistribution::Uniform).generate(12);
-    println!(
-        "joining |A| = {} with |B| = {} (uniform, eps = {epsilon})\n",
-        a.len(),
-        b.len()
-    );
+    println!("joining |A| = {} with |B| = {} (uniform, eps = {epsilon})\n", a.len(), b.len());
     println!(
         "{:<12} {:>14} {:>10} {:>12} {:>12}",
         "algorithm", "comparisons", "results", "memory [KB]", "time [ms]"

@@ -9,9 +9,7 @@
 //! cargo run -p touch --release --example geo_proximity
 //! ```
 
-use touch::{
-    collect_join, Aabb, Dataset, Point3, RTreeSyncJoin, SpatialJoinAlgorithm, TouchJoin,
-};
+use touch::{collect_join, Aabb, Dataset, Point3, RTreeSyncJoin, SpatialJoinAlgorithm, TouchJoin};
 
 /// Builds an axis-aligned 2-D footprint (a building, a park, a facility) as a
 /// degenerate 3-D box.

@@ -29,7 +29,8 @@ fn main() {
     // 2. Filtering phase: TOUCH finds all pairs of cylinders whose eps-extended MBRs
     //    intersect. This is exactly what the paper evaluates.
     let mut sink = ResultSink::collecting();
-    let report = distance_join(&TouchJoin::default(), &tissue.axons, &tissue.dendrites, epsilon, &mut sink);
+    let report =
+        distance_join(&TouchJoin::default(), &tissue.axons, &tissue.dendrites, epsilon, &mut sink);
     println!(
         "filtering: {} candidate pairs, {} comparisons, {} dendrites filtered ({:.1}% of B)",
         report.result_pairs(),

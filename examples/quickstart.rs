@@ -6,8 +6,8 @@
 //! ```
 
 use touch::{
-    distance_join, Dataset, ResultSink, SpatialJoinAlgorithm, SyntheticDistribution,
-    SyntheticSpec, TouchJoin,
+    distance_join, Dataset, ResultSink, SpatialJoinAlgorithm, SyntheticDistribution, SyntheticSpec,
+    TouchJoin,
 };
 
 fn main() {

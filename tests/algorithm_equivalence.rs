@@ -9,8 +9,8 @@
 use touch::baselines::{OctreeJoin, SeededTreeJoin};
 use touch::{
     collect_join, distance_join, Dataset, IndexedNestedLoopJoin, NestedLoopJoin, NeuroscienceSpec,
-    PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, ResultSink, S3Join, SpatialJoinAlgorithm,
-    SyntheticDistribution, SyntheticSpec, TouchJoin,
+    ParallelTouchJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, ResultSink, S3Join,
+    SpatialJoinAlgorithm, SyntheticDistribution, SyntheticSpec, TouchJoin,
 };
 
 /// Every algorithm in the workspace, configured for the compact (~120-unit) spaces
@@ -30,6 +30,11 @@ fn full_suite() -> Vec<Box<dyn SpatialJoinAlgorithm>> {
         Box::new(OctreeJoin::with_defaults()),
         Box::new(SeededTreeJoin::paper_comparable()),
         Box::new(TouchJoin::default()),
+        // The multi-threaded subsystem, at several thread counts: it must uphold
+        // Theorem 1 / Lemma 3 exactly like its sequential counterpart.
+        Box::new(ParallelTouchJoin::with_threads(1)),
+        Box::new(ParallelTouchJoin::with_threads(2)),
+        Box::new(ParallelTouchJoin::with_threads(8)),
     ]
 }
 

@@ -1,0 +1,106 @@
+//! Determinism of the `touch-parallel` subsystem: for every thread count the
+//! parallel join must report the **same sorted result set** — and, because its
+//! parallel STR sort is bit-identical to the sequential one, the **same counters** —
+//! as the sequential `TouchJoin`, on every dataset family. Repeated runs with the
+//! same thread count must also agree with each other (no scheduling-dependent
+//! output).
+
+use touch::{
+    collect_join, distance_join, Dataset, NeuroscienceSpec, ParallelConfig, ParallelTouchJoin,
+    ResultSink, SyntheticDistribution, SyntheticSpec, TouchConfig, TouchJoin,
+};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn synthetic(count: usize, dist: SyntheticDistribution, seed: u64) -> Dataset {
+    SyntheticSpec {
+        count,
+        distribution: dist,
+        space: touch::datagen::SpaceConfig { size: 120.0, max_object_side: 1.5 },
+    }
+    .generate(seed)
+}
+
+/// A parallel configuration whose chunking actually splits test-sized workloads.
+fn busy_config(threads: usize) -> ParallelConfig {
+    ParallelConfig { threads, chunk_size: 64, sort_threshold: 128, touch: TouchConfig::default() }
+}
+
+fn assert_deterministic(a: &Dataset, b: &Dataset, eps: f64, context: &str) {
+    let mut sink = ResultSink::collecting();
+    let sequential = distance_join(&TouchJoin::default(), a, b, eps, &mut sink);
+    let expected = sink.sorted_pairs();
+
+    for threads in THREAD_COUNTS {
+        let algo = ParallelTouchJoin::new(busy_config(threads));
+        let mut sink = ResultSink::collecting();
+        let report = distance_join(&algo, a, b, eps, &mut sink);
+        assert_eq!(
+            sink.sorted_pairs(),
+            expected,
+            "{context}: threads = {threads} diverged from the sequential result set"
+        );
+        assert_eq!(
+            report.counters, sequential.counters,
+            "{context}: threads = {threads} diverged from the sequential counters"
+        );
+        assert_eq!(report.threads, threads);
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_on_uniform_data() {
+    let a = synthetic(900, SyntheticDistribution::Uniform, 1);
+    let b = synthetic(1_400, SyntheticDistribution::Uniform, 2);
+    assert_deterministic(&a, &b, 0.0, "uniform");
+    assert_deterministic(&a, &b, 3.0, "uniform");
+}
+
+#[test]
+fn parallel_equals_sequential_on_clustered_data() {
+    let dist = SyntheticDistribution::Clustered { clusters: 12, std_dev: 8.0 };
+    let a = synthetic(800, dist, 5);
+    let b = synthetic(1_200, dist, 6);
+    assert_deterministic(&a, &b, 2.0, "clustered");
+}
+
+#[test]
+fn parallel_equals_sequential_on_neuroscience_data() {
+    let spec = NeuroscienceSpec {
+        axon_cylinders: 700,
+        dendrite_cylinders: 1_400,
+        volume_side: 60.0,
+        ..NeuroscienceSpec::default()
+    };
+    let tissue = spec.generate(7);
+    assert_deterministic(&tissue.axons, &tissue.dendrites, 2.0, "neuroscience");
+}
+
+#[test]
+fn repeated_runs_with_the_same_thread_count_agree() {
+    let a = synthetic(700, SyntheticDistribution::Uniform, 10);
+    let b = synthetic(1_000, SyntheticDistribution::Uniform, 11);
+    for threads in THREAD_COUNTS {
+        let algo = ParallelTouchJoin::new(busy_config(threads));
+        let (first_pairs, first_report) = collect_join(&algo, &a, &b);
+        for _ in 0..2 {
+            let (pairs, report) = collect_join(&algo, &a, &b);
+            assert_eq!(pairs, first_pairs, "threads = {threads}: pairs changed across runs");
+            assert_eq!(
+                report.counters, first_report.counters,
+                "threads = {threads}: counters changed across runs"
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_thread_detection_is_equivalent_too() {
+    let a = synthetic(600, SyntheticDistribution::Uniform, 20);
+    let b = synthetic(900, SyntheticDistribution::Uniform, 21);
+    let (expected, _) = collect_join(&TouchJoin::default(), &a, &b);
+    let auto = ParallelTouchJoin::default(); // threads = 0: auto-detect
+    let (pairs, report) = collect_join(&auto, &a, &b);
+    assert_eq!(pairs, expected);
+    assert!(report.threads >= 1);
+}

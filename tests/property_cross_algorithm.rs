@@ -4,30 +4,22 @@
 //! counters must satisfy its structural invariants.
 
 use proptest::prelude::*;
-use touch::baselines::{
-    IndexedNestedLoopJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, S3Join,
-};
+use touch::baselines::{IndexedNestedLoopJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, S3Join};
 use touch::{
-    distance_join, Aabb, Dataset, JoinOrder, LocalJoinStrategy, NestedLoopJoin, Point3,
-    ResultSink, SpatialJoinAlgorithm, TouchConfig, TouchJoin,
+    distance_join, Aabb, Dataset, JoinOrder, LocalJoinStrategy, NestedLoopJoin, Point3, ResultSink,
+    SpatialJoinAlgorithm, TouchConfig, TouchJoin,
 };
 
 /// An arbitrary box inside a ~100-unit space with sides up to 8 units (occasionally
 /// degenerate), so that random workloads contain both isolated and heavily
 /// overlapping objects.
 fn arb_box() -> impl Strategy<Value = Aabb> {
-    (
-        0.0..100.0f64,
-        0.0..100.0f64,
-        0.0..100.0f64,
-        0.0..8.0f64,
-        0.0..8.0f64,
-        0.0..8.0f64,
-    )
-        .prop_map(|(x, y, z, w, h, d)| {
+    (0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64, 0.0..8.0f64, 0.0..8.0f64, 0.0..8.0f64).prop_map(
+        |(x, y, z, w, h, d)| {
             let min = Point3::new(x, y, z);
             Aabb::new(min, min + Point3::new(w, h, d))
-        })
+        },
+    )
 }
 
 fn arb_dataset(max: usize) -> impl Strategy<Value = Dataset> {

@@ -1,0 +1,216 @@
+//! Offline stub of the `criterion` benchmark harness.
+//!
+//! The workspace is built without crates.io access (see `vendor/README.md`), so the
+//! real criterion cannot be fetched. This stub implements the API surface the
+//! `touch-bench` targets use — `Criterion::benchmark_group`, per-group sample /
+//! warm-up / measurement configuration, `bench_with_input` with [`BenchmarkId`]s and
+//! `Bencher::iter` — with honest wall-clock measurement (warm-up loop, then timed
+//! samples, median/mean/min/max reporting). It performs no statistical regression
+//! analysis and writes no HTML reports; swap in the real criterion by editing the
+//! root `Cargo.toml` when network access is available.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+/// Measurement settings shared by a group (mirrors the criterion knobs we use).
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), settings: Settings::default() }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the sampling time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { settings: self.settings.clone(), stats: None };
+        f(&mut bencher, input);
+        let label = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        match bencher.stats {
+            Some(stats) => println!(
+                "{label}: median {} (mean {}, min {}, max {}, {} samples)",
+                fmt_duration(stats.median),
+                fmt_duration(stats.mean),
+                fmt_duration(stats.min),
+                fmt_duration(stats.max),
+                stats.samples,
+            ),
+            None => println!("{label}: no measurement (Bencher::iter never called)"),
+        }
+    }
+
+    /// Ends the group (stats are printed eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    median: Duration,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+}
+
+/// Runs and times a benchmark routine.
+pub struct Bencher {
+    settings: Settings,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up for the configured duration, then up to
+    /// `sample_size` timed samples within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_up_start = Instant::now();
+        while warm_up_start.elapsed() < self.settings.warm_up_time {
+            std::hint::black_box(routine());
+        }
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        let total: Duration = samples.iter().sum();
+        self.stats = Some(Stats {
+            median: samples[samples.len() / 2],
+            mean: total / samples.len() as u32,
+            min: samples[0],
+            max: *samples.last().expect("at least one sample"),
+            samples: samples.len(),
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Defines a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_stats() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &(), |b, _| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert!(ran >= 3, "routine must run during warm-up and sampling");
+    }
+
+    #[test]
+    fn duration_formatting_is_compact() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.0 µs");
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace is built without crates.io access (see `vendor/README.md`). The
+//! crates only *derive* `Serialize`/`Deserialize` to keep their types ready for real
+//! serde; no code path serializes through the traits. This stub provides the two
+//! marker traits and re-exports the no-op derives so the `#[derive(...)]` attributes
+//! compile unchanged. Swapping in the real serde is a one-line change in the root
+//! `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

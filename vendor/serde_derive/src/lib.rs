@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This workspace is built in environments without access to crates.io, so the real
+//! `serde_derive` cannot be fetched. Nothing in the workspace serializes data through
+//! serde (reports are rendered to CSV/markdown by hand), the derives only exist so
+//! that downstream users of the real serde could plug it in. The stub therefore
+//! expands `#[derive(Serialize, Deserialize)]` to nothing while still accepting
+//! `#[serde(...)]` helper attributes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
