@@ -67,4 +67,4 @@ mod tree;
 pub use sink::{ResultSink, ShardedSink, SinkShard};
 pub use touch::{JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};
 pub use traits::{collect_join, count_join, distance_join, SpatialJoinAlgorithm};
-pub use tree::{LocalJoinKind, TouchNode, TouchTree};
+pub use tree::{LocalJoinKind, LocalJoinParams, TouchNode, TouchTree};

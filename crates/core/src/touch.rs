@@ -74,6 +74,12 @@ pub struct TouchConfig {
     pub local_join: LocalJoinStrategy,
     /// Which dataset the hierarchy is built on.
     pub join_order: JoinOrder,
+    /// Nodes whose subtree holds at most this many A-objects use an all-pairs scan
+    /// instead of building a local-join grid. The cutoff looks only at the A side —
+    /// never at how many B-objects the node holds — so per-node strategy decisions
+    /// are identical whether B is joined in one shot or streamed in epochs (see
+    /// [`crate::LocalJoinParams`]).
+    pub grid_allpairs_max_a: usize,
 }
 
 impl Default for TouchConfig {
@@ -85,6 +91,7 @@ impl Default for TouchConfig {
             min_cell_factor: 2.0,
             local_join: LocalJoinStrategy::Grid,
             join_order: JoinOrder::SmallerAsTree,
+            grid_allpairs_max_a: 8,
         }
     }
 }
@@ -111,8 +118,30 @@ impl TouchConfig {
     /// must stay larger than the average object (Section 5.2.2), measured over both
     /// inputs. Shared by the sequential join and `touch-parallel`.
     pub fn min_local_cell_size(&self, a: &Dataset, b: &Dataset) -> f64 {
-        let avg = |ds: &Dataset| (0..3).map(|ax| ds.average_side(ax)).sum::<f64>() / 3.0;
-        avg(a).max(avg(b)) * self.min_cell_factor
+        self.min_local_cell_size_of(a).max(self.min_local_cell_size_of(b))
+    }
+
+    /// The minimum local-join grid cell size derived from a single dataset. This is
+    /// what `touch-streaming` uses: when B arrives in epochs its global average
+    /// object size is unknown at build time, so the streaming engine sizes its grid
+    /// cells from the tree dataset alone. Equals [`TouchConfig::min_local_cell_size`]
+    /// whenever the tree dataset's objects are at least as large on average as the
+    /// probe dataset's.
+    pub fn min_local_cell_size_of(&self, ds: &Dataset) -> f64 {
+        let avg = (0..3).map(|ax| ds.average_side(ax)).sum::<f64>() / 3.0;
+        avg * self.min_cell_factor
+    }
+
+    /// The [`LocalJoinParams`](crate::LocalJoinParams) this configuration selects for
+    /// the given minimum cell size — the single place the per-node join knobs are
+    /// assembled, shared by the sequential, parallel and streaming execution paths.
+    pub fn local_join_params(&self, min_cell_size: f64) -> crate::LocalJoinParams {
+        crate::LocalJoinParams {
+            kind: self.local_join.kind(),
+            cells_per_dim: self.local_cells_per_dim,
+            min_cell_size,
+            allpairs_max_a: self.grid_allpairs_max_a,
+        }
     }
 }
 
@@ -157,21 +186,15 @@ impl SpatialJoinAlgorithm for TouchJoin {
         });
 
         // Phase 3: local joins (Algorithm 4).
-        let min_cell = self.config.min_local_cell_size(a, b);
+        let params = self.config.local_join_params(self.config.min_local_cell_size(a, b));
         let peak_local_aux = report.timer.time(Phase::Join, || {
-            tree.join_assigned(
-                self.config.local_join.kind(),
-                self.config.local_cells_per_dim,
-                min_cell,
-                &mut counters,
-                &mut |tree_id, probe_id| {
-                    if build_on_a {
-                        sink.push(tree_id, probe_id);
-                    } else {
-                        sink.push(probe_id, tree_id);
-                    }
-                },
-            )
+            tree.join_assigned(&params, &mut counters, &mut |tree_id, probe_id| {
+                if build_on_a {
+                    sink.push(tree_id, probe_id);
+                } else {
+                    sink.push(probe_id, tree_id);
+                }
+            })
         });
 
         counters.results = sink.count() - results_before;
@@ -225,6 +248,7 @@ mod tests {
         assert_eq!(c.local_cells_per_dim, 500);
         assert_eq!(c.local_join, LocalJoinStrategy::Grid);
         assert_eq!(c.join_order, JoinOrder::SmallerAsTree);
+        assert_eq!(c.grid_allpairs_max_a, 8);
         assert_eq!(TouchJoin::default().name(), "TOUCH");
     }
 

@@ -32,6 +32,31 @@ pub enum LocalJoinKind {
     AllPairs,
 }
 
+/// The complete parameterisation of one local join ([`TouchTree::local_join_node`]).
+///
+/// Bundling the knobs keeps every execution path — sequential, parallel and
+/// streaming — on the same decisions. All fields are **independent of the assigned
+/// B-objects**, which is what makes the join phase *decomposable*: joining a node's
+/// B-objects in one pass or split across any number of epochs performs exactly the
+/// same grid construction, comparisons and de-duplication, so results *and counters*
+/// add up identically (the invariant `touch-streaming` relies on).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalJoinParams {
+    /// Local-join strategy.
+    pub kind: LocalJoinKind,
+    /// Target grid cells per dimension for [`LocalJoinKind::Grid`].
+    pub cells_per_dim: usize,
+    /// Minimum grid cell size (Section 5.2.2: cells stay larger than the average
+    /// object).
+    pub min_cell_size: f64,
+    /// Nodes whose subtree holds at most this many A-objects skip the grid and use
+    /// an all-pairs scan — building a grid for a handful of A-objects costs more
+    /// than it prunes. The cutoff deliberately looks only at the A side (fixed at
+    /// build time), never at the B count, so the decision is identical no matter
+    /// how the B stream is batched.
+    pub allpairs_max_a: usize,
+}
+
 /// One node of the TOUCH hierarchy.
 #[derive(Debug, Clone)]
 pub struct TouchNode {
@@ -78,7 +103,7 @@ impl TouchNode {
 /// The TOUCH support structure: a data-oriented hierarchy over dataset A whose inner
 /// (and, degenerately, leaf) nodes additionally hold the assigned objects of
 /// dataset B.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TouchTree {
     a_items: Vec<SpatialObject>,
     nodes: Vec<TouchNode>,
@@ -86,6 +111,40 @@ pub struct TouchTree {
     levels: Vec<Range<usize>>,
     partitions: usize,
     fanout: usize,
+    /// Indices of nodes holding at least one assigned B-object, in first-assignment
+    /// order. Lets [`TouchTree::clear_assignment`] and
+    /// [`TouchTree::nodes_with_assignments`] run in O(touched nodes) instead of
+    /// O(all nodes) — the difference matters when a persistent tree serves many
+    /// small epochs (`touch-streaming`).
+    touched: Vec<u32>,
+    /// Number of B-objects assigned since the last [`TouchTree::clear_assignment`]
+    /// (the O(1) form of [`TouchTree::assigned_b_count`]).
+    assigned_b: u64,
+    /// Heap bytes currently reserved by the per-node B-lists, maintained
+    /// incrementally on every assignment so [`MemoryUsage::memory_bytes`] is O(1)
+    /// instead of an O(all nodes) scan per epoch. `clear_assignment` keeps the
+    /// capacities (deliberately — reuse stops allocating), so this figure survives
+    /// clears, exactly like the memory itself does.
+    b_items_bytes: usize,
+}
+
+impl Clone for TouchTree {
+    fn clone(&self) -> Self {
+        let nodes = self.nodes.clone();
+        // Cloning a Vec does not preserve its capacity, so the clone's reserved
+        // B-list bytes are recomputed from what the clone actually holds.
+        let b_items_bytes = nodes.iter().map(|n| vec_bytes(&n.b_items)).sum();
+        TouchTree {
+            a_items: self.a_items.clone(),
+            nodes,
+            levels: self.levels.clone(),
+            partitions: self.partitions,
+            fanout: self.fanout,
+            touched: self.touched.clone(),
+            assigned_b: self.assigned_b,
+            b_items_bytes,
+        }
+    }
 }
 
 impl TouchTree {
@@ -142,7 +201,16 @@ impl TouchTree {
         let mut levels = Vec::new();
 
         if a_items.is_empty() {
-            return TouchTree { a_items, nodes, levels, partitions, fanout };
+            return TouchTree {
+                a_items,
+                nodes,
+                levels,
+                partitions,
+                fanout,
+                touched: Vec::new(),
+                assigned_b: 0,
+                b_items_bytes: 0,
+            };
         }
 
         // Leaf level: one node per STR bucket.
@@ -189,7 +257,16 @@ impl TouchTree {
             level += 1;
         }
 
-        TouchTree { a_items, nodes, levels, partitions, fanout }
+        TouchTree {
+            a_items,
+            nodes,
+            levels,
+            partitions,
+            fanout,
+            touched: Vec::new(),
+            assigned_b: 0,
+            b_items_bytes: 0,
+        }
     }
 
     /// Number of A-objects indexed by the tree.
@@ -254,9 +331,27 @@ impl TouchTree {
         &self.a_items
     }
 
-    /// Total number of B-objects currently assigned to nodes.
+    /// Total number of B-objects currently assigned to nodes. O(1): the tree keeps
+    /// a running count alongside the per-node lists.
     pub fn assigned_b_count(&self) -> usize {
-        self.nodes.iter().map(|n| n.b_items.len()).sum()
+        self.assigned_b as usize
+    }
+
+    /// Stores one B-object at `node`, maintaining the assignment bookkeeping (the
+    /// touched-node list and the running count). Every assignment path —
+    /// [`TouchTree::assign`] and [`TouchTree::extend_assigned`] — funnels through
+    /// here so the bookkeeping can never drift from the per-node lists.
+    #[inline]
+    fn push_assignment(&mut self, node: usize, obj: SpatialObject) {
+        let items = &mut self.nodes[node].b_items;
+        if items.is_empty() {
+            self.touched.push(node as u32);
+        }
+        let capacity_before = items.capacity();
+        items.push(obj);
+        self.b_items_bytes +=
+            (items.capacity() - capacity_before) * std::mem::size_of::<SpatialObject>();
+        self.assigned_b += 1;
     }
 
     /// Determines the node an object of dataset B would be assigned to (Algorithm 3),
@@ -304,7 +399,7 @@ impl TouchTree {
     pub fn assign(&mut self, b_objects: &[SpatialObject], counters: &mut Counters) {
         for obj in b_objects {
             match self.assignment_target(&obj.mbr, counters) {
-                Some(node) => self.nodes[node].b_items.push(*obj),
+                Some(node) => self.push_assignment(node, *obj),
                 None => counters.record_filtered(),
             }
         }
@@ -326,49 +421,60 @@ impl TouchTree {
         assignments: impl IntoIterator<Item = (usize, SpatialObject)>,
     ) {
         for (node, obj) in assignments {
-            self.nodes[node].b_items.push(obj);
+            self.push_assignment(node, obj);
         }
     }
 
-    /// Removes all assigned B-objects (so the tree can be reused for another join).
+    /// Removes all assigned B-objects and resets every piece of per-epoch assignment
+    /// state — the touched-node list and the running assignment count — so the tree
+    /// can serve another probe epoch with nothing left over from the previous one.
+    ///
+    /// Only the nodes that actually received assignments are visited (O(touched)
+    /// rather than O(all nodes)), and the per-node `Vec` capacities are kept so a
+    /// long-lived tree stops allocating once it has seen a typical epoch. The node
+    /// structure — MBRs, levels, A-ranges — is untouched.
     pub fn clear_assignment(&mut self) {
-        for node in &mut self.nodes {
-            node.b_items.clear();
+        for &node in &self.touched {
+            self.nodes[node as usize].b_items.clear();
         }
+        self.touched.clear();
+        self.assigned_b = 0;
     }
 
     /// Indices of the nodes the join phase has to visit: nodes holding at least one
     /// B-object over a non-empty A-subtree. These are the independent work units a
     /// parallel scheduler distributes; joining them in any order, each exactly once,
     /// produces the same result set as [`TouchTree::join_assigned`].
+    ///
+    /// Returned in ascending node-index order (derived from the touched-node list,
+    /// so the scan is O(touched log touched), not O(all nodes)).
     pub fn nodes_with_assignments(&self) -> Vec<usize> {
-        self.node_indices()
-            .filter(|&idx| {
-                let node = &self.nodes[idx];
-                !node.b_items.is_empty() && node.a_count() > 0
-            })
-            .collect()
+        let mut work: Vec<usize> = self
+            .touched
+            .iter()
+            .map(|&idx| idx as usize)
+            .filter(|&idx| self.nodes[idx].a_count() > 0)
+            .collect();
+        work.sort_unstable();
+        work
     }
 
     /// Runs the join phase (Algorithm 4) over every node holding B-objects, emitting
     /// each intersecting pair `(a_id, b_id)` exactly once.
     ///
-    /// `grid_cells_per_dim` and `min_cell_size` configure the per-node grid of the
-    /// [`LocalJoinKind::Grid`] strategy (Section 5.2.2: cells should stay larger than
-    /// the average object). Returns the peak number of auxiliary bytes used by any
-    /// single local join, which the caller folds into the reported memory footprint.
+    /// `params` configures the per-node grid of the [`LocalJoinKind::Grid`] strategy
+    /// (Section 5.2.2: cells should stay larger than the average object). Returns the
+    /// peak number of auxiliary bytes used by any single local join, which the caller
+    /// folds into the reported memory footprint.
     pub fn join_assigned(
         &self,
-        kind: LocalJoinKind,
-        grid_cells_per_dim: usize,
-        min_cell_size: f64,
+        params: &LocalJoinParams,
         counters: &mut Counters,
         emit: &mut impl FnMut(ObjectId, ObjectId),
     ) -> usize {
         let mut peak_aux = 0usize;
         for idx in self.nodes_with_assignments() {
-            let aux =
-                self.local_join_node(idx, kind, grid_cells_per_dim, min_cell_size, counters, emit);
+            let aux = self.local_join_node(idx, params, counters, emit);
             peak_aux = peak_aux.max(aux);
         }
         peak_aux
@@ -380,16 +486,14 @@ impl TouchTree {
     pub fn local_join_node(
         &self,
         index: usize,
-        kind: LocalJoinKind,
-        grid_cells_per_dim: usize,
-        min_cell_size: f64,
+        params: &LocalJoinParams,
         counters: &mut Counters,
         emit: &mut impl FnMut(ObjectId, ObjectId),
     ) -> usize {
         let node = &self.nodes[index];
         let a_objs = self.subtree_a_objects(node);
         let b_objs = node.assigned_b();
-        match kind {
+        match params.kind {
             LocalJoinKind::AllPairs => {
                 kernels::all_pairs(a_objs, b_objs, counters, emit);
                 0
@@ -400,9 +504,7 @@ impl TouchTree {
                 kernels::plane_sweep(&mut a_scratch, &mut b_scratch, counters, emit);
                 vec_bytes(&a_scratch) + vec_bytes(&b_scratch)
             }
-            LocalJoinKind::Grid => {
-                grid_local_join(node, a_objs, grid_cells_per_dim, min_cell_size, counters, emit)
-            }
+            LocalJoinKind::Grid => grid_local_join(node, a_objs, params, counters, emit),
         }
     }
 }
@@ -418,18 +520,24 @@ impl TouchTree {
 fn grid_local_join(
     node: &TouchNode,
     a_objs: &[SpatialObject],
-    cells_per_dim: usize,
-    min_cell_size: f64,
+    params: &LocalJoinParams,
     counters: &mut Counters,
     emit: &mut impl FnMut(ObjectId, ObjectId),
 ) -> usize {
     let b_objs = node.assigned_b();
-    // Very small nodes do not repay building a grid; fall back to all-pairs.
-    if a_objs.len() * b_objs.len() <= 64 {
+    // Nodes over a handful of A-objects do not repay building a grid; fall back to
+    // all-pairs. The cutoff must not consult the B count: the B side of a node may
+    // arrive split across epochs, and the per-node strategy has to be the same for
+    // every split so that counters stay exactly additive (see [`LocalJoinParams`]).
+    if a_objs.len() <= params.allpairs_max_a {
         kernels::all_pairs(a_objs, b_objs, counters, emit);
         return 0;
     }
-    let grid = UniformGrid::with_min_cell_size(node.mbr, cells_per_dim.max(1), min_cell_size);
+    let grid = UniformGrid::with_min_cell_size(
+        node.mbr,
+        params.cells_per_dim.max(1),
+        params.min_cell_size,
+    );
 
     // Multiple assignment of the node's B-objects to the cells they overlap.
     let mut cells: HashMap<usize, Vec<u32>> = HashMap::new();
@@ -474,11 +582,15 @@ fn grid_local_join(
 }
 
 impl MemoryUsage for TouchTree {
+    /// O(1): the per-node B-list bytes are tracked incrementally by the assignment
+    /// paths, so a streaming engine can report memory every epoch without scanning
+    /// the node array.
     fn memory_bytes(&self) -> usize {
         vec_bytes(&self.a_items)
             + self.nodes.capacity() * std::mem::size_of::<TouchNode>()
-            + self.nodes.iter().map(|n| vec_bytes(&n.b_items)).sum::<usize>()
+            + self.b_items_bytes
             + vec_bytes(&self.levels)
+            + vec_bytes(&self.touched)
     }
 }
 
@@ -619,6 +731,24 @@ mod tests {
         assert_eq!(huge_level, root_level, "all-covering object must stay at the root");
     }
 
+    /// Test parameterisation of the local join: small grid, tiny min cell, and an
+    /// A-cutoff of 4 so both the all-pairs fallback and the grid path are exercised
+    /// by the lattice workloads (leaf buckets of 8 objects sit above the cutoff).
+    fn test_params(kind: LocalJoinKind) -> LocalJoinParams {
+        LocalJoinParams { kind, cells_per_dim: 10, min_cell_size: 0.5, allpairs_max_a: 4 }
+    }
+
+    /// A structural fingerprint of the tree: everything `clear_assignment` must
+    /// leave intact.
+    fn structure_snapshot(tree: &TouchTree) -> Vec<(Aabb, u32, Range<usize>, usize, bool)> {
+        tree.node_indices()
+            .map(|idx| {
+                let n = tree.node(idx);
+                (n.mbr, n.level, n.child_indices(), n.a_count(), n.is_leaf())
+            })
+            .collect()
+    }
+
     #[test]
     fn clear_assignment_resets_b_items() {
         let a = lattice(3, 2.0, 1.0);
@@ -629,6 +759,98 @@ mod tests {
         assert!(tree.assigned_b_count() > 0);
         tree.clear_assignment();
         assert_eq!(tree.assigned_b_count(), 0);
+        assert!(tree.nodes_with_assignments().is_empty(), "no join work after a clear");
+        for idx in tree.node_indices() {
+            assert!(tree.node(idx).assigned_b().is_empty(), "node {idx} kept B-objects");
+        }
+    }
+
+    #[test]
+    fn clear_assignment_preserves_structure_of_multi_level_trees() {
+        // 125 objects into 16 partitions at fanout 2: a 5-level hierarchy.
+        let a = lattice(5, 2.0, 1.0);
+        let mut tree = TouchTree::build(a.objects(), 16, 2);
+        assert!(tree.height() >= 4, "test needs a multi-level tree, got {}", tree.height());
+        let before = structure_snapshot(&tree);
+        let b = lattice(5, 1.8, 1.2);
+        let mut counters = Counters::new();
+        tree.assign(b.objects(), &mut counters);
+        assert!(tree.assigned_b_count() > 0);
+        tree.clear_assignment();
+        assert_eq!(structure_snapshot(&tree), before, "clear_assignment altered the hierarchy");
+        assert_eq!(tree.a_len(), a.len());
+    }
+
+    #[test]
+    fn repeated_reuse_is_indistinguishable_from_a_fresh_tree() {
+        let a = lattice(4, 2.0, 1.0);
+        let b = lattice(4, 1.7, 0.9);
+        // Reference: one fresh tree, assigned once.
+        let mut fresh = TouchTree::build(a.objects(), 8, 2);
+        let mut fresh_counters = Counters::new();
+        fresh.assign(b.objects(), &mut fresh_counters);
+        let mut fresh_pairs = Vec::new();
+        let params = test_params(LocalJoinKind::Grid);
+        fresh.join_assigned(&params, &mut fresh_counters, &mut |x, y| fresh_pairs.push((x, y)));
+        fresh_pairs.sort_unstable();
+
+        // Reused tree: three assign → join → clear cycles must each reproduce the
+        // fresh run exactly — same per-node distribution, counters and pairs.
+        let mut reused = TouchTree::build(a.objects(), 8, 2);
+        for round in 0..3 {
+            let mut counters = Counters::new();
+            reused.assign(b.objects(), &mut counters);
+            assert_eq!(
+                reused.assigned_b_count(),
+                fresh.assigned_b_count(),
+                "round {round}: assignment count drifted"
+            );
+            for idx in reused.node_indices() {
+                assert_eq!(
+                    reused.node(idx).assigned_b().len(),
+                    fresh.node(idx).assigned_b().len(),
+                    "round {round}: node {idx} distribution drifted"
+                );
+            }
+            let mut pairs = Vec::new();
+            reused.join_assigned(&params, &mut counters, &mut |x, y| pairs.push((x, y)));
+            pairs.sort_unstable();
+            assert_eq!(pairs, fresh_pairs, "round {round}: pairs drifted");
+            assert_eq!(counters, fresh_counters, "round {round}: counters polluted by reuse");
+            reused.clear_assignment();
+            assert_eq!(reused.assigned_b_count(), 0);
+        }
+    }
+
+    #[test]
+    fn clear_assignment_resets_the_touched_node_bookkeeping() {
+        // Epoch 1 populates one corner of the tree, epoch 2 a different one: stale
+        // touched-node state from epoch 1 must not leak into epoch 2's work list.
+        let a = lattice(4, 2.0, 1.0); // occupies [0, 7]³
+        let mut tree = TouchTree::build(a.objects(), 8, 2);
+        let mut near = Dataset::new();
+        near.push_mbr(Aabb::new(Point3::splat(0.1), Point3::splat(0.4)));
+        let mut counters = Counters::new();
+        tree.assign(near.objects(), &mut counters);
+        let epoch1_work = tree.nodes_with_assignments();
+        assert!(!epoch1_work.is_empty());
+        tree.clear_assignment();
+
+        let mut far = Dataset::new();
+        far.push_mbr(Aabb::new(Point3::splat(6.2), Point3::splat(6.6)));
+        tree.assign(far.objects(), &mut counters);
+        let epoch2_work = tree.nodes_with_assignments();
+        // Every listed node must actually hold epoch-2 objects; a stale list would
+        // resurface epoch-1 nodes with empty B-lists.
+        for &idx in &epoch2_work {
+            assert!(!tree.node(idx).assigned_b().is_empty(), "stale touched node {idx}");
+        }
+        let epoch2_fresh: Vec<usize> = {
+            let mut t = TouchTree::build(a.objects(), 8, 2);
+            t.assign(far.objects(), &mut Counters::new());
+            t.nodes_with_assignments()
+        };
+        assert_eq!(epoch2_work, epoch2_fresh, "epoch 2 work list polluted by epoch 1");
     }
 
     fn run_join(a: &Dataset, b: &Dataset, kind: LocalJoinKind) -> (Vec<(u32, u32)>, Counters) {
@@ -636,7 +858,7 @@ mod tests {
         let mut counters = Counters::new();
         tree.assign(b.objects(), &mut counters);
         let mut pairs = Vec::new();
-        tree.join_assigned(kind, 10, 0.5, &mut counters, &mut |x, y| pairs.push((x, y)));
+        tree.join_assigned(&test_params(kind), &mut counters, &mut |x, y| pairs.push((x, y)));
         pairs.sort_unstable();
         (pairs, counters)
     }
@@ -700,6 +922,31 @@ mod tests {
         assert!(tree.memory_bytes() > before);
     }
 
+    /// Ground truth for the incrementally tracked B-list bytes: the full scan.
+    fn scanned_b_bytes(tree: &TouchTree) -> usize {
+        tree.nodes.iter().map(|n| vec_bytes(&n.b_items)).sum()
+    }
+
+    #[test]
+    fn incremental_memory_accounting_matches_a_full_scan() {
+        let a = lattice(4, 2.0, 1.0);
+        let b = lattice(4, 1.7, 0.9);
+        let mut tree = TouchTree::build(a.objects(), 8, 2);
+        let mut counters = Counters::new();
+        assert_eq!(tree.b_items_bytes, scanned_b_bytes(&tree));
+        tree.assign(b.objects(), &mut counters);
+        assert_eq!(tree.b_items_bytes, scanned_b_bytes(&tree), "after assignment");
+        // clear keeps the capacities, and the tracked figure must agree.
+        tree.clear_assignment();
+        assert_eq!(tree.b_items_bytes, scanned_b_bytes(&tree), "after clear");
+        tree.assign(b.objects(), &mut counters);
+        assert_eq!(tree.b_items_bytes, scanned_b_bytes(&tree), "after reuse");
+        // A clone does not inherit capacities; its tracking must match *its* vecs.
+        let cloned = tree.clone();
+        assert_eq!(cloned.b_items_bytes, scanned_b_bytes(&cloned), "after clone");
+        assert_eq!(cloned.assigned_b_count(), tree.assigned_b_count());
+    }
+
     #[test]
     #[should_panic(expected = "fanout must be at least 2")]
     fn fanout_one_rejected() {
@@ -733,7 +980,7 @@ mod tests {
         let mut counters = Counters::new();
         tree.assign(b.objects(), &mut counters);
         let mut pairs = Vec::new();
-        tree.join_assigned(LocalJoinKind::Grid, 10, 0.5, &mut counters, &mut |x, y| {
+        tree.join_assigned(&test_params(LocalJoinKind::Grid), &mut counters, &mut |x, y| {
             pairs.push((x, y))
         });
         pairs.sort_unstable();
@@ -786,16 +1033,13 @@ mod tests {
             assert_eq!(work.contains(&idx), expected, "node {idx}");
         }
         // Joining exactly these nodes gives the same pairs as join_assigned.
+        let params = test_params(LocalJoinKind::Grid);
         let mut via_list = Vec::new();
         for idx in &work {
-            tree.local_join_node(*idx, LocalJoinKind::Grid, 10, 0.5, &mut counters, &mut |x, y| {
-                via_list.push((x, y))
-            });
+            tree.local_join_node(*idx, &params, &mut counters, &mut |x, y| via_list.push((x, y)));
         }
         let mut via_all = Vec::new();
-        tree.join_assigned(LocalJoinKind::Grid, 10, 0.5, &mut counters, &mut |x, y| {
-            via_all.push((x, y))
-        });
+        tree.join_assigned(&params, &mut counters, &mut |x, y| via_all.push((x, y)));
         via_list.sort_unstable();
         via_all.sort_unstable();
         assert_eq!(via_list, via_all);

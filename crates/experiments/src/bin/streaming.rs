@@ -1,0 +1,14 @@
+//! Runs the streaming amortisation experiment (persistent-tree epochs vs.
+//! per-batch rebuild at 1/4/16/64 epochs). Usage:
+//! `cargo run -p touch-experiments --release --bin streaming -- [--scale 0.01] [--out results]`
+
+fn main() {
+    let ctx = match touch_experiments::Context::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    touch_experiments::streaming::run(&ctx).finish(&ctx);
+}

@@ -16,6 +16,7 @@
 //! | [`figure16`] | Figure 16 — neuroscience datasets, time / comparisons / memory |
 //! | [`ablation`] | beyond the paper: TOUCH local-join strategy and join order |
 //! | [`scaling`] | beyond the paper: `touch-parallel` thread scaling at 1/2/4/8 threads |
+//! | [`streaming`] | beyond the paper: `touch-streaming` epoch amortisation vs. per-batch rebuild |
 //!
 //! ## Scaling
 //!
@@ -45,6 +46,7 @@ pub mod figure8;
 pub mod figure9_11;
 pub mod loading;
 pub mod scaling;
+pub mod streaming;
 mod suite;
 mod table;
 pub mod table1;
@@ -71,5 +73,6 @@ pub fn run_all(ctx: &Context) -> Vec<ExperimentTable> {
         figure16::run(ctx),
         ablation::run(ctx),
         scaling::run(ctx),
+        streaming::run(ctx),
     ]
 }

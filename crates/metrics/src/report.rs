@@ -27,6 +27,10 @@ pub struct RunReport {
     /// Number of worker threads the join ran with (1 for every sequential
     /// algorithm; `touch-parallel` reports its resolved thread count).
     pub threads: usize,
+    /// Number of probe epochs merged into this report: 1 for a one-shot join,
+    /// the number of pushed batches for a `touch-streaming` cumulative report
+    /// (0 before the first batch arrives).
+    pub epochs: usize,
 }
 
 impl RunReport {
@@ -41,7 +45,29 @@ impl RunReport {
             timer: PhaseTimer::new(),
             memory_bytes: 0,
             threads: 1,
+            epochs: 1,
         }
+    }
+
+    /// Folds one probe epoch into this report: counters and phase times accumulate,
+    /// the memory footprint keeps its peak, `dataset_b` grows by the batch size and
+    /// the epoch count advances. This is the aggregation `touch-streaming` applies
+    /// after every [`push_batch`](https://docs.rs/touch) so a cumulative report over
+    /// k epochs lines up with the one-shot join of the concatenated batches: the
+    /// build time is charged once (by the engine, at build), everything else is
+    /// exactly additive.
+    pub fn merge_epoch(
+        &mut self,
+        batch_size: usize,
+        counters: &Counters,
+        timer: &PhaseTimer,
+        memory_bytes: usize,
+    ) {
+        self.dataset_b += batch_size;
+        self.counters.merge(counters);
+        self.timer.merge(timer);
+        self.memory_bytes = self.memory_bytes.max(memory_bytes);
+        self.epochs += 1;
     }
 
     /// Total execution time (build + assignment + join), the paper's reported time.
@@ -66,12 +92,13 @@ impl RunReport {
     /// One CSV row with the standard columns (see [`RunReport::csv_header`]).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
             self.algorithm,
             self.dataset_a,
             self.dataset_b,
             self.epsilon,
             self.threads,
+            self.epochs,
             self.counters.comparisons,
             self.counters.node_tests,
             self.counters.results,
@@ -87,7 +114,7 @@ impl RunReport {
 
     /// The CSV header matching [`RunReport::to_csv_row`].
     pub fn csv_header() -> &'static str {
-        "algorithm,a,b,epsilon,threads,comparisons,node_tests,results,filtered,duplicates_suppressed,memory_bytes,build_s,assignment_s,join_s,total_s"
+        "algorithm,a,b,epsilon,threads,epochs,comparisons,node_tests,results,filtered,duplicates_suppressed,memory_bytes,build_s,assignment_s,join_s,total_s"
     }
 }
 
@@ -138,7 +165,7 @@ mod tests {
         let header_cols = RunReport::csv_header().split(',').count();
         let row_cols = r.to_csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
-        assert!(r.to_csv_row().starts_with("TOUCH,10,20,5,1,123"));
+        assert!(r.to_csv_row().starts_with("TOUCH,10,20,5,1,1,123"));
     }
 
     #[test]
@@ -146,8 +173,40 @@ mod tests {
         let mut r = RunReport::new("TOUCH-P", 10, 20);
         assert_eq!(r.threads, 1);
         r.threads = 8;
-        assert!(r.to_csv_row().starts_with("TOUCH-P,10,20,0,8,"));
-        assert!(RunReport::csv_header().contains(",threads,"));
+        assert!(r.to_csv_row().starts_with("TOUCH-P,10,20,0,8,1,"));
+        assert!(RunReport::csv_header().contains(",threads,epochs,"));
+    }
+
+    #[test]
+    fn merge_epoch_accumulates_counters_and_keeps_peak_memory() {
+        let mut r = RunReport::new("TOUCH-S", 100, 0);
+        r.epochs = 0; // a streaming cumulative report starts with no epochs
+        r.memory_bytes = 500;
+        r.timer.add(Phase::Build, Duration::from_millis(10)); // charged once, at build
+
+        let mut c1 = Counters::new();
+        c1.comparisons = 5;
+        c1.results = 2;
+        let mut t1 = PhaseTimer::new();
+        t1.add(Phase::Join, Duration::from_millis(3));
+        r.merge_epoch(40, &c1, &t1, 900);
+
+        let mut c2 = Counters::new();
+        c2.comparisons = 7;
+        c2.filtered = 1;
+        let mut t2 = PhaseTimer::new();
+        t2.add(Phase::Assignment, Duration::from_millis(2));
+        r.merge_epoch(60, &c2, &t2, 800);
+
+        assert_eq!(r.epochs, 2);
+        assert_eq!(r.dataset_b, 100);
+        assert_eq!(r.counters.comparisons, 12);
+        assert_eq!(r.counters.results, 2);
+        assert_eq!(r.counters.filtered, 1);
+        assert_eq!(r.memory_bytes, 900, "memory keeps the epoch peak");
+        assert_eq!(r.timer.get(Phase::Build), Duration::from_millis(10));
+        assert_eq!(r.timer.get(Phase::Join), Duration::from_millis(3));
+        assert_eq!(r.timer.get(Phase::Assignment), Duration::from_millis(2));
     }
 
     #[test]

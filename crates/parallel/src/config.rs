@@ -45,11 +45,7 @@ impl ParallelConfig {
     /// Resolves the configured thread count: an explicit value is used as-is,
     /// `0` auto-detects the machine's available parallelism (falling back to 1).
     pub fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
-        }
+        crate::phases::resolve_threads(self.threads)
     }
 }
 

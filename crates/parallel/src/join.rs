@@ -1,12 +1,11 @@
 //! The parallel TOUCH join: the three phases of Algorithm 1 executed on a thread
 //! pool, with results and counters sharded per worker and merged at the end.
 
-use crate::scheduler::StealQueues;
-use crate::sort::par_str_sort;
+use crate::phases::{par_assign, par_build_tree, par_join_into};
 use crate::ParallelConfig;
-use touch_core::{ResultSink, ShardedSink, SpatialJoinAlgorithm, TouchTree};
-use touch_geom::{Dataset, SpatialObject};
-use touch_metrics::{Counters, MemoryUsage, Phase, RunReport};
+use touch_core::{ResultSink, SpatialJoinAlgorithm};
+use touch_geom::Dataset;
+use touch_metrics::{MemoryUsage, Phase, RunReport};
 
 /// Multi-threaded TOUCH (implements [`SpatialJoinAlgorithm`]).
 ///
@@ -78,22 +77,22 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
         // phase is timed at its fork/join point, so the recorded duration is wall
         // clock — correct no matter how many workers ran inside.
         let (mut tree, sort_aux) = report.timer.time(Phase::Build, || {
-            let mut items = tree_ds.objects().to_vec();
-            let mut sort_aux = 0;
-            if !items.is_empty() {
-                let cap = TouchTree::leaf_capacity(items.len(), cfg.partitions);
-                sort_aux = par_str_sort(&mut items, cap, threads, self.config.sort_threshold);
-            }
-            (TouchTree::from_tiled(items, cfg.partitions, cfg.fanout), sort_aux)
+            par_build_tree(
+                tree_ds.objects(),
+                cfg.partitions,
+                cfg.fanout,
+                threads,
+                self.config.sort_threshold,
+            )
         });
 
         // Phase 2: chunked parallel assignment (Algorithm 3).
         let mut counters = std::mem::take(&mut report.counters);
         let assign_aux = report.timer.time(Phase::Assignment, || {
-            parallel_assign(
+            par_assign(
                 &mut tree,
                 probe_ds.objects(),
-                self.config.chunk_size.max(1),
+                self.config.chunk_size,
                 threads,
                 &mut counters,
             )
@@ -101,22 +100,10 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
 
         // Phase 3: work-stealing local joins (Algorithm 4). Grid sizing comes from
         // the same shared helper as the sequential join.
-        let min_cell = cfg.min_local_cell_size(a, b);
-        let mut work = tree.nodes_with_assignments();
-        // Descending estimated cost: round-robin seeding then spreads the heavy
-        // nodes across workers, and owner pops and steals both take the largest
-        // remaining task first (LPT).
-        work.sort_by_key(|&idx| {
-            let node = tree.node(idx);
-            std::cmp::Reverse(node.a_count() as u64 * node.assigned_b().len() as u64)
-        });
-        // Never spawn more workers (or shards) than there are nodes to join.
-        let join_workers = threads.min(work.len()).max(1);
-        let mut sharded = ShardedSink::for_sink(sink, join_workers);
+        let params = cfg.local_join_params(cfg.min_local_cell_size(a, b));
         let aux_bytes = report.timer.time(Phase::Join, || {
-            parallel_join(&tree, work, cfg, min_cell, build_on_a, &mut sharded, &mut counters)
+            par_join_into(&tree, &params, threads, !build_on_a, sink, &mut counters)
         });
-        sharded.merge_into(sink);
 
         counters.results = sink.count() - results_before;
         report.counters = counters;
@@ -127,139 +114,6 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
         report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux + aux_bytes;
         report
     }
-}
-
-/// One worker's claim share of the assignment phase: the chunk index and the
-/// `(node, object)` placements computed for it.
-type ChunkBatch = (usize, Vec<(usize, SpatialObject)>);
-
-/// Phase 2: computes assignment targets on `workers` threads (read-only tree
-/// traversals over work-stealing chunk queues), then applies the batches in chunk
-/// order so the per-node B-lists match the sequential [`TouchTree::assign`] exactly.
-/// Returns the bytes of the transient batch buffers (0 on the sequential fallback).
-fn parallel_assign(
-    tree: &mut TouchTree,
-    probe: &[SpatialObject],
-    chunk_size: usize,
-    workers: usize,
-    counters: &mut Counters,
-) -> usize {
-    if probe.is_empty() {
-        return 0;
-    }
-    let chunk_count = probe.len().div_ceil(chunk_size);
-    // Never spawn more workers than there are chunks to claim.
-    let workers = workers.min(chunk_count);
-    if workers <= 1 {
-        tree.assign(probe, counters);
-        return 0;
-    }
-
-    let queues = StealQueues::distribute(0..chunk_count, workers);
-    let tree_ref: &TouchTree = tree;
-    let per_worker: Vec<(Counters, Vec<ChunkBatch>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let queues = &queues;
-                scope.spawn(move || {
-                    let mut local = Counters::new();
-                    let mut batches = Vec::new();
-                    while let Some(chunk) = queues.claim(w) {
-                        let lo = chunk * chunk_size;
-                        let hi = (lo + chunk_size).min(probe.len());
-                        let mut assigned = Vec::new();
-                        for obj in &probe[lo..hi] {
-                            match tree_ref.assignment_target(&obj.mbr, &mut local) {
-                                Some(node) => assigned.push((node, *obj)),
-                                None => local.record_filtered(),
-                            }
-                        }
-                        batches.push((chunk, assigned));
-                    }
-                    (local, batches)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("assignment worker panicked")).collect()
-    });
-
-    let mut all_batches = Vec::with_capacity(chunk_count);
-    for (local, batches) in per_worker {
-        counters.merge(&local);
-        all_batches.extend(batches);
-    }
-    // Peak transient footprint of this phase: every placement buffered at once,
-    // just before application.
-    let batch_elem = std::mem::size_of::<(usize, SpatialObject)>();
-    let aux_bytes: usize =
-        all_batches.iter().map(|(_, assigned)| assigned.capacity() * batch_elem).sum();
-    // Apply in chunk order: B-objects land in their nodes in probe-dataset order,
-    // exactly as the sequential assignment would have placed them.
-    all_batches.sort_unstable_by_key(|(chunk, _)| *chunk);
-    for (_, assigned) in all_batches {
-        tree.extend_assigned(assigned);
-    }
-    aux_bytes
-}
-
-/// Phase 3: drains `nodes` (pre-sorted by descending estimated cost) through
-/// per-worker local joins, one worker per shard of `sharded`. Returns the auxiliary
-/// bytes charged to the join phase: the sum over workers of each worker's peak
-/// local-join allocation (concurrent peaks can coexist, unlike the sequential join
-/// which charges only the single largest).
-fn parallel_join(
-    tree: &TouchTree,
-    nodes: Vec<usize>,
-    cfg: &touch_core::TouchConfig,
-    min_cell: f64,
-    build_on_a: bool,
-    sharded: &mut ShardedSink,
-    counters: &mut Counters,
-) -> usize {
-    let queues = StealQueues::distribute(nodes, sharded.shard_count());
-    let kind = cfg.local_join.kind();
-    let cells = cfg.local_cells_per_dim;
-
-    let per_worker: Vec<(Counters, usize)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = sharded
-            .shards_mut()
-            .iter_mut()
-            .enumerate()
-            .map(|(w, shard)| {
-                let queues = &queues;
-                scope.spawn(move || {
-                    let mut local = Counters::new();
-                    let mut peak_aux = 0usize;
-                    while let Some(idx) = queues.claim(w) {
-                        let aux = tree.local_join_node(
-                            idx,
-                            kind,
-                            cells,
-                            min_cell,
-                            &mut local,
-                            &mut |tree_id, probe_id| {
-                                if build_on_a {
-                                    shard.push(tree_id, probe_id);
-                                } else {
-                                    shard.push(probe_id, tree_id);
-                                }
-                            },
-                        );
-                        peak_aux = peak_aux.max(aux);
-                    }
-                    (local, peak_aux)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("join worker panicked")).collect()
-    });
-
-    let mut aux_bytes = 0usize;
-    for (local, peak) in per_worker {
-        counters.merge(&local);
-        aux_bytes += peak;
-    }
-    aux_bytes
 }
 
 #[cfg(test)]

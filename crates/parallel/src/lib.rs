@@ -53,6 +53,7 @@
 
 mod config;
 mod join;
+pub mod phases;
 pub mod scheduler;
 pub mod sort;
 

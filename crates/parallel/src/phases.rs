@@ -1,0 +1,303 @@
+//! The reusable parallel building blocks of the three TOUCH phases.
+//!
+//! [`crate::ParallelTouchJoin`] composes these into a one-shot join; the
+//! `touch-streaming` engine composes the same blocks into its per-epoch pipeline
+//! (build once, then assignment + local join per pushed batch). Keeping the blocks
+//! in one place guarantees the two subsystems can never diverge in how they
+//! parallelise a phase.
+//!
+//! Every block preserves the determinism contract of the subsystem: for a fixed
+//! input and [`touch_core::TouchConfig`], the produced tree, assignment and local
+//! joins — and therefore the result set and all counters — are identical at every
+//! worker count.
+
+use crate::scheduler::StealQueues;
+use crate::sort::par_str_sort;
+use touch_core::{LocalJoinParams, ResultSink, ShardedSink, TouchTree};
+use touch_geom::SpatialObject;
+use touch_metrics::Counters;
+
+/// Resolves a configured worker count: an explicit value is used as-is, `0`
+/// auto-detects the machine's available parallelism (falling back to 1). The single
+/// resolution rule shared by [`crate::ParallelConfig`] and the streaming engine's
+/// configuration.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    }
+}
+
+/// Phase 1: builds the TOUCH hierarchy with the parallel stable STR sort
+/// ([`par_str_sort`]) and [`TouchTree::from_tiled`]. Returns the tree and the
+/// transient bytes of the sort scratch. Because the parallel sort is stable and
+/// bit-identical to the sequential one, the tree is the same for every `threads`
+/// value (including 1).
+pub fn par_build_tree(
+    objects: &[SpatialObject],
+    partitions: usize,
+    fanout: usize,
+    threads: usize,
+    sort_threshold: usize,
+) -> (TouchTree, usize) {
+    let mut items = objects.to_vec();
+    let mut sort_aux = 0;
+    if !items.is_empty() {
+        let cap = TouchTree::leaf_capacity(items.len(), partitions);
+        sort_aux = par_str_sort(&mut items, cap, threads, sort_threshold);
+    }
+    (TouchTree::from_tiled(items, partitions, fanout), sort_aux)
+}
+
+/// One worker's claim share of the assignment phase: the chunk index and the
+/// `(node, object)` placements computed for it.
+type ChunkBatch = (usize, Vec<(usize, SpatialObject)>);
+
+/// Phase 2: computes assignment targets on `workers` threads (read-only tree
+/// traversals over work-stealing chunk queues), then applies the batches in chunk
+/// order so the per-node B-lists match the sequential [`TouchTree::assign`] exactly.
+/// Returns the bytes of the transient batch buffers (0 on the sequential fallback).
+pub fn par_assign(
+    tree: &mut TouchTree,
+    probe: &[SpatialObject],
+    chunk_size: usize,
+    workers: usize,
+    counters: &mut Counters,
+) -> usize {
+    if probe.is_empty() {
+        return 0;
+    }
+    let chunk_size = chunk_size.max(1);
+    let chunk_count = probe.len().div_ceil(chunk_size);
+    // Never spawn more workers than there are chunks to claim.
+    let workers = workers.min(chunk_count);
+    if workers <= 1 {
+        tree.assign(probe, counters);
+        return 0;
+    }
+
+    let queues = StealQueues::distribute(0..chunk_count, workers);
+    let tree_ref: &TouchTree = tree;
+    let per_worker: Vec<(Counters, Vec<ChunkBatch>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                scope.spawn(move || {
+                    let mut local = Counters::new();
+                    let mut batches = Vec::new();
+                    while let Some(chunk) = queues.claim(w) {
+                        let lo = chunk * chunk_size;
+                        let hi = (lo + chunk_size).min(probe.len());
+                        let mut assigned = Vec::new();
+                        for obj in &probe[lo..hi] {
+                            match tree_ref.assignment_target(&obj.mbr, &mut local) {
+                                Some(node) => assigned.push((node, *obj)),
+                                None => local.record_filtered(),
+                            }
+                        }
+                        batches.push((chunk, assigned));
+                    }
+                    (local, batches)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("assignment worker panicked")).collect()
+    });
+
+    let mut all_batches = Vec::with_capacity(chunk_count);
+    for (local, batches) in per_worker {
+        counters.merge(&local);
+        all_batches.extend(batches);
+    }
+    // Peak transient footprint of this phase: every placement buffered at once,
+    // just before application.
+    let batch_elem = std::mem::size_of::<(usize, SpatialObject)>();
+    let aux_bytes: usize =
+        all_batches.iter().map(|(_, assigned)| assigned.capacity() * batch_elem).sum();
+    // Apply in chunk order: B-objects land in their nodes in probe-dataset order,
+    // exactly as the sequential assignment would have placed them.
+    all_batches.sort_unstable_by_key(|(chunk, _)| *chunk);
+    for (_, assigned) in all_batches {
+        tree.extend_assigned(assigned);
+    }
+    aux_bytes
+}
+
+/// Phase 3: drains `work` through per-worker local joins, one worker per shard of
+/// `sharded`. The nodes are ordered by descending estimated cost before
+/// distribution (round-robin seeding then spreads the heavy nodes across workers,
+/// and owner pops and steals both take the largest remaining task first — LPT).
+/// Pairs are pushed as `(tree_id, probe_id)`, or flipped when `swap_pairs` is set
+/// (the caller built the tree on dataset B). Returns the auxiliary bytes charged to
+/// the join phase: the sum over workers of each worker's peak local-join allocation
+/// (concurrent peaks can coexist, unlike the sequential join which charges only the
+/// single largest).
+pub fn par_local_join(
+    tree: &TouchTree,
+    mut work: Vec<usize>,
+    params: &LocalJoinParams,
+    swap_pairs: bool,
+    sharded: &mut ShardedSink,
+    counters: &mut Counters,
+) -> usize {
+    work.sort_by_key(|&idx| {
+        let node = tree.node(idx);
+        std::cmp::Reverse(node.a_count() as u64 * node.assigned_b().len() as u64)
+    });
+    let queues = StealQueues::distribute(work, sharded.shard_count());
+
+    let per_worker: Vec<(Counters, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sharded
+            .shards_mut()
+            .iter_mut()
+            .enumerate()
+            .map(|(w, shard)| {
+                let queues = &queues;
+                scope.spawn(move || {
+                    let mut local = Counters::new();
+                    let mut peak_aux = 0usize;
+                    while let Some(idx) = queues.claim(w) {
+                        let aux = tree.local_join_node(
+                            idx,
+                            params,
+                            &mut local,
+                            &mut |tree_id, probe_id| {
+                                if swap_pairs {
+                                    shard.push(probe_id, tree_id);
+                                } else {
+                                    shard.push(tree_id, probe_id);
+                                }
+                            },
+                        );
+                        peak_aux = peak_aux.max(aux);
+                    }
+                    (local, peak_aux)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join worker panicked")).collect()
+    });
+
+    let mut aux_bytes = 0usize;
+    for (local, peak) in per_worker {
+        counters.merge(&local);
+        aux_bytes += peak;
+    }
+    aux_bytes
+}
+
+/// The complete parallel join phase against `sink`: fetches the work list, caps the
+/// worker count at the available work (never more shards than nodes to join), runs
+/// [`par_local_join`] over a [`ShardedSink`] matching the sink's mode, and merges
+/// the shards back. The one place the worker-capping/sharding decision lives, so
+/// the one-shot join and the streaming engine cannot diverge on it. Returns the
+/// auxiliary bytes charged to the join phase.
+pub fn par_join_into(
+    tree: &TouchTree,
+    params: &LocalJoinParams,
+    threads: usize,
+    swap_pairs: bool,
+    sink: &mut ResultSink,
+    counters: &mut Counters,
+) -> usize {
+    let work = tree.nodes_with_assignments();
+    let workers = threads.min(work.len()).max(1);
+    let mut sharded = ShardedSink::for_sink(sink, workers);
+    let aux_bytes = par_local_join(tree, work, params, swap_pairs, &mut sharded, counters);
+    sharded.merge_into(sink);
+    aux_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use touch_core::{LocalJoinKind, TouchConfig};
+    use touch_geom::{Aabb, Dataset, Point3};
+
+    fn lattice(side: usize, spacing: f64, box_side: f64, offset: f64) -> Dataset {
+        let mut ds = Dataset::new();
+        for x in 0..side {
+            for y in 0..side {
+                for z in 0..side {
+                    let min = Point3::new(
+                        x as f64 * spacing + offset,
+                        y as f64 * spacing + offset,
+                        z as f64 * spacing + offset,
+                    );
+                    ds.push_mbr(Aabb::new(min, min + Point3::splat(box_side)));
+                }
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn par_build_tree_matches_sequential_build() {
+        let a = lattice(5, 1.5, 1.0, 0.0);
+        let sequential = TouchTree::build(a.objects(), 16, 2);
+        for threads in [1, 2, 4] {
+            let (tree, _) = par_build_tree(a.objects(), 16, 2, threads, 8);
+            assert_eq!(tree.node_count(), sequential.node_count(), "threads = {threads}");
+            for idx in tree.node_indices() {
+                assert_eq!(tree.node(idx).mbr, sequential.node(idx).mbr, "threads = {threads}");
+            }
+            assert_eq!(tree.a_objects(), sequential.a_objects(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_assign_matches_sequential_assign() {
+        let a = lattice(4, 2.0, 1.0, 0.0);
+        let b = lattice(5, 1.6, 0.9, 0.3);
+        let mut sequential = TouchTree::build(a.objects(), 8, 2);
+        let mut seq_counters = Counters::new();
+        sequential.assign(b.objects(), &mut seq_counters);
+        for workers in [1, 2, 4] {
+            let mut tree = TouchTree::build(a.objects(), 8, 2);
+            let mut counters = Counters::new();
+            par_assign(&mut tree, b.objects(), 16, workers, &mut counters);
+            assert_eq!(counters, seq_counters, "workers = {workers}");
+            for idx in tree.node_indices() {
+                assert_eq!(
+                    tree.node(idx).assigned_b().len(),
+                    sequential.node(idx).assigned_b().len(),
+                    "workers = {workers}, node {idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_local_join_matches_join_assigned() {
+        let a = lattice(4, 1.5, 1.0, 0.0);
+        let b = lattice(5, 1.2, 0.8, 0.2);
+        let mut tree = TouchTree::build(a.objects(), 8, 2);
+        let mut counters = Counters::new();
+        tree.assign(b.objects(), &mut counters);
+        let params = TouchConfig::default().local_join_params(0.5);
+        assert_eq!(params.kind, LocalJoinKind::Grid);
+
+        let mut seq_counters = Counters::new();
+        let mut expected = Vec::new();
+        tree.join_assigned(&params, &mut seq_counters, &mut |x, y| expected.push((x, y)));
+        expected.sort_unstable();
+
+        for workers in [1, 3] {
+            let mut sharded = ShardedSink::collecting(workers);
+            let mut counters = Counters::new();
+            par_local_join(
+                &tree,
+                tree.nodes_with_assignments(),
+                &params,
+                false,
+                &mut sharded,
+                &mut counters,
+            );
+            let mut sink = touch_core::ResultSink::collecting();
+            sharded.merge_into(&mut sink);
+            assert_eq!(sink.sorted_pairs(), expected, "workers = {workers}");
+            assert_eq!(counters, seq_counters, "workers = {workers}");
+        }
+    }
+}

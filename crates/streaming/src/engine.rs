@@ -1,0 +1,415 @@
+//! The streaming engine: a persistent TOUCH tree serving batched probe epochs.
+
+use crate::EpochReport;
+use serde::{Deserialize, Serialize};
+use touch_core::{ResultSink, TouchConfig, TouchTree};
+use touch_geom::{Dataset, SpatialObject};
+use touch_metrics::{Counters, MemoryUsage, Phase, RunReport};
+use touch_parallel::phases::{par_assign, par_build_tree, par_join_into, resolve_threads};
+
+/// Configuration of [`StreamingTouchJoin`].
+///
+/// Wraps the algorithmic knobs of [`TouchConfig`] with the execution knobs of the
+/// parallel subsystem. Two `TouchConfig` fields behave differently in streaming
+/// mode, both pinned so that epoch splits cannot change the computation:
+///
+/// * `join_order` is ignored — the hierarchy is always built on the dataset handed
+///   to [`StreamingTouchJoin::build`]; the B side streams in and is never indexed.
+/// * `min_cell_factor` is applied to the **tree dataset only**
+///   ([`TouchConfig::min_local_cell_size_of`]): the stream's global average object
+///   size is unknowable at build time, and sizing cells per epoch would make grid
+///   decisions depend on how the stream happens to be batched.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamingConfig {
+    /// The algorithmic configuration shared with the one-shot joins.
+    pub touch: TouchConfig,
+    /// Worker threads: `1` (the default) runs the strictly sequential path, `0`
+    /// auto-detects ([`std::thread::available_parallelism`]), anything else runs
+    /// the work-stealing parallel path of `touch-parallel` at that width.
+    pub threads: usize,
+    /// Probe objects per parallel-assignment work unit (as in
+    /// [`touch_parallel::ParallelConfig::chunk_size`]).
+    pub chunk_size: usize,
+    /// Inputs smaller than this are STR-sorted sequentially at build (as in
+    /// [`touch_parallel::ParallelConfig::sort_threshold`]).
+    pub sort_threshold: usize,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            touch: TouchConfig::default(),
+            threads: 1,
+            chunk_size: 4096,
+            sort_threshold: 8192,
+        }
+    }
+}
+
+impl StreamingConfig {
+    /// The default configuration pinned to an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        StreamingConfig { threads, ..StreamingConfig::default() }
+    }
+
+    /// Resolves the configured thread count (`0` → available parallelism), via the
+    /// same [`resolve_threads`] rule [`touch_parallel::ParallelConfig`] uses.
+    pub fn effective_threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+}
+
+/// The batched/streaming TOUCH join: build the hierarchy over dataset A once, then
+/// join epoch after epoch of dataset B against it.
+///
+/// Lifecycle: [`build`](StreamingTouchJoin::build) → N ×
+/// [`push_batch`](StreamingTouchJoin::push_batch) →
+/// [`reset`](StreamingTouchJoin::reset) → N × `push_batch` → … — one tree, many
+/// B streams. Every epoch starts from a clean assignment
+/// ([`TouchTree::clear_assignment`]), so epochs are independent; the engine's
+/// [`cumulative_report`](StreamingTouchJoin::cumulative_report) merges them into the
+/// one-shot-comparable record (build charged once, per-epoch work summed).
+///
+/// See the [crate docs](crate) for the epoch-equivalence guarantee.
+#[derive(Debug, Clone)]
+pub struct StreamingTouchJoin {
+    config: StreamingConfig,
+    threads: usize,
+    tree: TouchTree,
+    min_cell: f64,
+    /// Snapshot of the cumulative report right after the build: what `reset`
+    /// rewinds to.
+    base: RunReport,
+    cumulative: RunReport,
+    epochs: usize,
+    streams: usize,
+}
+
+impl StreamingTouchJoin {
+    /// Builds the persistent hierarchy over dataset `a` (Algorithm 2; the parallel
+    /// stable STR sort at `threads > 1`, bit-identical to the sequential sort).
+    /// This is the amortised cost: every epoch of every stream reuses the tree.
+    pub fn build(a: &Dataset, config: StreamingConfig) -> Self {
+        let threads = config.effective_threads();
+        let mut base = RunReport::new(format!("TOUCH-S{threads}"), a.len(), 0);
+        base.threads = threads;
+        base.epochs = 0;
+        let (tree, sort_aux) = base.timer.time(Phase::Build, || {
+            par_build_tree(
+                a.objects(),
+                config.touch.partitions,
+                config.touch.fanout,
+                threads,
+                config.sort_threshold,
+            )
+        });
+        base.memory_bytes = tree.memory_bytes() + sort_aux;
+        let min_cell = config.touch.min_local_cell_size_of(a);
+        let cumulative = base.clone();
+        StreamingTouchJoin {
+            config,
+            threads,
+            tree,
+            min_cell,
+            base,
+            cumulative,
+            epochs: 0,
+            streams: 1,
+        }
+    }
+
+    /// Joins one epoch of the B stream against the persistent tree: clears the
+    /// previous epoch's assignments, assigns `batch` (Algorithm 3), runs the local
+    /// joins (Algorithm 4) into `sink`, and returns this epoch's [`EpochReport`].
+    ///
+    /// With `threads == 1` both phases run strictly sequentially
+    /// ([`TouchTree::assign`] / [`TouchTree::join_assigned`]); otherwise they run on
+    /// the work-stealing machinery of [`touch_parallel::phases`]. The two paths are
+    /// deterministically equivalent — same pairs, same counters, at every width.
+    pub fn push_batch(&mut self, batch: &[SpatialObject], sink: &mut ResultSink) -> EpochReport {
+        let mut report = EpochReport {
+            epoch: self.epochs,
+            batch_size: batch.len(),
+            assigned: 0,
+            counters: Counters::new(),
+            timer: touch_metrics::PhaseTimer::new(),
+            memory_bytes: 0,
+            threads: self.threads,
+        };
+        let results_before = sink.count();
+        self.tree.clear_assignment();
+
+        let mut counters = Counters::new();
+        // par_assign itself falls back to the sequential `TouchTree::assign` when
+        // one worker (or one chunk) is all there is, so no dispatch is needed here.
+        let assign_aux = report.timer.time(Phase::Assignment, || {
+            par_assign(&mut self.tree, batch, self.config.chunk_size, self.threads, &mut counters)
+        });
+        report.assigned = self.tree.assigned_b_count();
+
+        let params = self.config.touch.local_join_params(self.min_cell);
+        let join_aux = report.timer.time(Phase::Join, || {
+            if self.threads <= 1 {
+                self.tree
+                    .join_assigned(&params, &mut counters, &mut |a_id, b_id| sink.push(a_id, b_id))
+            } else {
+                par_join_into(&self.tree, &params, self.threads, false, sink, &mut counters)
+            }
+        });
+
+        counters.results = sink.count() - results_before;
+        report.counters = counters;
+        report.memory_bytes = self.tree.memory_bytes() + assign_aux + join_aux;
+
+        self.cumulative.merge_epoch(
+            report.batch_size,
+            &report.counters,
+            &report.timer,
+            report.memory_bytes,
+        );
+        self.epochs += 1;
+        report
+    }
+
+    /// Starts a new B stream over the same tree: clears the current assignments and
+    /// rewinds the epoch counter and cumulative report to their post-build state.
+    /// The tree itself — and therefore the amortised build investment — is kept.
+    pub fn reset(&mut self) {
+        self.tree.clear_assignment();
+        self.cumulative = self.base.clone();
+        self.epochs = 0;
+        self.streams += 1;
+    }
+
+    /// Number of epochs pushed in the current stream.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Number of streams this tree has served (1 + completed [`reset`]s).
+    ///
+    /// [`reset`]: StreamingTouchJoin::reset
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// The resolved worker count every epoch runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &StreamingConfig {
+        &self.config
+    }
+
+    /// The persistent hierarchy (read-only; epochs mutate only its assignments).
+    pub fn tree(&self) -> &TouchTree {
+        &self.tree
+    }
+
+    /// The minimum local-join grid cell size derived from the tree dataset at build
+    /// time (see [`StreamingConfig`] for why it is fixed per tree, not per epoch).
+    pub fn min_cell(&self) -> f64 {
+        self.min_cell
+    }
+
+    /// Wall-clock cost of building the tree — the investment the stream amortises.
+    pub fn build_time(&self) -> std::time::Duration {
+        self.base.timer.get(Phase::Build)
+    }
+
+    /// The cumulative record of the current stream: the build (charged once) plus
+    /// every pushed epoch, merged with [`RunReport::merge_epoch`]. Lines up with a
+    /// one-shot [`touch_core::TouchJoin`] report over the concatenated batches.
+    pub fn cumulative_report(&self) -> RunReport {
+        self.cumulative.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use touch_core::{collect_join, JoinOrder, TouchJoin};
+    use touch_geom::{Aabb, Point3};
+
+    fn lattice(side: usize, spacing: f64, box_side: f64, offset: f64) -> Dataset {
+        let mut ds = Dataset::new();
+        for x in 0..side {
+            for y in 0..side {
+                for z in 0..side {
+                    let min = Point3::new(
+                        x as f64 * spacing + offset,
+                        y as f64 * spacing + offset,
+                        z as f64 * spacing + offset,
+                    );
+                    ds.push_mbr(Aabb::new(min, min + Point3::splat(box_side)));
+                }
+            }
+        }
+        ds
+    }
+
+    /// A touch config whose one-shot run matches the streaming engine's pinned
+    /// decisions: tree on A, and A's objects at least as large as B's (so the
+    /// one-shot min-cell equals the tree-only min-cell).
+    fn touch_cfg() -> TouchConfig {
+        TouchConfig { partitions: 16, join_order: JoinOrder::TreeOnA, ..TouchConfig::default() }
+    }
+
+    fn streaming_cfg(threads: usize) -> StreamingConfig {
+        StreamingConfig { touch: touch_cfg(), threads, chunk_size: 16, sort_threshold: 32 }
+    }
+
+    /// A is a lattice of unit boxes, B of smaller boxes: avg side A > avg side B.
+    fn workloads() -> (Dataset, Dataset) {
+        (lattice(5, 1.5, 1.0, 0.0), lattice(6, 1.3, 0.8, 0.4))
+    }
+
+    fn stream_in_epochs(
+        a: &Dataset,
+        b: &Dataset,
+        epochs: usize,
+        threads: usize,
+    ) -> (Vec<(u32, u32)>, RunReport, Vec<EpochReport>) {
+        let mut engine = StreamingTouchJoin::build(a, streaming_cfg(threads));
+        let mut sink = ResultSink::collecting();
+        let chunk = b.len().div_ceil(epochs).max(1);
+        let mut reports = Vec::new();
+        for batch in b.objects().chunks(chunk) {
+            reports.push(engine.push_batch(batch, &mut sink));
+        }
+        (sink.sorted_pairs(), engine.cumulative_report(), reports)
+    }
+
+    #[test]
+    fn one_epoch_equals_the_one_shot_join() {
+        let (a, b) = workloads();
+        let (expected_pairs, expected) = collect_join(&TouchJoin::new(touch_cfg()), &a, &b);
+        for threads in [1, 4] {
+            let (pairs, cumulative, reports) = stream_in_epochs(&a, &b, 1, threads);
+            assert_eq!(pairs, expected_pairs, "threads = {threads}");
+            assert_eq!(cumulative.counters, expected.counters, "threads = {threads}");
+            assert_eq!(cumulative.epochs, 1);
+            assert_eq!(reports.len(), 1);
+            assert_eq!(reports[0].results(), expected.result_pairs());
+        }
+    }
+
+    #[test]
+    fn any_epoch_split_reproduces_the_one_shot_join() {
+        let (a, b) = workloads();
+        let (expected_pairs, expected) = collect_join(&TouchJoin::new(touch_cfg()), &a, &b);
+        for epochs in [2, 3, 7, b.len()] {
+            for threads in [1, 3] {
+                let (pairs, cumulative, reports) = stream_in_epochs(&a, &b, epochs, threads);
+                assert_eq!(pairs, expected_pairs, "epochs = {epochs}, threads = {threads}");
+                assert_eq!(
+                    cumulative.counters, expected.counters,
+                    "epochs = {epochs}, threads = {threads}: counters must add up exactly"
+                );
+                assert_eq!(cumulative.dataset_b, b.len());
+                assert_eq!(cumulative.epochs, reports.len());
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_epochs_report_identical_summaries() {
+        let (a, b) = workloads();
+        let (_, _, baseline) = stream_in_epochs(&a, &b, 5, 1);
+        for threads in [2, 4, 8] {
+            let (_, _, reports) = stream_in_epochs(&a, &b, 5, threads);
+            let lhs: Vec<_> = baseline.iter().map(|r| r.summary()).collect();
+            let rhs: Vec<_> = reports.iter().map(|r| r.summary()).collect();
+            assert_eq!(lhs, rhs, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn reset_serves_a_second_stream_identically() {
+        let (a, b) = workloads();
+        let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let chunk = b.len().div_ceil(3);
+        let mut first = ResultSink::collecting();
+        let first_reports: Vec<_> =
+            b.objects().chunks(chunk).map(|batch| engine.push_batch(batch, &mut first)).collect();
+        let first_cumulative = engine.cumulative_report();
+
+        engine.reset();
+        assert_eq!(engine.epochs(), 0);
+        assert_eq!(engine.streams(), 2);
+        assert_eq!(engine.cumulative_report().epochs, 0);
+        assert_eq!(engine.tree().assigned_b_count(), 0);
+
+        let mut second = ResultSink::collecting();
+        let second_reports: Vec<_> =
+            b.objects().chunks(chunk).map(|batch| engine.push_batch(batch, &mut second)).collect();
+        assert_eq!(first.sorted_pairs(), second.sorted_pairs());
+        assert_eq!(
+            first_reports.iter().map(|r| r.summary()).collect::<Vec<_>>(),
+            second_reports.iter().map(|r| r.summary()).collect::<Vec<_>>(),
+            "the second stream must be indistinguishable from the first"
+        );
+        assert_eq!(engine.cumulative_report().counters, first_cumulative.counters);
+    }
+
+    #[test]
+    fn empty_batches_and_empty_trees_are_harmless() {
+        let (a, _) = workloads();
+        let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(2));
+        let mut sink = ResultSink::counting();
+        let report = engine.push_batch(&[], &mut sink);
+        assert_eq!(report.batch_size, 0);
+        assert_eq!(report.results(), 0);
+        assert_eq!(sink.count(), 0);
+
+        // An empty tree filters every probe object, exactly like the one-shot join.
+        let mut empty = StreamingTouchJoin::build(&Dataset::new(), streaming_cfg(1));
+        let b = lattice(3, 2.0, 1.0, 0.0);
+        let report = empty.push_batch(b.objects(), &mut sink);
+        assert_eq!(report.counters.filtered, b.len() as u64);
+        assert_eq!(report.assigned, 0);
+        assert_eq!(sink.count(), 0);
+    }
+
+    #[test]
+    fn build_is_charged_once_and_epochs_accumulate() {
+        let (a, b) = workloads();
+        let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let build_time = engine.build_time();
+        let mut sink = ResultSink::counting();
+        for batch in b.objects().chunks(40) {
+            engine.push_batch(batch, &mut sink);
+        }
+        let cumulative = engine.cumulative_report();
+        assert_eq!(cumulative.timer.get(Phase::Build), build_time, "build charged exactly once");
+        assert!(cumulative.timer.total() >= build_time);
+        assert_eq!(cumulative.dataset_a, a.len());
+        assert_eq!(cumulative.dataset_b, b.len());
+        assert_eq!(cumulative.result_pairs(), sink.count());
+        assert!(cumulative.memory_bytes > 0);
+        assert_eq!(cumulative.algorithm, "TOUCH-S1");
+        // The per-epoch reports never charge the build phase.
+        engine.reset();
+        let report = engine.push_batch(&b.objects()[..10], &mut sink);
+        assert_eq!(report.timer.get(Phase::Build), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn config_resolution_and_accessors() {
+        let cfg = StreamingConfig::default();
+        assert_eq!(cfg.threads, 1, "streaming defaults to the sequential path");
+        assert_eq!(cfg.effective_threads(), 1);
+        assert!(StreamingConfig::with_threads(0).effective_threads() >= 1);
+        assert_eq!(StreamingConfig::with_threads(6).effective_threads(), 6);
+
+        let (a, _) = workloads();
+        let engine = StreamingTouchJoin::build(&a, streaming_cfg(3));
+        assert_eq!(engine.threads(), 3);
+        assert_eq!(engine.config().touch.partitions, 16);
+        assert_eq!(engine.streams(), 1);
+        assert!(engine.min_cell() > 0.0);
+        assert_eq!(engine.tree().a_len(), a.len());
+    }
+}

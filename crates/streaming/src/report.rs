@@ -1,0 +1,99 @@
+//! Per-epoch measurement records of the streaming engine.
+
+use touch_metrics::{Counters, PhaseTimer};
+
+/// The measurement record of one [`push_batch`](crate::StreamingTouchJoin::push_batch)
+/// call: what one epoch of the B stream cost against the persistent tree.
+///
+/// The deterministic portion of the record is exposed as [`EpochReport::summary`];
+/// wall-clock times and memory live only in the full report because they legitimately
+/// vary run to run.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// 0-based index of this epoch within the current stream (resets with
+    /// [`reset`](crate::StreamingTouchJoin::reset)).
+    pub epoch: usize,
+    /// Number of B-objects in the pushed batch.
+    pub batch_size: usize,
+    /// Number of batch objects assigned to tree nodes (`batch_size` minus the
+    /// filtered objects).
+    pub assigned: usize,
+    /// Counters incremented by this epoch only (assignment node tests, filtered
+    /// objects, local-join comparisons, replicas, de-duplications, results).
+    pub counters: Counters,
+    /// Wall-clock breakdown of this epoch: assignment and join (the build phase is
+    /// charged once, to the engine's cumulative report, not to any epoch).
+    pub timer: PhaseTimer,
+    /// Analytic memory footprint while this epoch ran: the persistent tree (with
+    /// this epoch's assignments) plus the epoch's transient buffers.
+    pub memory_bytes: usize,
+    /// Worker threads the epoch ran with.
+    pub threads: usize,
+}
+
+impl EpochReport {
+    /// Result pairs this epoch reported.
+    pub fn results(&self) -> u64 {
+        self.counters.results
+    }
+
+    /// The deterministic fields of the report — everything that must be
+    /// bit-identical across runs and worker counts for the same tree and batch.
+    /// (Wall-clock durations and transient memory are excluded: they vary
+    /// legitimately.)
+    pub fn summary(&self) -> EpochSummary {
+        EpochSummary {
+            epoch: self.epoch,
+            batch_size: self.batch_size,
+            assigned: self.assigned,
+            counters: self.counters,
+        }
+    }
+}
+
+/// The deterministic portion of an [`EpochReport`], used by the determinism test
+/// suites: identical epochs against an identical tree must produce equal summaries
+/// at every worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSummary {
+    /// 0-based epoch index within the stream.
+    pub epoch: usize,
+    /// Number of B-objects pushed.
+    pub batch_size: usize,
+    /// Number of B-objects assigned (not filtered).
+    pub assigned: usize,
+    /// The epoch's counters.
+    pub counters: Counters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_extracts_the_deterministic_fields() {
+        let mut counters = Counters::new();
+        counters.results = 7;
+        counters.comparisons = 41;
+        let mut timer = PhaseTimer::new();
+        timer.add(touch_metrics::Phase::Join, std::time::Duration::from_millis(3));
+        let report = EpochReport {
+            epoch: 2,
+            batch_size: 100,
+            assigned: 90,
+            counters,
+            timer,
+            memory_bytes: 1234,
+            threads: 4,
+        };
+        assert_eq!(report.results(), 7);
+        let summary = report.summary();
+        assert_eq!(summary, EpochSummary { epoch: 2, batch_size: 100, assigned: 90, counters });
+        // Two runs that differ only in timing/memory/threads summarise identically.
+        let mut other = report.clone();
+        other.memory_bytes = 99;
+        other.threads = 1;
+        other.timer = PhaseTimer::new();
+        assert_eq!(other.summary(), summary);
+    }
+}

@@ -13,6 +13,9 @@
 //!   ([`SpatialJoinAlgorithm`], [`ResultSink`], [`distance_join`]),
 //! * [`parallel`] — the multi-threaded execution subsystem ([`ParallelTouchJoin`]),
 //!   deterministically equivalent to [`TouchJoin`] at every thread count,
+//! * [`streaming`] — the batched/streaming engine ([`StreamingTouchJoin`]): one
+//!   persistent tree over A serving epoch after epoch of B, any epoch split exactly
+//!   reproducing the one-shot join,
 //! * [`baselines`] — the competitor algorithms of the paper's evaluation,
 //! * [`metrics`] — counters, timers and [`RunReport`]s.
 //!
@@ -53,16 +56,18 @@ pub use touch_geom as geom;
 pub use touch_index as index;
 pub use touch_metrics as metrics;
 pub use touch_parallel as parallel;
+pub use touch_streaming as streaming;
 
 // The most common types, re-exported at the top level for convenience.
 pub use touch_baselines::{
     IndexedNestedLoopJoin, NestedLoopJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, S3Join,
 };
 pub use touch_core::{
-    collect_join, count_join, distance_join, JoinOrder, LocalJoinStrategy, ResultSink, ShardedSink,
-    SinkShard, SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
+    collect_join, count_join, distance_join, JoinOrder, LocalJoinParams, LocalJoinStrategy,
+    ResultSink, ShardedSink, SinkShard, SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
 };
 pub use touch_datagen::{NeuroscienceSpec, SyntheticDistribution, SyntheticSpec};
 pub use touch_geom::{Aabb, Cylinder, Dataset, ObjectId, Point3, SpatialObject};
 pub use touch_metrics::{Counters, Phase, RunReport};
 pub use touch_parallel::{ParallelConfig, ParallelTouchJoin};
+pub use touch_streaming::{EpochReport, EpochSummary, StreamingConfig, StreamingTouchJoin};

@@ -6,8 +6,9 @@
 //! output).
 
 use touch::{
-    collect_join, distance_join, Dataset, NeuroscienceSpec, ParallelConfig, ParallelTouchJoin,
-    ResultSink, SyntheticDistribution, SyntheticSpec, TouchConfig, TouchJoin,
+    collect_join, distance_join, Dataset, EpochSummary, NeuroscienceSpec, ParallelConfig,
+    ParallelTouchJoin, ResultSink, StreamingConfig, StreamingTouchJoin, SyntheticDistribution,
+    SyntheticSpec, TouchConfig, TouchJoin,
 };
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -89,6 +90,68 @@ fn repeated_runs_with_the_same_thread_count_agree() {
             assert_eq!(
                 report.counters, first_report.counters,
                 "threads = {threads}: counters changed across runs"
+            );
+        }
+    }
+}
+
+/// Streams `b` through a fresh engine in `epochs` equal batches, returning the
+/// per-epoch deterministic summaries and per-epoch sorted pair sets.
+fn stream_epochs(
+    a: &Dataset,
+    b: &Dataset,
+    epochs: usize,
+    threads: usize,
+) -> (Vec<EpochSummary>, Vec<Vec<(u32, u32)>>) {
+    let config = StreamingConfig {
+        threads,
+        chunk_size: 64,
+        sort_threshold: 128,
+        ..StreamingConfig::default()
+    };
+    let mut engine = StreamingTouchJoin::build(a, config);
+    let chunk = b.len().div_ceil(epochs).max(1);
+    let mut summaries = Vec::new();
+    let mut pair_sets = Vec::new();
+    for batch in b.objects().chunks(chunk) {
+        let mut sink = ResultSink::collecting();
+        summaries.push(engine.push_batch(batch, &mut sink).summary());
+        pair_sets.push(sink.sorted_pairs());
+    }
+    (summaries, pair_sets)
+}
+
+#[test]
+fn streaming_epochs_are_bit_identical_across_thread_counts() {
+    let a = synthetic(800, SyntheticDistribution::Uniform, 30);
+    let b = synthetic(1_200, SyntheticDistribution::Uniform, 31);
+    const EPOCHS: usize = 6;
+    let (baseline_summaries, baseline_pairs) = stream_epochs(&a, &b, EPOCHS, 1);
+    assert_eq!(baseline_summaries.len(), EPOCHS);
+    for threads in [1, 2, 4, 8] {
+        let (summaries, pairs) = stream_epochs(&a, &b, EPOCHS, threads);
+        assert_eq!(
+            summaries, baseline_summaries,
+            "threads = {threads}: per-epoch reports diverged from the sequential stream"
+        );
+        assert_eq!(
+            pairs, baseline_pairs,
+            "threads = {threads}: per-epoch result sets diverged from the sequential stream"
+        );
+    }
+}
+
+#[test]
+fn repeated_streaming_runs_with_the_same_thread_count_agree() {
+    let a = synthetic(600, SyntheticDistribution::Uniform, 40);
+    let b = synthetic(900, SyntheticDistribution::Uniform, 41);
+    for threads in THREAD_COUNTS {
+        let first = stream_epochs(&a, &b, 4, threads);
+        for _ in 0..2 {
+            assert_eq!(
+                stream_epochs(&a, &b, 4, threads),
+                first,
+                "threads = {threads}: streaming output changed across runs"
             );
         }
     }

@@ -37,10 +37,14 @@ fn touch_phases_can_be_driven_manually_through_the_public_api() {
     assert_eq!(tree.assigned_b_count() + counters.filtered as usize, b.len());
 
     // Phase 3: join.
+    let params = touch::LocalJoinParams {
+        kind: touch::core::LocalJoinKind::Grid,
+        cells_per_dim: 64,
+        min_cell_size: 4.0,
+        allpairs_max_a: 8,
+    };
     let mut pairs = Vec::new();
-    tree.join_assigned(touch::core::LocalJoinKind::Grid, 64, 4.0, &mut counters, &mut |x, y| {
-        pairs.push((x, y))
-    });
+    tree.join_assigned(&params, &mut counters, &mut |x, y| pairs.push((x, y)));
     pairs.sort_unstable();
 
     // The one-shot API must produce the identical result.

@@ -1,0 +1,164 @@
+//! Epoch equivalence of the `touch-streaming` engine: splitting dataset B into
+//! **any** sequence of epochs and pushing them through a persistent tree must
+//! reproduce the one-shot `TouchJoin` exactly — the same sorted pair set *and* the
+//! same counters, for both the sequential and the parallel execution paths.
+//!
+//! The workloads are arbitrary (random box positions/sizes, random epoch
+//! boundaries) with one deliberate constraint: A's objects are generated at least
+//! as large as B's, so the one-shot join's grid-cell floor (which consults both
+//! datasets) equals the streaming engine's (which can only consult the tree
+//! dataset — B is unknown at build time). See `StreamingConfig` for the rationale.
+
+use proptest::prelude::*;
+use touch::{
+    collect_join, Aabb, Counters, Dataset, JoinOrder, Point3, ResultSink, StreamingConfig,
+    StreamingTouchJoin, TouchConfig, TouchJoin,
+};
+
+/// Epoch counts the suite exercises: one-shot, small splits, and per-object-ish.
+const EPOCH_COUNTS: [usize; 4] = [1, 2, 7, 64];
+
+/// An arbitrary A-box: sides in [2, 6] units inside a ~100-unit space.
+fn arb_a_box() -> impl Strategy<Value = Aabb> {
+    (0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64, 2.0..6.0f64, 2.0..6.0f64, 2.0..6.0f64).prop_map(
+        |(x, y, z, w, h, d)| {
+            let min = Point3::new(x, y, z);
+            Aabb::new(min, min + Point3::new(w, h, d))
+        },
+    )
+}
+
+/// An arbitrary B-box: sides in [0, 1.5] units — strictly smaller on average than
+/// any A-box, keeping the min-cell computation identical in both engines.
+fn arb_b_box() -> impl Strategy<Value = Aabb> {
+    (0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64, 0.0..1.5f64, 0.0..1.5f64, 0.0..1.5f64).prop_map(
+        |(x, y, z, w, h, d)| {
+            let min = Point3::new(x, y, z);
+            Aabb::new(min, min + Point3::new(w, h, d))
+        },
+    )
+}
+
+fn arb_a_dataset(max: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(arb_a_box(), 1..max).prop_map(Dataset::from_mbrs)
+}
+
+fn arb_b_dataset(max: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(arb_b_box(), 1..max).prop_map(Dataset::from_mbrs)
+}
+
+/// The shared algorithmic configuration: the one-shot comparison pins the tree to
+/// dataset A, exactly what the streaming engine always does. Small partition count
+/// so test-sized trees still have several levels.
+fn touch_cfg() -> TouchConfig {
+    TouchConfig { partitions: 16, join_order: JoinOrder::TreeOnA, ..TouchConfig::default() }
+}
+
+fn streaming_cfg(threads: usize) -> StreamingConfig {
+    StreamingConfig { touch: touch_cfg(), threads, chunk_size: 16, sort_threshold: 32 }
+}
+
+/// Splits `b` into `epochs` contiguous batches with boundaries derived from `seed`
+/// (random but reproducible cuts; empty batches allowed and expected).
+fn random_epoch_bounds(len: usize, epochs: usize, seed: u64) -> Vec<usize> {
+    let mut cuts: Vec<usize> = (1..epochs)
+        .map(|i| {
+            // SplitMix64 step per cut: arbitrary but deterministic boundaries.
+            let mut z = seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) as usize % (len + 1)
+        })
+        .collect();
+    cuts.push(0);
+    cuts.push(len);
+    cuts.sort_unstable();
+    cuts
+}
+
+/// Streams `b` through a fresh engine in the given epoch layout and returns the
+/// sorted pairs plus the merged counters.
+fn stream(
+    a: &Dataset,
+    b: &Dataset,
+    bounds: &[usize],
+    threads: usize,
+) -> (Vec<(u32, u32)>, Counters, usize) {
+    let mut engine = StreamingTouchJoin::build(a, streaming_cfg(threads));
+    let mut sink = ResultSink::collecting();
+    for window in bounds.windows(2) {
+        engine.push_batch(&b.objects()[window[0]..window[1]], &mut sink);
+    }
+    let cumulative = engine.cumulative_report();
+    (sink.sorted_pairs(), cumulative.counters, cumulative.epochs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_epoch_split_reproduces_the_one_shot_join(
+        a in arb_a_dataset(80),
+        b in arb_b_dataset(140),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (expected_pairs, expected) = collect_join(&TouchJoin::new(touch_cfg()), &a, &b);
+        for epochs in EPOCH_COUNTS {
+            let bounds = random_epoch_bounds(b.len(), epochs, seed);
+            for threads in [1, 4] {
+                let (pairs, counters, pushed) = stream(&a, &b, &bounds, threads);
+                prop_assert_eq!(
+                    &pairs, &expected_pairs,
+                    "epochs = {}, threads = {}: pair set diverged", epochs, threads
+                );
+                prop_assert_eq!(
+                    counters, expected.counters,
+                    "epochs = {}, threads = {}: counters diverged", epochs, threads
+                );
+                prop_assert_eq!(pushed, epochs);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_streams_agree_pairwise(
+        a in arb_a_dataset(60),
+        b in arb_b_dataset(100),
+        seed in 0u64..u64::MAX,
+        epochs in 1usize..12,
+    ) {
+        let bounds = random_epoch_bounds(b.len(), epochs, seed);
+        let (seq_pairs, seq_counters, _) = stream(&a, &b, &bounds, 1);
+        for threads in [2, 8] {
+            let (pairs, counters, _) = stream(&a, &b, &bounds, threads);
+            prop_assert_eq!(&pairs, &seq_pairs, "threads = {}", threads);
+            prop_assert_eq!(counters, seq_counters, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn a_reused_tree_serves_every_stream_identically(
+        a in arb_a_dataset(60),
+        b in arb_b_dataset(100),
+        seed in 0u64..u64::MAX,
+    ) {
+        // One engine serving three differently-batched streams of the same B must
+        // give the one-shot answer every time.
+        let (expected_pairs, expected) = collect_join(&TouchJoin::new(touch_cfg()), &a, &b);
+        let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        for (stream_no, epochs) in [1usize, 5, 13].into_iter().enumerate() {
+            let bounds = random_epoch_bounds(b.len(), epochs, seed ^ stream_no as u64);
+            let mut sink = ResultSink::collecting();
+            for window in bounds.windows(2) {
+                engine.push_batch(&b.objects()[window[0]..window[1]], &mut sink);
+            }
+            prop_assert_eq!(
+                &sink.sorted_pairs(), &expected_pairs,
+                "stream {} (epochs = {}) diverged", stream_no, epochs
+            );
+            prop_assert_eq!(engine.cumulative_report().counters, expected.counters);
+            engine.reset();
+        }
+        prop_assert_eq!(engine.streams(), 4);
+    }
+}

@@ -5,9 +5,11 @@
 //! `touch-bench` targets use — `Criterion::benchmark_group`, per-group sample /
 //! warm-up / measurement configuration, `bench_with_input` with [`BenchmarkId`]s and
 //! `Bencher::iter` — with honest wall-clock measurement (warm-up loop, then timed
-//! samples, median/mean/min/max reporting). It performs no statistical regression
-//! analysis and writes no HTML reports; swap in the real criterion by editing the
-//! root `Cargo.toml` when network access is available.
+//! samples, median/mean/min/max reporting). `cargo bench -- --test` is honoured
+//! like the real criterion: each routine runs exactly once (CI's
+//! compile-and-smoke mode). It performs no statistical regression analysis and
+//! writes no HTML reports; swap in the real criterion by editing the root
+//! `Cargo.toml` when network access is available.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -45,15 +47,37 @@ impl Default for Settings {
 }
 
 /// The benchmark manager handed to every `criterion_group!` target.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    /// `cargo bench -- --test` mode (mirroring the real criterion): every routine
+    /// runs exactly once, with no warm-up — a compile-and-smoke check, not a
+    /// measurement. CI uses this to keep bench targets honest without paying for
+    /// full benchmark runs.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self::from_flags(std::env::args())
+    }
 }
 
 impl Criterion {
+    /// Builds a manager from command-line-style flags (only `--test` is understood;
+    /// everything else is ignored, as the real criterion does for unknown flags).
+    fn from_flags<I: IntoIterator<Item = String>>(args: I) -> Self {
+        Criterion { test_mode: args.into_iter().any(|a| a == "--test") }
+    }
+
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.into(), settings: Settings::default() }
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+            test_mode,
+        }
     }
 }
 
@@ -62,6 +86,7 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     settings: Settings,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -88,9 +113,17 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher { settings: self.settings.clone(), stats: None };
+        let mut bencher =
+            Bencher { settings: self.settings.clone(), stats: None, test_mode: self.test_mode };
         f(&mut bencher, input);
         let label = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        if self.test_mode {
+            match bencher.stats {
+                Some(_) => println!("Testing {label} ... Success"),
+                None => println!("Testing {label} ... no routine (Bencher::iter never called)"),
+            }
+            return;
+        }
         match bencher.stats {
             Some(stats) => println!(
                 "{label}: median {} (mean {}, min {}, max {}, {} samples)",
@@ -122,12 +155,21 @@ struct Stats {
 pub struct Bencher {
     settings: Settings,
     stats: Option<Stats>,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `routine`: warm-up for the configured duration, then up to
-    /// `sample_size` timed samples within the measurement budget.
+    /// `sample_size` timed samples within the measurement budget. In `--test` mode
+    /// the routine runs exactly once, with no warm-up.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let once = start.elapsed();
+            self.stats = Some(Stats { median: once, mean: once, min: once, max: once, samples: 1 });
+            return;
+        }
         let warm_up_start = Instant::now();
         while warm_up_start.elapsed() < self.settings.warm_up_time {
             std::hint::black_box(routine());
@@ -205,6 +247,27 @@ mod tests {
         });
         group.finish();
         assert!(ran >= 3, "routine must run during warm-up and sampling");
+    }
+
+    #[test]
+    fn test_flag_runs_each_routine_exactly_once() {
+        let mut c = Criterion::from_flags(["--test".to_string()]);
+        let mut group = c.benchmark_group("test");
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &(), |b, _| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 1, "--test mode must run the routine exactly once");
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let c = Criterion::from_flags(["--bench".to_string(), "foo".to_string()]);
+        assert!(!c.test_mode);
+        assert!(Criterion::from_flags(["--test".to_string()]).test_mode);
     }
 
     #[test]
