@@ -7,7 +7,7 @@
 //! synchronous R-tree traversal even though both perform almost the same number of
 //! object comparisons.
 
-use touch_core::{ResultSink, SpatialJoinAlgorithm};
+use touch_core::{deliver, PairSink, SpatialJoinAlgorithm};
 use touch_geom::Dataset;
 use touch_index::PackedRTree;
 use touch_metrics::{MemoryUsage, Phase, RunReport};
@@ -36,9 +36,7 @@ impl SpatialJoinAlgorithm for IndexedNestedLoopJoin {
         "Indexed NL".to_string()
     }
 
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
-        let mut report = RunReport::new(self.name(), a.len(), b.len());
-        let results_before = sink.count();
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         let mut counters = std::mem::take(&mut report.counters);
 
         // Build the index on dataset A only.
@@ -46,17 +44,26 @@ impl SpatialJoinAlgorithm for IndexedNestedLoopJoin {
             PackedRTree::build(a.objects(), self.leaf_capacity, self.fanout)
         });
 
-        // Loop over dataset B, querying the index once per object.
+        // Loop over dataset B, querying the index once per object; an
+        // early-terminating sink stops the probe loop between queries. The R-tree
+        // query itself cannot be aborted mid-probe, so `deliver` guards every
+        // push: once the sink reports done the remaining hits of the current
+        // probe are discarded, keeping `results` equal to the delivered pairs.
+        let mut results = 0u64;
         report.timer.time(Phase::Join, || {
             for ob in b.iter() {
-                tree.query(&ob.mbr, &mut counters, |oa| sink.push(oa.id, ob.id));
+                if sink.is_done() {
+                    break;
+                }
+                tree.query(&ob.mbr, &mut counters, |oa| {
+                    let _ = deliver(sink, oa.id, ob.id, &mut results);
+                });
             }
         });
 
-        counters.results = sink.count() - results_before;
+        counters.results += results;
         report.counters = counters;
         report.memory_bytes = tree.memory_bytes();
-        report
     }
 }
 

@@ -1,6 +1,6 @@
 //! The nested loop join — the textbook worst case (Section 2.1).
 
-use touch_core::{kernels, ResultSink, SpatialJoinAlgorithm};
+use touch_core::{deliver, kernels, PairSink, SpatialJoinAlgorithm};
 use touch_geom::Dataset;
 use touch_metrics::{Phase, RunReport};
 
@@ -24,19 +24,17 @@ impl SpatialJoinAlgorithm for NestedLoopJoin {
         "NL".to_string()
     }
 
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
-        let mut report = RunReport::new(self.name(), a.len(), b.len());
-        let results_before = sink.count();
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         let mut counters = std::mem::take(&mut report.counters);
+        let mut results = 0u64;
         report.timer.time(Phase::Join, || {
             kernels::all_pairs(a.objects(), b.objects(), &mut counters, &mut |x, y| {
-                sink.push(x, y)
+                deliver(sink, x, y, &mut results)
             });
         });
-        counters.results = sink.count() - results_before;
+        counters.results += results;
         report.counters = counters;
         report.memory_bytes = 0;
-        report
     }
 }
 

@@ -14,7 +14,7 @@
 //! related work); it is included to complete the design-space coverage and as an
 //! additional correctness cross-check.
 
-use touch_core::{kernels, ResultSink, SpatialJoinAlgorithm};
+use touch_core::{deliver, kernels, PairSink, SpatialJoinAlgorithm};
 use touch_geom::{Aabb, Dataset, SpatialObject};
 use touch_index::Octree;
 use touch_metrics::{vec_bytes, MemoryUsage, Phase, RunReport};
@@ -49,14 +49,12 @@ impl SpatialJoinAlgorithm for OctreeJoin {
         "Octree".to_string()
     }
 
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
-        let mut report = RunReport::new(self.name(), a.len(), b.len());
-        let results_before = sink.count();
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         let mut counters = std::mem::take(&mut report.counters);
 
         let Some(extent) = join_extent(a, b) else {
             report.counters = counters;
-            return report;
+            return;
         };
 
         // Index both datasets over the joint extent.
@@ -74,10 +72,14 @@ impl SpatialJoinAlgorithm for OctreeJoin {
         // reference point.
         let mut peak_scratch = 0usize;
         let mut suppressed = 0u64;
+        let mut results = 0u64;
         report.timer.time(Phase::Join, || {
             let mut scratch_a: Vec<SpatialObject> = Vec::new();
             let mut scratch_b: Vec<SpatialObject> = Vec::new();
             tree_a.for_each_leaf(|region, ids_a| {
+                if sink.is_done() {
+                    return;
+                }
                 let candidates_b = tree_b.query_candidates(region);
                 if candidates_b.is_empty() {
                     return;
@@ -94,9 +96,10 @@ impl SpatialJoinAlgorithm for OctreeJoin {
                     &mut |ia, ib| {
                         let rp = a.get(ia).mbr.intersection_reference_point(&b.get(ib).mbr);
                         if tree_a.owns_point(region, &rp) {
-                            sink.push(ia, ib);
+                            deliver(sink, ia, ib, &mut results)
                         } else {
                             suppressed += 1;
+                            !sink.is_done()
                         }
                     },
                 );
@@ -104,10 +107,9 @@ impl SpatialJoinAlgorithm for OctreeJoin {
         });
         counters.duplicates_suppressed += suppressed;
 
-        counters.results = sink.count() - results_before;
+        counters.results += results;
         report.counters = counters;
         report.memory_bytes = tree_a.memory_bytes() + tree_b.memory_bytes() + peak_scratch;
-        report
     }
 }
 

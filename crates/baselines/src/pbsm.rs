@@ -12,7 +12,7 @@
 //! magnitude more memory than everything else) and PBSM-100 (100 cells per
 //! dimension — less memory, more comparisons).
 
-use touch_core::{kernels, ResultSink, SpatialJoinAlgorithm};
+use touch_core::{deliver, kernels, PairSink, SpatialJoinAlgorithm};
 use touch_geom::{Aabb, Dataset};
 use touch_index::{MultiAssignGrid, UniformGrid};
 use touch_metrics::{vec_bytes, MemoryUsage, Phase, RunReport};
@@ -62,14 +62,12 @@ impl SpatialJoinAlgorithm for PbsmJoin {
         self.label.to_string()
     }
 
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
-        let mut report = RunReport::new(self.name(), a.len(), b.len());
-        let results_before = sink.count();
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         let mut counters = std::mem::take(&mut report.counters);
 
         let Some(extent) = join_extent(a, b) else {
             report.counters = counters;
-            return report;
+            return;
         };
         let grid = UniformGrid::new(extent, self.cells_per_dim);
 
@@ -84,10 +82,14 @@ impl SpatialJoinAlgorithm for PbsmJoin {
         // reference-point rule.
         let mut peak_scratch = 0usize;
         let mut suppressed = 0u64;
+        let mut results = 0u64;
         report.timer.time(Phase::Join, || {
             let mut scratch_a = Vec::new();
             let mut scratch_b = Vec::new();
             for cell in grid_a.non_empty_cells() {
+                if sink.is_done() {
+                    break;
+                }
                 let ids_a = grid_a.cell_entries(cell);
                 let ids_b = grid_b.cell_entries(cell);
                 if ids_a.is_empty() || ids_b.is_empty() {
@@ -107,9 +109,10 @@ impl SpatialJoinAlgorithm for PbsmJoin {
                         // cell containing the lower corner of its MBR intersection.
                         let ref_point = a.get(ia).mbr.intersection_reference_point(&b.get(ib).mbr);
                         if grid.linear_index(grid.cell_of_point(&ref_point)) == cell {
-                            sink.push(ia, ib);
+                            deliver(sink, ia, ib, &mut results)
                         } else {
                             suppressed += 1;
+                            !sink.is_done()
                         }
                     },
                 );
@@ -117,10 +120,9 @@ impl SpatialJoinAlgorithm for PbsmJoin {
         });
         counters.duplicates_suppressed += suppressed;
 
-        counters.results = sink.count() - results_before;
+        counters.results += results;
         report.counters = counters;
         report.memory_bytes = grid_a.memory_bytes() + grid_b.memory_bytes() + peak_scratch;
-        report
     }
 }
 

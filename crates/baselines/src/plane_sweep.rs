@@ -1,6 +1,6 @@
 //! The plane-sweep join (Section 2.1).
 
-use touch_core::{kernels, ResultSink, SpatialJoinAlgorithm};
+use touch_core::{deliver, kernels, PairSink, SpatialJoinAlgorithm};
 use touch_geom::Dataset;
 use touch_metrics::{vec_bytes, Phase, RunReport};
 
@@ -26,9 +26,7 @@ impl SpatialJoinAlgorithm for PlaneSweepJoin {
         "PS".to_string()
     }
 
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
-        let mut report = RunReport::new(self.name(), a.len(), b.len());
-        let results_before = sink.count();
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         let mut counters = std::mem::take(&mut report.counters);
 
         // Build phase: the sort working copies.
@@ -36,12 +34,14 @@ impl SpatialJoinAlgorithm for PlaneSweepJoin {
             report.timer.time(Phase::Build, || (a.objects().to_vec(), b.objects().to_vec()));
         report.memory_bytes = vec_bytes(&sa) + vec_bytes(&sb);
 
+        let mut results = 0u64;
         report.timer.time(Phase::Join, || {
-            kernels::plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| sink.push(x, y));
+            kernels::plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| {
+                deliver(sink, x, y, &mut results)
+            });
         });
-        counters.results = sink.count() - results_before;
+        counters.results += results;
         report.counters = counters;
-        report
     }
 }
 

@@ -7,8 +7,8 @@
 //! but is faster because the trees are traversed once, synchronously, instead of once
 //! per probe object — at the cost of keeping two trees in memory.
 
-use touch_core::{kernels, ResultSink, SpatialJoinAlgorithm};
-use touch_geom::Dataset;
+use touch_core::{deliver, kernels, PairSink, SpatialJoinAlgorithm};
+use touch_geom::{Dataset, ObjectId};
 use touch_index::{PackedRTree, RTreeNode};
 use touch_metrics::{Counters, MemoryUsage, Phase, RunReport};
 
@@ -37,9 +37,7 @@ impl SpatialJoinAlgorithm for RTreeSyncJoin {
         "RTree".to_string()
     }
 
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
-        let mut report = RunReport::new(self.name(), a.len(), b.len());
-        let results_before = sink.count();
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         let mut counters = std::mem::take(&mut report.counters);
 
         // Build one tree per dataset.
@@ -50,66 +48,88 @@ impl SpatialJoinAlgorithm for RTreeSyncJoin {
             )
         });
 
+        let mut results = 0u64;
         report.timer.time(Phase::Join, || {
             if let (Some(ra), Some(rb)) = (tree_a.root_index(), tree_b.root_index()) {
-                sync_traverse(&tree_a, &tree_b, ra, rb, &mut counters, sink);
+                let _ = sync_traverse(&tree_a, &tree_b, ra, rb, &mut counters, &mut |ia, ib| {
+                    deliver(sink, ia, ib, &mut results)
+                });
             }
         });
 
-        counters.results = sink.count() - results_before;
+        counters.results += results;
         report.counters = counters;
         report.memory_bytes = tree_a.memory_bytes() + tree_b.memory_bytes();
-        report
     }
 }
 
 /// Recursive synchronous traversal of two nodes whose MBRs are known (or assumed at
 /// the roots) to be worth exploring. Shared with the seeded-tree join, which performs
 /// the same traversal between the A-tree and each of its grown B-subtrees.
+///
+/// `emit` follows the early-termination convention of [`touch_core::kernels`]:
+/// returning `false` aborts the whole traversal, and `sync_traverse` propagates
+/// the verdict (`false` = stopped) to its caller.
 pub(crate) fn sync_traverse(
     tree_a: &PackedRTree,
     tree_b: &PackedRTree,
     idx_a: usize,
     idx_b: usize,
     counters: &mut Counters,
-    sink: &mut ResultSink,
-) {
+    emit: &mut dyn FnMut(ObjectId, ObjectId) -> bool,
+) -> bool {
     let node_a: &RTreeNode = tree_a.node(idx_a);
     let node_b: &RTreeNode = tree_b.node(idx_b);
     counters.record_node_test();
     if !node_a.mbr.intersects(&node_b.mbr) {
-        return;
+        return true;
     }
     match (node_a.is_leaf(), node_b.is_leaf()) {
         (true, true) => {
+            let mut go_on = true;
             kernels::all_pairs(
                 tree_a.leaf_entries(node_a),
                 tree_b.leaf_entries(node_b),
                 counters,
-                &mut |ia, ib| sink.push(ia, ib),
+                &mut |ia, ib| {
+                    go_on = emit(ia, ib);
+                    go_on
+                },
             );
+            go_on
         }
         (false, true) => {
             for child in tree_a.child_indices(node_a) {
-                sync_traverse(tree_a, tree_b, child, idx_b, counters, sink);
+                if !sync_traverse(tree_a, tree_b, child, idx_b, counters, emit) {
+                    return false;
+                }
             }
+            true
         }
         (true, false) => {
             for child in tree_b.child_indices(node_b) {
-                sync_traverse(tree_a, tree_b, idx_a, child, counters, sink);
+                if !sync_traverse(tree_a, tree_b, idx_a, child, counters, emit) {
+                    return false;
+                }
             }
+            true
         }
         (false, false) => {
             // Descend the taller tree first so both reach their leaves together.
             if node_a.level >= node_b.level {
                 for child in tree_a.child_indices(node_a) {
-                    sync_traverse(tree_a, tree_b, child, idx_b, counters, sink);
+                    if !sync_traverse(tree_a, tree_b, child, idx_b, counters, emit) {
+                        return false;
+                    }
                 }
             } else {
                 for child in tree_b.child_indices(node_b) {
-                    sync_traverse(tree_a, tree_b, idx_a, child, counters, sink);
+                    if !sync_traverse(tree_a, tree_b, idx_a, child, counters, emit) {
+                        return false;
+                    }
                 }
             }
+            true
         }
     }
 }

@@ -14,7 +14,7 @@
 //! they are compared against nearly everything — the behaviour the paper's Figures
 //! 9–11 highlight and that TOUCH's data-oriented partitioning avoids.
 
-use touch_core::{kernels, ResultSink, SpatialJoinAlgorithm};
+use touch_core::{deliver, kernels, PairSink, SpatialJoinAlgorithm};
 use touch_geom::{Aabb, Dataset, SpatialObject};
 use touch_index::{HierGridIndex, HierarchicalGrid, LevelCell};
 use touch_metrics::{vec_bytes, MemoryUsage, Phase, RunReport};
@@ -52,7 +52,8 @@ impl S3Join {
         self.refinement
     }
 
-    /// Joins the contents of two cells with a plane-sweep.
+    /// Joins the contents of two cells with a plane-sweep, counting delivered
+    /// pairs into `results` and honouring the sink's early termination.
     #[allow(clippy::too_many_arguments)]
     fn join_cells(
         a: &Dataset,
@@ -62,16 +63,19 @@ impl S3Join {
         counters: &mut touch_metrics::Counters,
         scratch_a: &mut Vec<SpatialObject>,
         scratch_b: &mut Vec<SpatialObject>,
-        sink: &mut ResultSink,
+        sink: &mut dyn PairSink,
+        results: &mut u64,
     ) {
-        if ids_a.is_empty() || ids_b.is_empty() {
+        if ids_a.is_empty() || ids_b.is_empty() || sink.is_done() {
             return;
         }
         scratch_a.clear();
         scratch_b.clear();
         scratch_a.extend(ids_a.iter().map(|&id| *a.get(id)));
         scratch_b.extend(ids_b.iter().map(|&id| *b.get(id)));
-        kernels::plane_sweep(scratch_a, scratch_b, counters, &mut |ia, ib| sink.push(ia, ib));
+        kernels::plane_sweep(scratch_a, scratch_b, counters, &mut |ia, ib| {
+            deliver(sink, ia, ib, results)
+        });
     }
 }
 
@@ -80,14 +84,12 @@ impl SpatialJoinAlgorithm for S3Join {
         "S3".to_string()
     }
 
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
-        let mut report = RunReport::new(self.name(), a.len(), b.len());
-        let results_before = sink.count();
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         let mut counters = std::mem::take(&mut report.counters);
 
         let Some(extent) = join_extent(a, b) else {
             report.counters = counters;
-            return report;
+            return;
         };
         let hier = HierarchicalGrid::new(extent, self.levels, self.refinement);
 
@@ -97,6 +99,7 @@ impl SpatialJoinAlgorithm for S3Join {
             report.timer.time(Phase::Assignment, || HierGridIndex::build(hier, b.objects()));
 
         let mut peak_scratch = 0usize;
+        let mut results = 0u64;
         report.timer.time(Phase::Join, || {
             let mut scratch_a: Vec<SpatialObject> = Vec::new();
             let mut scratch_b: Vec<SpatialObject> = Vec::new();
@@ -116,6 +119,7 @@ impl SpatialJoinAlgorithm for S3Join {
                             &mut scratch_a,
                             &mut scratch_b,
                             sink,
+                            &mut results,
                         );
                         peak_scratch =
                             peak_scratch.max(vec_bytes(&scratch_a) + vec_bytes(&scratch_b));
@@ -137,6 +141,7 @@ impl SpatialJoinAlgorithm for S3Join {
                             &mut scratch_a,
                             &mut scratch_b,
                             sink,
+                            &mut results,
                         );
                         peak_scratch =
                             peak_scratch.max(vec_bytes(&scratch_a) + vec_bytes(&scratch_b));
@@ -145,10 +150,9 @@ impl SpatialJoinAlgorithm for S3Join {
             }
         });
 
-        counters.results = sink.count() - results_before;
+        counters.results += results;
         report.counters = counters;
         report.memory_bytes = index_a.memory_bytes() + index_b.memory_bytes() + peak_scratch;
-        report
     }
 }
 

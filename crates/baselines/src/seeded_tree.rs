@@ -12,7 +12,7 @@
 //! space next to the indexed nested loop.
 
 use crate::rtree_join::sync_traverse;
-use touch_core::{ResultSink, SpatialJoinAlgorithm};
+use touch_core::{deliver, PairSink, SpatialJoinAlgorithm};
 use touch_geom::{Aabb, Dataset, SpatialObject};
 use touch_index::PackedRTree;
 use touch_metrics::{vec_bytes, MemoryUsage, Phase, RunReport};
@@ -78,9 +78,7 @@ impl SpatialJoinAlgorithm for SeededTreeJoin {
         "Seeded tree".to_string()
     }
 
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
-        let mut report = RunReport::new(self.name(), a.len(), b.len());
-        let results_before = sink.count();
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         let mut counters = std::mem::take(&mut report.counters);
 
         // The existing index on dataset A.
@@ -107,22 +105,32 @@ impl SpatialJoinAlgorithm for SeededTreeJoin {
         });
 
         // Join: synchronous traversal of the A-tree against every grown subtree.
+        let mut results = 0u64;
         report.timer.time(Phase::Join, || {
+            let mut emit = |ia, ib| deliver(sink, ia, ib, &mut results);
             if let Some(root_a) = tree_a.root_index() {
                 for slot_tree in &slot_trees {
                     if let Some(root_b) = slot_tree.root_index() {
-                        sync_traverse(&tree_a, slot_tree, root_a, root_b, &mut counters, sink);
+                        if !sync_traverse(
+                            &tree_a,
+                            slot_tree,
+                            root_a,
+                            root_b,
+                            &mut counters,
+                            &mut emit,
+                        ) {
+                            break;
+                        }
                     }
                 }
             }
         });
 
-        counters.results = sink.count() - results_before;
+        counters.results += results;
         report.counters = counters;
         report.memory_bytes = tree_a.memory_bytes()
             + slot_trees.iter().map(MemoryUsage::memory_bytes).sum::<usize>()
             + slots.iter().map(vec_bytes).sum::<usize>();
-        report
     }
 }
 

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use touch_bench::synthetic;
-use touch_core::{JoinOrder, ResultSink, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
+use touch_core::{CountingSink, JoinOrder, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
 use touch_datagen::SyntheticDistribution;
 use touch_geom::Dataset;
 use touch_streaming::{StreamingConfig, StreamingTouchJoin};
@@ -37,9 +37,9 @@ fn bench(c: &mut Criterion) {
             &b,
             |bencher, b| {
                 bencher.iter(|| {
-                    let mut sink = ResultSink::counting();
+                    let mut sink = CountingSink::new();
                     for chunk in b.objects().chunks(batch) {
-                        engine.push_batch(chunk, &mut sink);
+                        let _ = engine.push_batch(chunk, &mut sink);
                     }
                     black_box(sink.count())
                 })
@@ -56,8 +56,8 @@ fn bench(c: &mut Criterion) {
                     let mut total = 0u64;
                     for chunk in b.objects().chunks(batch) {
                         let chunk_ds = Dataset::from_mbrs(chunk.iter().map(|o| o.mbr));
-                        let mut sink = ResultSink::counting();
-                        rebuild.join(&a_ext, &chunk_ds, &mut sink);
+                        let mut sink = CountingSink::new();
+                        let _ = rebuild.join(&a_ext, &chunk_ds, &mut sink);
                         total += sink.count();
                     }
                     black_box(total)

@@ -9,7 +9,7 @@
 //! minutes; the experiment binaries in `touch-experiments` are the tool for larger
 //! runs.
 
-use touch_core::{distance_join, ResultSink, SpatialJoinAlgorithm};
+use touch_core::{CountingSink, JoinQuery, SpatialJoinAlgorithm};
 use touch_experiments::{workload, Context};
 use touch_geom::Dataset;
 
@@ -39,8 +39,8 @@ pub fn run_distance_join(
     b: &Dataset,
     eps: f64,
 ) -> u64 {
-    let mut sink = ResultSink::counting();
-    let report = distance_join(algo, a, b, eps, &mut sink);
+    let report =
+        JoinQuery::new(a, b).within_distance(eps).engine(algo).run(&mut CountingSink::new());
     report.result_pairs()
 }
 

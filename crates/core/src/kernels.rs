@@ -7,22 +7,29 @@
 //! all-pairs scan. The two list kernels live here so that `touch-baselines` can reuse
 //! them without duplicating the counting conventions.
 
+//!
+//! Both kernels follow the workspace's early-termination convention: `emit`
+//! returns `true` to continue and `false` to stop the scan immediately (the way a
+//! [`crate::PairSink`] that reports [`crate::PairSink::is_done`] — e.g.
+//! [`crate::FirstKSink`] — cuts a join short). Emitters that never stop simply
+//! return `true` unconditionally.
+
 use touch_geom::{ObjectId, SpatialObject};
 use touch_metrics::Counters;
 
 /// Compares every object of `a` against every object of `b` and emits the
-/// intersecting pairs. `O(|a|·|b|)` comparisons.
+/// intersecting pairs. `O(|a|·|b|)` comparisons, fewer if `emit` stops the scan.
 pub fn all_pairs(
     a: &[SpatialObject],
     b: &[SpatialObject],
     counters: &mut Counters,
-    emit: &mut impl FnMut(ObjectId, ObjectId),
+    emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
 ) {
     for oa in a {
         for ob in b {
             counters.record_comparison();
-            if oa.mbr.intersects(&ob.mbr) {
-                emit(oa.id, ob.id);
+            if oa.mbr.intersects(&ob.mbr) && !emit(oa.id, ob.id) {
+                return;
             }
         }
     }
@@ -44,7 +51,7 @@ pub fn plane_sweep(
     a: &mut [SpatialObject],
     b: &mut [SpatialObject],
     counters: &mut Counters,
-    emit: &mut impl FnMut(ObjectId, ObjectId),
+    emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
 ) {
     if a.is_empty() || b.is_empty() {
         return;
@@ -60,8 +67,8 @@ pub fn plane_sweep(
             let mut k = j;
             while k < b.len() && b[k].mbr.min.x <= upper {
                 counters.record_comparison();
-                if a[i].mbr.intersects(&b[k].mbr) {
-                    emit(a[i].id, b[k].id);
+                if a[i].mbr.intersects(&b[k].mbr) && !emit(a[i].id, b[k].id) {
+                    return;
                 }
                 k += 1;
             }
@@ -71,8 +78,8 @@ pub fn plane_sweep(
             let mut k = i;
             while k < a.len() && a[k].mbr.min.x <= upper {
                 counters.record_comparison();
-                if a[k].mbr.intersects(&b[j].mbr) {
-                    emit(a[k].id, b[j].id);
+                if a[k].mbr.intersects(&b[j].mbr) && !emit(a[k].id, b[j].id) {
+                    return;
                 }
                 k += 1;
             }
@@ -132,7 +139,10 @@ mod tests {
         let b = pseudo_random_dataset(60, 2);
         let mut counters = Counters::new();
         let mut pairs = Vec::new();
-        all_pairs(a.objects(), b.objects(), &mut counters, &mut |x, y| pairs.push((x, y)));
+        all_pairs(a.objects(), b.objects(), &mut counters, &mut |x, y| {
+            pairs.push((x, y));
+            true
+        });
         pairs.sort_unstable();
         assert_eq!(pairs, brute(&a, &b));
         assert_eq!(counters.comparisons, 40 * 60);
@@ -146,7 +156,10 @@ mod tests {
         let mut pairs = Vec::new();
         let mut sa = a.objects().to_vec();
         let mut sb = b.objects().to_vec();
-        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| pairs.push((x, y)));
+        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| {
+            pairs.push((x, y));
+            true
+        });
         pairs.sort_unstable();
         assert_eq!(pairs, brute(&a, &b));
         // The sweep never does more work than the nested loop.
@@ -162,7 +175,10 @@ mod tests {
         let mut pairs = Vec::new();
         let mut sa = a.objects().to_vec();
         let mut sb = b.objects().to_vec();
-        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| pairs.push((x, y)));
+        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| {
+            pairs.push((x, y));
+            true
+        });
         pairs.sort_unstable();
         assert_eq!(pairs, brute(&a, &b));
         assert!(
@@ -182,7 +198,10 @@ mod tests {
         let mut pairs = Vec::new();
         let mut sa = a.objects().to_vec();
         let mut sb = b.objects().to_vec();
-        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| pairs.push((x, y)));
+        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| {
+            pairs.push((x, y));
+            true
+        });
         assert!(pairs.is_empty());
         assert_eq!(counters.comparisons, 1);
     }
@@ -193,11 +212,20 @@ mod tests {
         let empty = Dataset::new();
         let mut counters = Counters::new();
         let mut pairs = Vec::new();
-        all_pairs(a.objects(), empty.objects(), &mut counters, &mut |x, y| pairs.push((x, y)));
+        all_pairs(a.objects(), empty.objects(), &mut counters, &mut |x, y| {
+            pairs.push((x, y));
+            true
+        });
         let mut sa = a.objects().to_vec();
         let mut se = empty.objects().to_vec();
-        plane_sweep(&mut sa, &mut se, &mut counters, &mut |x, y| pairs.push((x, y)));
-        plane_sweep(&mut se, &mut sa, &mut counters, &mut |x, y| pairs.push((x, y)));
+        plane_sweep(&mut sa, &mut se, &mut counters, &mut |x, y| {
+            pairs.push((x, y));
+            true
+        });
+        plane_sweep(&mut se, &mut sa, &mut counters, &mut |x, y| {
+            pairs.push((x, y));
+            true
+        });
         assert!(pairs.is_empty());
         assert_eq!(counters.comparisons, 0);
     }
@@ -211,10 +239,45 @@ mod tests {
         let mut pairs = Vec::new();
         let mut sa = a.objects().to_vec();
         let mut sb = b.objects().to_vec();
-        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| pairs.push((x, y)));
+        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| {
+            pairs.push((x, y));
+            true
+        });
         assert_eq!(pairs.len(), 35);
         pairs.sort_unstable();
         pairs.dedup();
         assert_eq!(pairs.len(), 35, "no duplicates");
+    }
+
+    #[test]
+    fn all_pairs_stops_when_emit_says_so() {
+        // 5 × 7 identical boxes: every comparison matches. Stopping after the 3rd
+        // emitted pair must leave the scan at 3 comparisons, not 35.
+        let a = dataset(&[(0.0, 0.0, 0.0, 1.0); 5]);
+        let b = dataset(&[(0.0, 0.0, 0.0, 1.0); 7]);
+        let mut counters = Counters::new();
+        let mut emitted = 0;
+        all_pairs(a.objects(), b.objects(), &mut counters, &mut |_, _| {
+            emitted += 1;
+            emitted < 3
+        });
+        assert_eq!(emitted, 3);
+        assert_eq!(counters.comparisons, 3, "the scan must stop with the emitter");
+    }
+
+    #[test]
+    fn plane_sweep_stops_when_emit_says_so() {
+        let a = dataset(&[(0.0, 0.0, 0.0, 1.0); 5]);
+        let b = dataset(&[(0.0, 0.0, 0.0, 1.0); 7]);
+        let mut counters = Counters::new();
+        let mut sa = a.objects().to_vec();
+        let mut sb = b.objects().to_vec();
+        let mut emitted = 0;
+        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |_, _| {
+            emitted += 1;
+            emitted < 3
+        });
+        assert_eq!(emitted, 3);
+        assert!(counters.comparisons < 35, "the sweep must stop with the emitter");
     }
 }

@@ -19,22 +19,29 @@
 //!    uniform grid (with reference-point de-duplication), a plane-sweep, or an
 //!    all-pairs scan ([`LocalJoinStrategy`]).
 //!
-//! The crate also defines the vocabulary shared with the baseline algorithms
-//! (`touch-baselines`): the [`SpatialJoinAlgorithm`] trait, the [`ResultSink`]
-//! result collector, the [`distance_join`] ε-translation wrapper and the pairwise
-//! join kernels ([`kernels`]).
+//! The crate also defines the vocabulary shared by every engine and baseline:
+//!
+//! * the [`SpatialJoinAlgorithm`] trait — the engine-side contract, driven
+//!   object-safely as `&dyn SpatialJoinAlgorithm` with a `&mut dyn PairSink`,
+//! * the [`PairSink`] trait and its standard consumers — [`CountingSink`],
+//!   [`CollectingSink`], [`CallbackSink`] (zero-materialisation streaming) and
+//!   [`FirstKSink`] (early termination),
+//! * the [`JoinQuery`] builder — the single user-facing entrypoint that owns the
+//!   distance-join ε-translation ([`Predicate::WithinDistance`]), report identity
+//!   and the sink lifecycle,
+//! * the pairwise join kernels ([`kernels`]).
 //!
 //! For multi-threaded execution (the `touch-parallel` crate) the tree exposes its
 //! per-phase building blocks — [`TouchTree::from_tiled`],
 //! [`TouchTree::assignment_target`] (read-only), [`TouchTree::extend_assigned`],
 //! [`TouchTree::nodes_with_assignments`] and [`TouchTree::local_join_node`] — and
-//! [`ShardedSink`] provides a lock-free per-worker result collector that merges back
-//! into a [`ResultSink`].
+//! [`ShardedSink`] adapts any [`PairSink`] into lock-free per-worker shards that
+//! merge back when the parallel section is over.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use touch_core::{SpatialJoinAlgorithm, TouchJoin, ResultSink, distance_join};
+//! use touch_core::{CollectingSink, JoinQuery, Predicate};
 //! use touch_geom::{Aabb, Dataset, Point3};
 //!
 //! // Two tiny datasets of unit boxes.
@@ -48,9 +55,10 @@
 //! }));
 //!
 //! // Distance join with ε = 1: every a_i matches b_{i-1} and b_i.
-//! let touch = TouchJoin::default();
-//! let mut sink = ResultSink::collecting();
-//! let report = distance_join(&touch, &a, &b, 1.0, &mut sink);
+//! let mut sink = CollectingSink::new();
+//! let report = JoinQuery::new(&a, &b)
+//!     .predicate(Predicate::WithinDistance(1.0))
+//!     .run(&mut sink);
 //! assert_eq!(report.result_pairs(), 19);
 //! assert_eq!(sink.pairs().len(), 19);
 //! ```
@@ -59,12 +67,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod kernels;
+mod query;
 mod sink;
 mod touch;
 mod traits;
 mod tree;
 
-pub use sink::{ResultSink, ShardedSink, SinkShard};
+pub use query::{IntoEngine, JoinQuery, Predicate};
+#[allow(deprecated)]
+pub use sink::ResultSink;
+pub use sink::{
+    deliver, CallbackSink, CollectingSink, CountingSink, FirstKSink, PairSink, ShardedSink,
+    SinkShard,
+};
 pub use touch::{JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};
 pub use traits::{collect_join, count_join, distance_join, SpatialJoinAlgorithm};
 pub use tree::{LocalJoinKind, LocalJoinParams, TouchNode, TouchTree};

@@ -1,0 +1,289 @@
+//! The unified query layer: [`JoinQuery`], [`Predicate`] and [`IntoEngine`].
+//!
+//! Every join in the workspace — TOUCH itself, the parallel and streaming
+//! engines, and all eight baselines — runs through the same builder:
+//!
+//! ```
+//! use touch_core::{CollectingSink, JoinQuery, Predicate, TouchConfig};
+//! use touch_geom::{Aabb, Dataset, Point3};
+//!
+//! let a = Dataset::from_mbrs((0..50).map(|i| {
+//!     let min = Point3::new(i as f64 * 3.0, 0.0, 0.0);
+//!     Aabb::new(min, min + Point3::splat(1.0))
+//! }));
+//! let b = Dataset::from_mbrs((0..50).map(|i| {
+//!     let min = Point3::new(i as f64 * 3.0 + 1.5, 0.0, 0.0);
+//!     Aabb::new(min, min + Point3::splat(1.0))
+//! }));
+//!
+//! let mut sink = CollectingSink::new();
+//! let report = JoinQuery::new(&a, &b)
+//!     .predicate(Predicate::WithinDistance(1.0))
+//!     .engine(TouchConfig::default())
+//!     .run(&mut sink);
+//! assert_eq!(report.result_pairs() as usize, sink.pairs().len());
+//! assert_eq!(report.epsilon, 1.0);
+//! ```
+//!
+//! The query layer owns everything that used to be scattered across wrappers and
+//! engines: the ε-translation of distance joins (including the scratch buffer that
+//! replaces the old per-call clone of dataset A), the A/B orientation contract,
+//! report identity (label, sizes, `epsilon` — set *before* the engine runs) and
+//! the sink lifecycle ([`crate::PairSink::finish`] after the join).
+
+use crate::{PairSink, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
+use touch_geom::Dataset;
+use touch_metrics::RunReport;
+
+/// The join predicate of a [`JoinQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Predicate {
+    /// Report pairs whose MBRs intersect (the default).
+    #[default]
+    Intersects,
+    /// Report pairs whose MBRs are within distance ε of each other, translated
+    /// into an intersection join by extending dataset A's MBRs by ε (Section 4 of
+    /// the paper).
+    WithinDistance(f64),
+}
+
+impl Predicate {
+    /// The ε this predicate contributes to [`RunReport::epsilon`] (0 for a plain
+    /// intersection join).
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        match *self {
+            Predicate::Intersects => 0.0,
+            Predicate::WithinDistance(eps) => eps,
+        }
+    }
+}
+
+/// Conversion into the boxed engine a [`JoinQuery`] runs on.
+///
+/// Implemented blanket-wise for everything that implements
+/// [`SpatialJoinAlgorithm`] — owned engines (`TouchJoin`, a baseline struct),
+/// borrowed ones (`&algo`, `&dyn SpatialJoinAlgorithm`) and boxed ones — plus
+/// plain [`TouchConfig`] as shorthand for a [`TouchJoin`] with that
+/// configuration. Downstream crates implement it for their own selectors (the
+/// `touch` facade's `Engine` enum).
+pub trait IntoEngine<'a> {
+    /// Boxes `self` as the engine the query will run.
+    fn into_engine(self) -> Box<dyn SpatialJoinAlgorithm + 'a>;
+}
+
+impl<'a, T: SpatialJoinAlgorithm + 'a> IntoEngine<'a> for T {
+    fn into_engine(self) -> Box<dyn SpatialJoinAlgorithm + 'a> {
+        Box::new(self)
+    }
+}
+
+impl<'a> IntoEngine<'a> for TouchConfig {
+    fn into_engine(self) -> Box<dyn SpatialJoinAlgorithm + 'a> {
+        Box::new(TouchJoin::new(self))
+    }
+}
+
+/// A configured spatial join over two datasets: the single entrypoint shared by
+/// every engine and every result consumer.
+///
+/// Build with [`JoinQuery::new`], refine with the builder methods, execute with
+/// [`JoinQuery::run`] against any [`PairSink`]. A query can be run multiple times
+/// (e.g. against different sinks); distance queries reuse an internal scratch
+/// buffer for the ε-extended dataset A across runs instead of cloning A per call.
+pub struct JoinQuery<'a> {
+    a: &'a Dataset,
+    b: &'a Dataset,
+    predicate: Predicate,
+    engine: Box<dyn SpatialJoinAlgorithm + 'a>,
+    /// Reused ε-extension buffer: the query layer's replacement for the old
+    /// `Dataset::extended` clone inside `distance_join`.
+    scratch: Option<Dataset>,
+}
+
+impl std::fmt::Debug for JoinQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinQuery")
+            .field("a_len", &self.a.len())
+            .field("b_len", &self.b.len())
+            .field("predicate", &self.predicate)
+            .field("engine", &self.engine.name())
+            .finish()
+    }
+}
+
+impl<'a> JoinQuery<'a> {
+    /// A query joining datasets `a` and `b` with the default predicate
+    /// ([`Predicate::Intersects`]) and the default engine
+    /// ([`TouchJoin::default`]).
+    pub fn new(a: &'a Dataset, b: &'a Dataset) -> Self {
+        JoinQuery {
+            a,
+            b,
+            predicate: Predicate::Intersects,
+            engine: Box::new(TouchJoin::default()),
+            scratch: None,
+        }
+    }
+
+    /// Sets the join predicate.
+    pub fn predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Shorthand for `.predicate(Predicate::WithinDistance(eps))`.
+    pub fn within_distance(self, eps: f64) -> Self {
+        self.predicate(Predicate::WithinDistance(eps))
+    }
+
+    /// Sets the engine executing the join: a [`TouchConfig`], any
+    /// [`SpatialJoinAlgorithm`] (owned, borrowed or boxed), or a facade-level
+    /// selector such as the `touch` crate's `Engine` enum.
+    pub fn engine(mut self, engine: impl IntoEngine<'a>) -> Self {
+        self.engine = engine.into_engine();
+        self
+    }
+
+    /// The configured predicate.
+    pub fn predicate_ref(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// The name of the configured engine (the label runs will carry).
+    pub fn engine_name(&self) -> String {
+        self.engine.name()
+    }
+
+    /// Executes the query, pushing every result pair into `sink` and returning
+    /// the measurement report.
+    ///
+    /// Responsibilities handled here, identically for every engine:
+    ///
+    /// * **ε-translation** — for [`Predicate::WithinDistance`], dataset A's MBRs
+    ///   are extended by ε into a scratch buffer that is reused across runs of
+    ///   this query (no per-call clone of A), and the intersection join runs over
+    ///   the extended boxes.
+    /// * **Report identity** — the report is created with the engine's label and
+    ///   the *original* dataset sizes, and [`RunReport::epsilon`] is set **before**
+    ///   the engine runs, so partial records the engine emits mid-run (cumulative
+    ///   streaming reports, progress rows) already carry it.
+    /// * **Orientation** — pairs always arrive as `(id_in_A, id_in_B)`, no matter
+    ///   which side the engine indexed.
+    /// * **Sink lifecycle** — [`PairSink::finish`] is invoked exactly once after
+    ///   the engine returns (also after an early termination).
+    pub fn run(&mut self, sink: &mut dyn PairSink) -> RunReport {
+        let eps = self.predicate.epsilon();
+        debug_assert!(eps >= 0.0, "distance-join ε must be non-negative, got {eps}");
+        let mut report = RunReport::new(self.engine.name(), self.a.len(), self.b.len());
+        report.epsilon = eps;
+
+        let a_run: &Dataset = if eps > 0.0 {
+            let scratch = self.scratch.get_or_insert_with(Dataset::new);
+            self.a.extend_into(eps, scratch);
+            scratch
+        } else {
+            self.a
+        };
+
+        self.engine.join_into(a_run, self.b, sink, &mut report);
+        sink.finish();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CallbackSink, CollectingSink, CountingSink, FirstKSink};
+    use touch_geom::{Aabb, Point3};
+
+    fn row(n: usize, offset: f64) -> Dataset {
+        Dataset::from_mbrs((0..n).map(|i| {
+            let min = Point3::new(i as f64 * 3.0 + offset, 0.0, 0.0);
+            Aabb::new(min, min + Point3::splat(1.0))
+        }))
+    }
+
+    #[test]
+    fn default_query_runs_touch_with_intersects() {
+        let a = row(10, 0.0);
+        let b = row(10, 0.5);
+        let mut sink = CollectingSink::new();
+        let mut query = JoinQuery::new(&a, &b);
+        assert_eq!(query.engine_name(), "TOUCH");
+        assert_eq!(*query.predicate_ref(), Predicate::Intersects);
+        let report = query.run(&mut sink);
+        assert_eq!(report.algorithm, "TOUCH");
+        assert_eq!(report.epsilon, 0.0);
+        assert_eq!(report.result_pairs(), 10);
+        assert_eq!(sink.count(), 10);
+    }
+
+    #[test]
+    fn distance_predicate_extends_a_on_the_fly() {
+        let a = row(10, 0.0); // boxes at 3i..3i+1
+        let b = row(10, 1.5); // gap of 0.5 to each neighbour
+        let mut miss = CountingSink::new();
+        let miss_report = JoinQuery::new(&a, &b).within_distance(0.2).run(&mut miss);
+        assert_eq!(miss_report.result_pairs(), 0);
+        assert_eq!(miss_report.epsilon, 0.2);
+
+        let mut hit = CountingSink::new();
+        let hit_report = JoinQuery::new(&a, &b).within_distance(0.6).run(&mut hit);
+        assert!(hit_report.result_pairs() > 0);
+        assert_eq!(hit_report.epsilon, 0.6);
+        // The original dataset is untouched by the scratch extension.
+        assert_eq!(a.get(0).mbr.max.x, 1.0);
+    }
+
+    #[test]
+    fn rerunning_a_query_reuses_the_scratch_and_agrees() {
+        let a = row(20, 0.0);
+        let b = row(20, 1.2);
+        let mut query = JoinQuery::new(&a, &b).within_distance(0.8);
+        let mut first = CollectingSink::new();
+        let r1 = query.run(&mut first);
+        let mut second = CollectingSink::new();
+        let r2 = query.run(&mut second);
+        assert_eq!(first.sorted_pairs(), second.sorted_pairs());
+        assert_eq!(r1.result_pairs(), r2.result_pairs());
+    }
+
+    #[test]
+    fn engine_accepts_configs_and_references() {
+        let a = row(8, 0.0);
+        let b = row(8, 0.5);
+        let mut via_cfg = CollectingSink::new();
+        let _ = JoinQuery::new(&a, &b).engine(TouchConfig::default()).run(&mut via_cfg);
+        let touch = TouchJoin::default();
+        let mut via_ref = CollectingSink::new();
+        let _ = JoinQuery::new(&a, &b).engine(&touch).run(&mut via_ref);
+        let dynamic: &dyn SpatialJoinAlgorithm = &touch;
+        let mut via_dyn = CollectingSink::new();
+        let _ = JoinQuery::new(&a, &b).engine(dynamic).run(&mut via_dyn);
+        assert_eq!(via_cfg.sorted_pairs(), via_ref.sorted_pairs());
+        assert_eq!(via_cfg.sorted_pairs(), via_dyn.sorted_pairs());
+    }
+
+    #[test]
+    fn callback_sink_streams_without_materialising() {
+        let a = row(10, 0.0);
+        let b = row(10, 0.5);
+        let mut seen = 0u64;
+        let mut sink = CallbackSink::new(|_, _| seen += 1);
+        let report = JoinQuery::new(&a, &b).run(&mut sink);
+        assert_eq!(sink.count(), report.result_pairs());
+        assert_eq!(seen, report.result_pairs());
+    }
+
+    #[test]
+    fn first_k_terminates_the_default_engine_early() {
+        let a = row(64, 0.0);
+        let b = row(64, 0.5);
+        let mut sink = FirstKSink::new(3);
+        let report = JoinQuery::new(&a, &b).run(&mut sink);
+        assert_eq!(sink.count(), 3);
+        assert_eq!(report.result_pairs(), 3, "results counter reflects the early stop");
+    }
+}

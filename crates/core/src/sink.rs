@@ -1,41 +1,111 @@
-//! Result collection.
+//! Result collection: the [`PairSink`] trait and its standard implementations.
+//!
+//! Every join engine in the workspace reports its result pairs through a
+//! `&mut dyn PairSink`. The trait decouples *finding* pairs from *consuming* them:
+//! the same engine can count ([`CountingSink`]), materialise ([`CollectingSink`]),
+//! stream pairs into arbitrary user code without buffering ([`CallbackSink`]) or
+//! stop early once enough results arrived ([`FirstKSink`]) — and parallel engines
+//! go through the same interface via the [`ShardedSink`] adapter.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use touch_geom::ObjectId;
 
-/// Collects the result pairs of a join.
+/// A consumer of spatial-join result pairs.
 ///
-/// At the paper's dataset sizes the result set can reach billions of pairs, so the
-/// experiment harness runs joins in *counting* mode ([`ResultSink::counting`]) where
-/// pairs are tallied but not materialised. Library users who need the pairs use
-/// [`ResultSink::collecting`].
+/// Engines report **every** result pair `(a, b)` — oriented as `(id_in_A, id_in_B)`
+/// regardless of the join order chosen internally — through [`PairSink::push`],
+/// exactly once per pair.
 ///
-/// Pairs are always reported as `(id_in_A, id_in_B)` regardless of the join order an
-/// algorithm chose internally.
-#[derive(Debug, Clone)]
-pub struct ResultSink {
-    collect: bool,
-    count: u64,
-    pairs: Vec<(ObjectId, ObjectId)>,
+/// # Early termination
+///
+/// A sink may signal that it has seen enough by returning `true` from
+/// [`PairSink::is_done`]. Engines honour the signal inside their local-join loops:
+/// they stop scanning as soon as they observe it (sequential engines check after
+/// every delivered pair; the parallel engines propagate a shared pair budget from
+/// [`PairSink::pair_limit`] to their worker shards). The signal is a *permission to
+/// stop*, not an obligation — a sink must tolerate further `push` calls after
+/// reporting done.
+///
+/// # Counting-only consumers
+///
+/// A sink that does not need the pair identities returns `false` from
+/// [`PairSink::wants_pairs`]. Engines still `push` every pair they find one by one,
+/// but *merging* paths (e.g. a [`ShardedSink`] draining its per-worker shards) may
+/// instead transfer whole tallies through [`PairSink::add_count`] — such a sink
+/// **must** override `add_count`, or bulk counts are silently dropped by the
+/// default no-op.
+pub trait PairSink {
+    /// Consumes one result pair `(id_in_A, id_in_B)`.
+    fn push(&mut self, a: ObjectId, b: ObjectId);
+
+    /// `true` (the default) if the sink needs the identities of the pairs; `false`
+    /// if a tally is enough ([`CountingSink`]), letting merge paths skip pair
+    /// materialisation entirely.
+    fn wants_pairs(&self) -> bool {
+        true
+    }
+
+    /// `true` once the sink has seen enough pairs; engines stop their local-join
+    /// loops as soon as they observe it. Defaults to `false` (never stop).
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    /// Upper bound on the number of further pairs this sink will accept, or `None`
+    /// (the default) for unbounded sinks. Parallel engines convert the limit into a
+    /// budget shared by their worker shards so early termination also works when
+    /// pairs are produced concurrently.
+    fn pair_limit(&self) -> Option<u64> {
+        None
+    }
+
+    /// Consumes a tally of `n` pairs whose identities were not materialised.
+    ///
+    /// Only called by merge paths, and only when [`PairSink::wants_pairs`] is
+    /// `false`. The default implementation drops the tally — counting sinks must
+    /// override it.
+    fn add_count(&mut self, n: u64) {
+        let _ = n;
+    }
+
+    /// Called exactly once by the query layer after the join completed, giving
+    /// buffering sinks a flush point. Defaults to a no-op.
+    fn finish(&mut self) {}
 }
 
-impl ResultSink {
-    /// A sink that only counts result pairs.
-    pub fn counting() -> Self {
-        ResultSink { collect: false, count: 0, pairs: Vec::new() }
+/// Delivers one result pair to `sink` following the early-termination protocol,
+/// and counts it in `results` only if it was actually pushed.
+///
+/// This is the one implementation of the per-pair delivery step every engine's
+/// emit closure needs: nothing is pushed into a sink that already reported
+/// [`PairSink::is_done`], `results` stays equal to the pairs the sink received,
+/// and the returned value follows the [`kernels`](crate::kernels) emit
+/// convention — `true` to continue the scan, `false` to stop it. Engines use it
+/// as `&mut |a, b| deliver(sink, a, b, &mut results)`.
+#[inline]
+pub fn deliver(sink: &mut dyn PairSink, a: ObjectId, b: ObjectId, results: &mut u64) -> bool {
+    if sink.is_done() {
+        return false;
     }
+    sink.push(a, b);
+    *results += 1;
+    !sink.is_done()
+}
 
-    /// A sink that counts and materialises result pairs.
-    pub fn collecting() -> Self {
-        ResultSink { collect: true, count: 0, pairs: Vec::new() }
-    }
+/// A sink that tallies result pairs without materialising them.
+///
+/// This is the mode the experiment harness runs in: at the paper's dataset sizes
+/// the result set can reach billions of pairs, and only the count matters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingSink {
+    count: u64,
+}
 
-    /// Reports one result pair `(a, b)`.
-    #[inline]
-    pub fn push(&mut self, a: ObjectId, b: ObjectId) {
-        self.count += 1;
-        if self.collect {
-            self.pairs.push((a, b));
-        }
+impl CountingSink {
+    /// A fresh counting sink.
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Number of pairs reported so far.
@@ -43,14 +113,42 @@ impl ResultSink {
     pub fn count(&self) -> u64 {
         self.count
     }
+}
 
-    /// `true` if this sink materialises pairs.
+impl PairSink for CountingSink {
     #[inline]
-    pub fn is_collecting(&self) -> bool {
-        self.collect
+    fn push(&mut self, _a: ObjectId, _b: ObjectId) {
+        self.count += 1;
     }
 
-    /// The materialised pairs (empty in counting mode).
+    fn wants_pairs(&self) -> bool {
+        false
+    }
+
+    fn add_count(&mut self, n: u64) {
+        self.count += n;
+    }
+}
+
+/// A sink that materialises every result pair in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct CollectingSink {
+    pairs: Vec<(ObjectId, ObjectId)>,
+}
+
+impl CollectingSink {
+    /// A fresh collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pairs collected so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.pairs.len() as u64
+    }
+
+    /// The materialised pairs, in arrival order.
     #[inline]
     pub fn pairs(&self) -> &[(ObjectId, ObjectId)] {
         &self.pairs
@@ -61,18 +159,222 @@ impl ResultSink {
         self.pairs
     }
 
-    /// Returns the pairs sorted lexicographically — convenient for comparing the
-    /// output of different algorithms in tests.
+    /// The pairs sorted lexicographically — convenient for comparing the output of
+    /// different algorithms in tests.
     pub fn sorted_pairs(&self) -> Vec<(ObjectId, ObjectId)> {
         let mut p = self.pairs.clone();
         p.sort_unstable();
         p
     }
 
+    /// Resets the sink to its empty state, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+    }
+}
+
+impl PairSink for CollectingSink {
+    #[inline]
+    fn push(&mut self, a: ObjectId, b: ObjectId) {
+        self.pairs.push((a, b));
+    }
+}
+
+/// A sink that hands every pair to a closure, materialising nothing.
+///
+/// This is the zero-copy streaming consumer: pairs flow straight from the join's
+/// inner loops into user code (a network writer, an aggregation, a spill file)
+/// without ever being buffered by the join.
+#[derive(Debug, Clone)]
+pub struct CallbackSink<F: FnMut(ObjectId, ObjectId)> {
+    callback: F,
+    count: u64,
+}
+
+impl<F: FnMut(ObjectId, ObjectId)> CallbackSink<F> {
+    /// Wraps `callback` as a sink.
+    pub fn new(callback: F) -> Self {
+        CallbackSink { callback, count: 0 }
+    }
+
+    /// Number of pairs forwarded so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Consumes the sink, returning the wrapped callback.
+    pub fn into_inner(self) -> F {
+        self.callback
+    }
+}
+
+impl<F: FnMut(ObjectId, ObjectId)> PairSink for CallbackSink<F> {
+    #[inline]
+    fn push(&mut self, a: ObjectId, b: ObjectId) {
+        self.count += 1;
+        (self.callback)(a, b);
+    }
+}
+
+/// A sink that keeps only the first `k` pairs and then tells the engine to stop.
+///
+/// Engines honour the stop signal in their local-join loops, so a `FirstKSink`
+/// over a selective query ends the join long before the full result set is
+/// enumerated — the building block for `EXISTS`-style probes and top-k previews.
+/// Under a parallel engine the *number* of returned pairs is still exactly
+/// `min(k, |result|)`, but *which* pairs arrive first depends on worker scheduling.
+#[derive(Debug, Clone)]
+pub struct FirstKSink {
+    limit: usize,
+    pairs: Vec<(ObjectId, ObjectId)>,
+}
+
+impl FirstKSink {
+    /// A sink that accepts at most `limit` pairs.
+    pub fn new(limit: usize) -> Self {
+        FirstKSink { limit, pairs: Vec::new() }
+    }
+
+    /// The configured limit `k`.
+    #[inline]
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Number of pairs accepted so far (at most `k`).
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.pairs.len() as u64
+    }
+
+    /// The accepted pairs, in arrival order.
+    #[inline]
+    pub fn pairs(&self) -> &[(ObjectId, ObjectId)] {
+        &self.pairs
+    }
+
+    /// Consumes the sink and returns the accepted pairs.
+    pub fn into_pairs(self) -> Vec<(ObjectId, ObjectId)> {
+        self.pairs
+    }
+}
+
+impl PairSink for FirstKSink {
+    #[inline]
+    fn push(&mut self, a: ObjectId, b: ObjectId) {
+        if self.pairs.len() < self.limit {
+            self.pairs.push((a, b));
+        }
+    }
+
+    #[inline]
+    fn is_done(&self) -> bool {
+        self.pairs.len() >= self.limit
+    }
+
+    fn pair_limit(&self) -> Option<u64> {
+        Some((self.limit - self.pairs.len().min(self.limit)) as u64)
+    }
+}
+
+/// The pre-[`PairSink`] result collector: a closed count-or-materialise sink.
+///
+/// Kept for one release as a thin enum over [`CountingSink`] and
+/// [`CollectingSink`] so existing call sites keep compiling; new code should pick
+/// one of the `PairSink` implementations (or write its own) and run joins through
+/// [`crate::JoinQuery`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use CountingSink / CollectingSink (or any other PairSink) with JoinQuery"
+)]
+#[derive(Debug, Clone)]
+pub enum ResultSink {
+    /// Counting mode ([`CountingSink`]).
+    Counting(CountingSink),
+    /// Collecting mode ([`CollectingSink`]).
+    Collecting(CollectingSink),
+}
+
+#[allow(deprecated)]
+impl ResultSink {
+    /// A sink that only counts result pairs.
+    pub fn counting() -> Self {
+        ResultSink::Counting(CountingSink::new())
+    }
+
+    /// A sink that counts and materialises result pairs.
+    pub fn collecting() -> Self {
+        ResultSink::Collecting(CollectingSink::new())
+    }
+
+    /// Number of pairs reported so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        match self {
+            ResultSink::Counting(s) => s.count(),
+            ResultSink::Collecting(s) => s.count(),
+        }
+    }
+
+    /// `true` if this sink materialises pairs.
+    #[inline]
+    pub fn is_collecting(&self) -> bool {
+        matches!(self, ResultSink::Collecting(_))
+    }
+
+    /// The materialised pairs (empty in counting mode).
+    #[inline]
+    pub fn pairs(&self) -> &[(ObjectId, ObjectId)] {
+        match self {
+            ResultSink::Counting(_) => &[],
+            ResultSink::Collecting(s) => s.pairs(),
+        }
+    }
+
+    /// Consumes the sink and returns the materialised pairs.
+    pub fn into_pairs(self) -> Vec<(ObjectId, ObjectId)> {
+        match self {
+            ResultSink::Counting(_) => Vec::new(),
+            ResultSink::Collecting(s) => s.into_pairs(),
+        }
+    }
+
+    /// Returns the pairs sorted lexicographically.
+    pub fn sorted_pairs(&self) -> Vec<(ObjectId, ObjectId)> {
+        match self {
+            ResultSink::Counting(_) => Vec::new(),
+            ResultSink::Collecting(s) => s.sorted_pairs(),
+        }
+    }
+
     /// Resets the sink to its empty state, keeping the collection mode.
     pub fn clear(&mut self) {
-        self.count = 0;
-        self.pairs.clear();
+        match self {
+            ResultSink::Counting(s) => s.count = 0,
+            ResultSink::Collecting(s) => s.clear(),
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl PairSink for ResultSink {
+    #[inline]
+    fn push(&mut self, a: ObjectId, b: ObjectId) {
+        match self {
+            ResultSink::Counting(s) => s.push(a, b),
+            ResultSink::Collecting(s) => s.push(a, b),
+        }
+    }
+
+    fn wants_pairs(&self) -> bool {
+        self.is_collecting()
+    }
+
+    fn add_count(&mut self, n: u64) {
+        if let ResultSink::Counting(s) = self {
+            s.add_count(n);
+        }
     }
 }
 
@@ -80,26 +382,24 @@ impl ResultSink {
 /// worker thread.
 ///
 /// A shard is deliberately *not* shared: each worker pushes into its own shard
-/// without synchronisation, and the shards are merged into one [`ResultSink`] when
-/// the parallel section is over. `SinkShard` mirrors the [`ResultSink`] modes —
-/// counting or collecting — so merging preserves the caller's choice.
+/// without synchronisation, and the shards are merged into the caller's
+/// [`PairSink`] when the parallel section is over. A shard mirrors the caller's
+/// [`PairSink::wants_pairs`] mode — so merging never materialises more than the
+/// caller asked for — and participates in the sink's early-termination protocol
+/// through a budget of pairs shared atomically between all shards (see
+/// [`ShardedSink::for_sink`]).
 #[derive(Debug, Clone)]
 pub struct SinkShard {
     collect: bool,
     count: u64,
     pairs: Vec<(ObjectId, ObjectId)>,
+    /// Remaining global pair budget shared with the sibling shards, when the
+    /// target sink declared a [`PairSink::pair_limit`].
+    budget: Option<Arc<AtomicU64>>,
+    exhausted: bool,
 }
 
 impl SinkShard {
-    /// Reports one result pair `(a, b)`.
-    #[inline]
-    pub fn push(&mut self, a: ObjectId, b: ObjectId) {
-        self.count += 1;
-        if self.collect {
-            self.pairs.push((a, b));
-        }
-    }
-
     /// Number of pairs reported into this shard so far.
     #[inline]
     pub fn count(&self) -> u64 {
@@ -111,17 +411,58 @@ impl SinkShard {
     pub fn pairs(&self) -> &[(ObjectId, ObjectId)] {
         &self.pairs
     }
+
+    /// Tries to reserve one unit of the shared pair budget. Returns `false` — and
+    /// marks the shard exhausted — once the budget is spent.
+    #[inline]
+    fn reserve(&mut self) -> bool {
+        let Some(budget) = &self.budget else { return true };
+        if budget.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1)).is_ok() {
+            true
+        } else {
+            self.exhausted = true;
+            false
+        }
+    }
 }
 
-/// A thread-safe result collector for parallel joins: one [`SinkShard`] per worker.
+impl PairSink for SinkShard {
+    /// Reports one result pair `(a, b)` into this shard. When the shared pair
+    /// budget is exhausted the pair is dropped and [`PairSink::is_done`] starts
+    /// returning `true`, which makes the owning worker stop its local joins.
+    #[inline]
+    fn push(&mut self, a: ObjectId, b: ObjectId) {
+        if self.exhausted || !self.reserve() {
+            return;
+        }
+        self.count += 1;
+        if self.collect {
+            self.pairs.push((a, b));
+        }
+    }
+
+    fn wants_pairs(&self) -> bool {
+        self.collect
+    }
+
+    #[inline]
+    fn is_done(&self) -> bool {
+        self.exhausted
+    }
+}
+
+/// A thread-safe result-collection adapter for parallel joins: one [`SinkShard`]
+/// per worker, all presenting the caller's [`PairSink`] contract.
 ///
-/// [`ResultSink`] is single-threaded by design (`push` takes `&mut self`).
-/// `ShardedSink` is the concurrent counterpart used by `touch-parallel`: it is split
-/// into independent shards handed to worker threads (via [`ShardedSink::shards_mut`]
-/// and `split_at_mut`-style slice borrows, e.g. `iter_mut` inside
-/// [`std::thread::scope`]), then drained back into a regular sink with
-/// [`ShardedSink::merge_into`]. No locks are involved — disjoint `&mut` borrows are
-/// all the synchronisation needed.
+/// `PairSink::push` takes `&mut self`, so a user sink cannot be shared between
+/// workers. `ShardedSink` is the concurrent counterpart used by `touch-parallel`:
+/// it is split into independent shards handed to worker threads (via
+/// [`ShardedSink::shards_mut`] and `split_at_mut`-style slice borrows, e.g.
+/// `iter_mut` inside [`std::thread::scope`]), then drained back into the caller's
+/// sink with [`ShardedSink::merge_into`]. No locks are involved for the pairs
+/// themselves — disjoint `&mut` borrows are the synchronisation — and the only
+/// shared state is the optional atomic pair budget that propagates
+/// [`PairSink::pair_limit`] early termination across workers.
 #[derive(Debug, Clone)]
 pub struct ShardedSink {
     shards: Vec<SinkShard>,
@@ -130,23 +471,36 @@ pub struct ShardedSink {
 impl ShardedSink {
     /// A sharded sink whose shards only count result pairs.
     pub fn counting(shards: usize) -> Self {
-        Self::with_mode(false, shards)
+        Self::with_mode(false, shards, None)
     }
 
     /// A sharded sink whose shards count and materialise result pairs.
     pub fn collecting(shards: usize) -> Self {
-        Self::with_mode(true, shards)
+        Self::with_mode(true, shards, None)
     }
 
-    /// A sharded sink matching the collection mode of `sink`, so that
-    /// [`ShardedSink::merge_into`] loses nothing the caller asked for.
-    pub fn for_sink(sink: &ResultSink, shards: usize) -> Self {
-        Self::with_mode(sink.is_collecting(), shards)
+    /// A sharded sink matching `sink`'s collection mode and pair budget, so that
+    /// [`ShardedSink::merge_into`] loses nothing the caller asked for and
+    /// early-terminating sinks stop the workers.
+    pub fn for_sink(sink: &dyn PairSink, shards: usize) -> Self {
+        let budget = sink.pair_limit().map(|limit| Arc::new(AtomicU64::new(limit)));
+        Self::with_mode(sink.wants_pairs(), shards, budget)
     }
 
-    fn with_mode(collect: bool, shards: usize) -> Self {
+    fn with_mode(collect: bool, shards: usize, budget: Option<Arc<AtomicU64>>) -> Self {
         assert!(shards > 0, "a sharded sink needs at least one shard");
-        ShardedSink { shards: vec![SinkShard { collect, count: 0, pairs: Vec::new() }; shards] }
+        ShardedSink {
+            shards: vec![
+                SinkShard {
+                    collect,
+                    count: 0,
+                    pairs: Vec::new(),
+                    budget,
+                    exhausted: false
+                };
+                shards
+            ],
+        }
     }
 
     /// Number of shards.
@@ -166,17 +520,29 @@ impl ShardedSink {
         self.shards.iter().map(|s| s.count).sum()
     }
 
-    /// Drains every shard into `sink`, in shard order.
+    /// Drains every shard into `sink`, in shard order, and returns the number of
+    /// pairs the sink actually received.
     ///
-    /// Counts always transfer; materialised pairs transfer only if `sink` is
-    /// collecting (matching what [`ResultSink::push`] would have done).
-    pub fn merge_into(self, sink: &mut ResultSink) {
-        for shard in self.shards {
-            sink.count += shard.count;
-            if sink.collect {
-                sink.pairs.extend(shard.pairs);
+    /// If `sink` wants pairs, the materialised pairs are pushed one by one
+    /// (stopping early if the sink reports done — which is why the returned count,
+    /// not [`ShardedSink::total_count`], is what belongs in `counters.results`);
+    /// otherwise the shard tallies are transferred in bulk through
+    /// [`PairSink::add_count`].
+    pub fn merge_into(self, sink: &mut dyn PairSink) -> u64 {
+        let mut delivered = 0u64;
+        if sink.wants_pairs() {
+            'drain: for shard in self.shards {
+                for (a, b) in shard.pairs {
+                    if !deliver(sink, a, b, &mut delivered) {
+                        break 'drain;
+                    }
+                }
             }
+        } else {
+            delivered = self.total_count();
+            sink.add_count(delivered);
         }
+        delivered
     }
 }
 
@@ -185,17 +551,78 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counting_mode_does_not_materialise() {
-        let mut s = ResultSink::counting();
-        assert!(!s.is_collecting());
+    fn counting_sink_tallies_without_materialising() {
+        let mut s = CountingSink::new();
+        assert!(!s.wants_pairs());
         s.push(1, 2);
         s.push(3, 4);
-        assert_eq!(s.count(), 2);
-        assert!(s.pairs().is_empty());
+        s.add_count(5);
+        assert_eq!(s.count(), 7);
+        assert!(!s.is_done());
+        assert_eq!(s.pair_limit(), None);
     }
 
     #[test]
-    fn collecting_mode_materialises_in_order() {
+    fn collecting_sink_materialises_in_order() {
+        let mut s = CollectingSink::new();
+        assert!(s.wants_pairs());
+        s.push(3, 4);
+        s.push(1, 2);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.pairs(), &[(3, 4), (1, 2)]);
+        assert_eq!(s.sorted_pairs(), vec![(1, 2), (3, 4)]);
+        s.clear();
+        assert_eq!(s.count(), 0);
+        s.push(9, 9);
+        assert_eq!(s.into_pairs(), vec![(9, 9)]);
+    }
+
+    #[test]
+    fn callback_sink_forwards_without_buffering() {
+        let mut seen = Vec::new();
+        let mut s = CallbackSink::new(|a, b| seen.push((a, b)));
+        s.push(1, 10);
+        s.push(2, 20);
+        assert_eq!(s.count(), 2);
+        assert_eq!(seen, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn first_k_sink_stops_at_the_limit() {
+        let mut s = FirstKSink::new(2);
+        assert_eq!(s.limit(), 2);
+        assert_eq!(s.pair_limit(), Some(2));
+        assert!(!s.is_done());
+        s.push(1, 1);
+        assert_eq!(s.pair_limit(), Some(1));
+        s.push(2, 2);
+        assert!(s.is_done());
+        assert_eq!(s.pair_limit(), Some(0));
+        s.push(3, 3); // ignored: the sink is full
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.into_pairs(), vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn zero_limit_first_k_is_done_immediately() {
+        let s = FirstKSink::new(0);
+        assert!(s.is_done());
+        assert_eq!(s.pair_limit(), Some(0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn result_sink_alias_behaves_like_before() {
+        let mut s = ResultSink::counting();
+        assert!(!s.is_collecting());
+        assert!(!s.wants_pairs());
+        s.push(1, 2);
+        s.add_count(2);
+        assert_eq!(s.count(), 3);
+        assert!(s.pairs().is_empty());
+        s.clear();
+        assert_eq!(s.count(), 0);
+
         let mut s = ResultSink::collecting();
         assert!(s.is_collecting());
         s.push(3, 4);
@@ -207,18 +634,8 @@ mod tests {
     }
 
     #[test]
-    fn clear_resets_but_keeps_mode() {
-        let mut s = ResultSink::collecting();
-        s.push(1, 1);
-        s.clear();
-        assert_eq!(s.count(), 0);
-        assert!(s.pairs().is_empty());
-        assert!(s.is_collecting());
-    }
-
-    #[test]
     fn sharded_sink_merges_counts_and_pairs() {
-        let mut sink = ResultSink::collecting();
+        let mut sink = CollectingSink::new();
         let mut sharded = ShardedSink::for_sink(&sink, 3);
         assert_eq!(sharded.shard_count(), 3);
         sharded.shards_mut()[0].push(1, 10);
@@ -233,25 +650,50 @@ mod tests {
     }
 
     #[test]
-    fn sharded_sink_counting_mode_does_not_materialise() {
-        let mut sink = ResultSink::counting();
+    fn sharded_sink_counting_mode_transfers_tallies() {
+        let mut sink = CountingSink::new();
         let mut sharded = ShardedSink::for_sink(&sink, 2);
+        assert!(!sharded.shards_mut()[0].wants_pairs());
         sharded.shards_mut()[0].push(1, 1);
         sharded.shards_mut()[1].push(2, 2);
+        assert!(sharded.shards_mut()[0].pairs().is_empty(), "counting shards buffer nothing");
         sharded.merge_into(&mut sink);
         assert_eq!(sink.count(), 2);
-        assert!(sink.pairs().is_empty());
     }
 
     #[test]
     fn sharded_sink_merge_preserves_prior_sink_contents() {
-        let mut sink = ResultSink::collecting();
+        let mut sink = CollectingSink::new();
         sink.push(9, 9);
         let mut sharded = ShardedSink::collecting(2);
         sharded.shards_mut()[1].push(5, 5);
         sharded.merge_into(&mut sink);
         assert_eq!(sink.count(), 2);
         assert_eq!(sink.sorted_pairs(), vec![(5, 5), (9, 9)]);
+    }
+
+    #[test]
+    fn shared_budget_caps_pairs_across_shards() {
+        let mut sink = FirstKSink::new(3);
+        let mut sharded = ShardedSink::for_sink(&sink, 2);
+        for i in 0..10 {
+            sharded.shards_mut()[(i % 2) as usize].push(i, i);
+        }
+        assert_eq!(sharded.total_count(), 3, "the shared budget caps accepted pairs");
+        assert!(sharded.shards_mut().iter().all(|s| s.is_done()), "all shards observed the cap");
+        sharded.merge_into(&mut sink);
+        assert_eq!(sink.count(), 3);
+        assert!(sink.is_done());
+    }
+
+    #[test]
+    fn merge_into_respects_a_sink_that_became_done() {
+        let mut sink = FirstKSink::new(1);
+        let mut sharded = ShardedSink::collecting(2); // no budget: unbounded shards
+        sharded.shards_mut()[0].push(1, 1);
+        sharded.shards_mut()[1].push(2, 2);
+        sharded.merge_into(&mut sink);
+        assert_eq!(sink.count(), 1, "merge stops pushing once the sink is done");
     }
 
     #[test]
@@ -267,6 +709,24 @@ mod tests {
             }
         });
         assert_eq!(sharded.total_count(), 40);
+    }
+
+    #[test]
+    fn budgeted_shards_are_exact_under_concurrency() {
+        let mut sink = FirstKSink::new(25);
+        let mut sharded = ShardedSink::for_sink(&sink, 4);
+        std::thread::scope(|scope| {
+            for (i, shard) in sharded.shards_mut().iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for j in 0..100 {
+                        shard.push(i as ObjectId, j);
+                    }
+                });
+            }
+        });
+        assert_eq!(sharded.total_count(), 25, "exactly k pairs survive the shared budget");
+        sharded.merge_into(&mut sink);
+        assert_eq!(sink.count(), 25);
     }
 
     #[test]

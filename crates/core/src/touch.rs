@@ -2,7 +2,7 @@
 //! implementation tying the three phases together (Algorithm 1).
 
 use crate::tree::LocalJoinKind;
-use crate::{ResultSink, SpatialJoinAlgorithm, TouchTree};
+use crate::{deliver, PairSink, SpatialJoinAlgorithm, TouchTree};
 use serde::{Deserialize, Serialize};
 use touch_geom::Dataset;
 use touch_metrics::{MemoryUsage, Phase, RunReport};
@@ -168,9 +168,7 @@ impl SpatialJoinAlgorithm for TouchJoin {
         "TOUCH".to_string()
     }
 
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
-        let mut report = RunReport::new(self.name(), a.len(), b.len());
-        let results_before = sink.count();
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         let build_on_a = self.config.builds_tree_on_a(a, b);
         let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
 
@@ -185,22 +183,23 @@ impl SpatialJoinAlgorithm for TouchJoin {
             tree.assign(probe_ds.objects(), &mut counters);
         });
 
-        // Phase 3: local joins (Algorithm 4).
+        // Phase 3: local joins (Algorithm 4), honouring the sink's early
+        // termination after every delivered pair.
         let params = self.config.local_join_params(self.config.min_local_cell_size(a, b));
+        let mut results = 0u64;
         let peak_local_aux = report.timer.time(Phase::Join, || {
             tree.join_assigned(&params, &mut counters, &mut |tree_id, probe_id| {
                 if build_on_a {
-                    sink.push(tree_id, probe_id);
+                    deliver(sink, tree_id, probe_id, &mut results)
                 } else {
-                    sink.push(probe_id, tree_id);
+                    deliver(sink, probe_id, tree_id, &mut results)
                 }
             })
         });
 
-        counters.results = sink.count() - results_before;
+        counters.results += results;
         report.counters = counters;
         report.memory_bytes = tree.memory_bytes() + peak_local_aux;
-        report
     }
 }
 
@@ -325,7 +324,7 @@ mod tests {
     fn phase_times_are_populated() {
         let a = lattice(6, 1.5, 1.0, 0.0);
         let b = lattice(6, 1.5, 1.0, 0.2);
-        let mut sink = ResultSink::counting();
+        let mut sink = crate::CountingSink::new();
         let report = TouchJoin::default().join(&a, &b, &mut sink);
         assert!(report.total_time() > std::time::Duration::ZERO);
         assert_eq!(report.dataset_a, a.len());

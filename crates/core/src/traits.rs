@@ -1,43 +1,89 @@
-//! The spatial-join algorithm interface and the distance-join translation.
+//! The spatial-join algorithm interface and the legacy convenience wrappers.
+//!
+//! [`SpatialJoinAlgorithm`] is the engine-side contract: report every intersecting
+//! pair into a [`PairSink`] and fill in a [`RunReport`]. The user-side entrypoint
+//! is the [`crate::JoinQuery`] builder, which owns predicate translation (ε
+//! extension), report labelling and sink lifecycle; the free functions here
+//! ([`distance_join`], [`collect_join`], [`count_join`]) are thin wrappers over it
+//! kept for existing call sites — see `MIGRATION.md` at the workspace root.
 
-use crate::ResultSink;
+use crate::{CollectingSink, CountingSink, JoinQuery, PairSink, Predicate};
 use touch_geom::{Dataset, ObjectId};
 use touch_metrics::RunReport;
 
 /// A two-way spatial intersection join over MBR datasets.
 ///
-/// Implemented by [`crate::TouchJoin`] and by every baseline in `touch-baselines`
-/// (nested loop, plane-sweep, PBSM, S3, indexed nested loop, synchronous R-tree
-/// traversal). An implementation must report **every** pair `(a, b)` with
+/// Implemented by [`crate::TouchJoin`], the parallel and streaming engines, and by
+/// every baseline in `touch-baselines` (nested loop, plane-sweep, PBSM, S3, indexed
+/// nested loop, synchronous R-tree traversal, octree, seeded tree). An
+/// implementation must report **every** pair `(a, b)` with
 /// `a.mbr.intersects(b.mbr)` **exactly once** into the sink — the paper's
-/// completeness, soundness and no-duplication guarantees (Theorem 1, Lemma 3) — and
-/// fill in the [`RunReport`] counters it is responsible for.
+/// completeness, soundness and no-duplication guarantees (Theorem 1, Lemma 3) —
+/// and fill in the [`RunReport`] counters it is responsible for. The only
+/// exception to completeness is an early-terminating sink: once
+/// [`PairSink::is_done`] is observed the engine may stop enumerating.
+///
+/// The trait is object-safe: engines are driven as `&dyn SpatialJoinAlgorithm`
+/// with a `&mut dyn PairSink`, which is how [`crate::JoinQuery`] dispatches over
+/// heterogeneous engines.
 pub trait SpatialJoinAlgorithm {
     /// Human-readable name used in reports and figures (e.g. `"TOUCH"`, `"PBSM-500"`).
     fn name(&self) -> String;
 
     /// Joins datasets `a` and `b`, pushing every intersecting pair `(id_a, id_b)`
-    /// into `sink` exactly once and returning the measurement report.
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport;
+    /// into `sink` exactly once, and records phase times, counters and memory into
+    /// `report`.
+    ///
+    /// The caller creates `report` (via [`RunReport::new`]) and owns its identity
+    /// fields — label, dataset sizes and `epsilon`, which the query layer sets
+    /// **before** the join runs so partial records emitted mid-run already carry
+    /// it. The engine must only *add* its measurements, never reset the report.
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport);
+
+    /// Convenience form of [`SpatialJoinAlgorithm::join_into`]: creates the report,
+    /// runs the join and returns the completed record.
+    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink) -> RunReport {
+        let mut report = RunReport::new(self.name(), a.len(), b.len());
+        self.join_into(a, b, sink, &mut report);
+        report
+    }
+}
+
+impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
+        (**self).join_into(a, b, sink, report)
+    }
+}
+
+impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
+        (**self).join_into(a, b, sink, report)
+    }
 }
 
 /// Runs `algo` as a **distance join** with threshold `eps`.
 ///
-/// Following Section 4 of the paper, the distance join is translated into an
-/// intersection join by enlarging every MBR of dataset A by `eps` and testing the
-/// enlarged boxes against dataset B. The returned report carries `eps` so the
-/// experiment harness can label its rows.
+/// Equivalent to `JoinQuery::new(a, b).predicate(Predicate::WithinDistance(eps))
+/// .engine(algo).run(sink)`: following Section 4 of the paper, the distance join
+/// is translated into an intersection join by enlarging every MBR of dataset A by
+/// `eps` and testing the enlarged boxes against dataset B. The returned report
+/// carries `eps` so the experiment harness can label its rows.
 pub fn distance_join(
     algo: &dyn SpatialJoinAlgorithm,
     a: &Dataset,
     b: &Dataset,
     eps: f64,
-    sink: &mut ResultSink,
+    sink: &mut dyn PairSink,
 ) -> RunReport {
-    let extended = a.extended(eps);
-    let mut report = algo.join(&extended, b, sink);
-    report.epsilon = eps;
-    report
+    JoinQuery::new(a, b).predicate(Predicate::WithinDistance(eps)).engine(algo).run(sink)
 }
 
 /// Convenience wrapper: runs an intersection join and returns the materialised,
@@ -47,16 +93,15 @@ pub fn collect_join(
     a: &Dataset,
     b: &Dataset,
 ) -> (Vec<(ObjectId, ObjectId)>, RunReport) {
-    let mut sink = ResultSink::collecting();
-    let report = algo.join(a, b, &mut sink);
+    let mut sink = CollectingSink::new();
+    let report = JoinQuery::new(a, b).engine(algo).run(&mut sink);
     (sink.sorted_pairs(), report)
 }
 
 /// Convenience wrapper: runs an intersection join in counting mode and returns the
 /// report only.
 pub fn count_join(algo: &dyn SpatialJoinAlgorithm, a: &Dataset, b: &Dataset) -> RunReport {
-    let mut sink = ResultSink::counting();
-    algo.join(a, b, &mut sink)
+    JoinQuery::new(a, b).engine(algo).run(&mut CountingSink::new())
 }
 
 #[cfg(test)]
@@ -72,18 +117,25 @@ mod tests {
             "BruteForce".into()
         }
 
-        fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
-            let mut report = RunReport::new(self.name(), a.len(), b.len());
-            for oa in a.iter() {
+        fn join_into(
+            &self,
+            a: &Dataset,
+            b: &Dataset,
+            sink: &mut dyn PairSink,
+            report: &mut RunReport,
+        ) {
+            'scan: for oa in a.iter() {
                 for ob in b.iter() {
                     report.counters.record_comparison();
                     if oa.mbr.intersects(&ob.mbr) {
+                        if sink.is_done() {
+                            break 'scan;
+                        }
                         report.counters.record_result();
                         sink.push(oa.id, ob.id);
                     }
                 }
             }
-            report
         }
     }
 
@@ -100,11 +152,11 @@ mod tests {
         let b = boxes(&[3.0]);
         // Gap of 2 between the boxes.
         let algo = BruteForce;
-        let mut sink = ResultSink::counting();
+        let mut sink = CountingSink::new();
         let miss = distance_join(&algo, &a, &b, 1.0, &mut sink);
         assert_eq!(miss.result_pairs(), 0);
         assert_eq!(miss.epsilon, 1.0);
-        let mut sink = ResultSink::counting();
+        let mut sink = CountingSink::new();
         let hit = distance_join(&algo, &a, &b, 2.0, &mut sink);
         assert_eq!(hit.result_pairs(), 1);
         assert_eq!(hit.epsilon, 2.0);
@@ -121,5 +173,28 @@ mod tests {
         assert_eq!(report.result_pairs(), count_report.result_pairs());
         assert_eq!(pairs, vec![(0, 0)]);
         assert_eq!(report.counters.comparisons, 6);
+    }
+
+    #[test]
+    fn default_join_builds_a_labelled_report() {
+        let a = boxes(&[0.0]);
+        let b = boxes(&[0.5]);
+        let mut sink = CollectingSink::new();
+        let report = BruteForce.join(&a, &b, &mut sink);
+        assert_eq!(report.algorithm, "BruteForce");
+        assert_eq!((report.dataset_a, report.dataset_b), (1, 1));
+        assert_eq!(sink.pairs(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let algo = BruteForce;
+        let by_ref: &dyn SpatialJoinAlgorithm = &&algo;
+        assert_eq!(by_ref.name(), "BruteForce");
+        let boxed: Box<dyn SpatialJoinAlgorithm> = Box::new(BruteForce);
+        let a = boxes(&[0.0]);
+        let b = boxes(&[0.5]);
+        let (pairs, _) = collect_join(&boxed, &a, &b);
+        assert_eq!(pairs, vec![(0, 0)]);
     }
 }

@@ -463,32 +463,45 @@ impl TouchTree {
     /// each intersecting pair `(a_id, b_id)` exactly once.
     ///
     /// `params` configures the per-node grid of the [`LocalJoinKind::Grid`] strategy
-    /// (Section 5.2.2: cells should stay larger than the average object). Returns the
-    /// peak number of auxiliary bytes used by any single local join, which the caller
-    /// folds into the reported memory footprint.
+    /// (Section 5.2.2: cells should stay larger than the average object). `emit`
+    /// follows the early-termination convention of [`crate::kernels`]: returning
+    /// `false` stops the join phase — the current local join and the remaining
+    /// nodes are abandoned. Returns the peak number of auxiliary bytes used by any
+    /// single local join, which the caller folds into the reported memory
+    /// footprint.
     pub fn join_assigned(
         &self,
         params: &LocalJoinParams,
         counters: &mut Counters,
-        emit: &mut impl FnMut(ObjectId, ObjectId),
+        emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
     ) -> usize {
         let mut peak_aux = 0usize;
+        let mut stopped = false;
         for idx in self.nodes_with_assignments() {
-            let aux = self.local_join_node(idx, params, counters, emit);
+            let mut watched = |a: ObjectId, b: ObjectId| {
+                let go_on = emit(a, b);
+                stopped = !go_on;
+                go_on
+            };
+            let aux = self.local_join_node(idx, params, counters, &mut watched);
             peak_aux = peak_aux.max(aux);
+            if stopped {
+                break;
+            }
         }
         peak_aux
     }
 
     /// Joins the B-objects assigned to the node at `index` against the A-objects of
-    /// its descendant leaves, using the requested local-join strategy. Returns the
+    /// its descendant leaves, using the requested local-join strategy. `emit`
+    /// returning `false` abandons the rest of this node's local join. Returns the
     /// number of auxiliary bytes the local join allocated.
     pub fn local_join_node(
         &self,
         index: usize,
         params: &LocalJoinParams,
         counters: &mut Counters,
-        emit: &mut impl FnMut(ObjectId, ObjectId),
+        emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
     ) -> usize {
         let node = &self.nodes[index];
         let a_objs = self.subtree_a_objects(node);
@@ -522,7 +535,7 @@ fn grid_local_join(
     a_objs: &[SpatialObject],
     params: &LocalJoinParams,
     counters: &mut Counters,
-    emit: &mut impl FnMut(ObjectId, ObjectId),
+    emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
 ) -> usize {
     let b_objs = node.assigned_b();
     // Nodes over a handful of A-objects do not repay building a grid; fall back to
@@ -553,9 +566,14 @@ fn grid_local_join(
         });
     }
 
-    // Probe: every A-object of the subtree visits the cells it overlaps.
+    // Probe: every A-object of the subtree visits the cells it overlaps. A `false`
+    // from `emit` abandons the remaining candidates, cells and A-objects.
+    let mut stopped = false;
     for a in a_objs {
         grid.for_each_overlapped_cell(&a.mbr, |cell| {
+            if stopped {
+                return;
+            }
             let Some(candidates) = cells.get(&cell) else { return };
             for &bpos in candidates {
                 let b = &b_objs[bpos as usize];
@@ -566,13 +584,19 @@ fn grid_local_join(
                     let rp = a.mbr.intersection_reference_point(&b.mbr);
                     let rp_cell = grid.linear_index(grid.cell_of_point(&rp));
                     if rp_cell == cell {
-                        emit(a.id, b.id);
+                        if !emit(a.id, b.id) {
+                            stopped = true;
+                            return;
+                        }
                     } else {
                         counters.record_duplicate_suppressed();
                     }
                 }
             }
         });
+        if stopped {
+            break;
+        }
     }
 
     // Auxiliary memory of this local join: the sparse cell lists.
@@ -791,7 +815,10 @@ mod tests {
         fresh.assign(b.objects(), &mut fresh_counters);
         let mut fresh_pairs = Vec::new();
         let params = test_params(LocalJoinKind::Grid);
-        fresh.join_assigned(&params, &mut fresh_counters, &mut |x, y| fresh_pairs.push((x, y)));
+        fresh.join_assigned(&params, &mut fresh_counters, &mut |x, y| {
+            fresh_pairs.push((x, y));
+            true
+        });
         fresh_pairs.sort_unstable();
 
         // Reused tree: three assign → join → clear cycles must each reproduce the
@@ -813,7 +840,10 @@ mod tests {
                 );
             }
             let mut pairs = Vec::new();
-            reused.join_assigned(&params, &mut counters, &mut |x, y| pairs.push((x, y)));
+            reused.join_assigned(&params, &mut counters, &mut |x, y| {
+                pairs.push((x, y));
+                true
+            });
             pairs.sort_unstable();
             assert_eq!(pairs, fresh_pairs, "round {round}: pairs drifted");
             assert_eq!(counters, fresh_counters, "round {round}: counters polluted by reuse");
@@ -858,7 +888,10 @@ mod tests {
         let mut counters = Counters::new();
         tree.assign(b.objects(), &mut counters);
         let mut pairs = Vec::new();
-        tree.join_assigned(&test_params(kind), &mut counters, &mut |x, y| pairs.push((x, y)));
+        tree.join_assigned(&test_params(kind), &mut counters, &mut |x, y| {
+            pairs.push((x, y));
+            true
+        });
         pairs.sort_unstable();
         (pairs, counters)
     }
@@ -981,7 +1014,8 @@ mod tests {
         tree.assign(b.objects(), &mut counters);
         let mut pairs = Vec::new();
         tree.join_assigned(&test_params(LocalJoinKind::Grid), &mut counters, &mut |x, y| {
-            pairs.push((x, y))
+            pairs.push((x, y));
+            true
         });
         pairs.sort_unstable();
         assert_eq!(pairs, brute_pairs(&a, &b));
@@ -1036,10 +1070,16 @@ mod tests {
         let params = test_params(LocalJoinKind::Grid);
         let mut via_list = Vec::new();
         for idx in &work {
-            tree.local_join_node(*idx, &params, &mut counters, &mut |x, y| via_list.push((x, y)));
+            tree.local_join_node(*idx, &params, &mut counters, &mut |x, y| {
+                via_list.push((x, y));
+                true
+            });
         }
         let mut via_all = Vec::new();
-        tree.join_assigned(&params, &mut counters, &mut |x, y| via_all.push((x, y)));
+        tree.join_assigned(&params, &mut counters, &mut |x, y| {
+            via_all.push((x, y));
+            true
+        });
         via_list.sort_unstable();
         via_all.sort_unstable();
         assert_eq!(via_list, via_all);

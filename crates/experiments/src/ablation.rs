@@ -11,7 +11,7 @@
 //! * the **number of partitions** (leaf buckets) the hierarchy is built from.
 
 use crate::{workload, Context, ExperimentTable, Row};
-use touch_core::{distance_join, JoinOrder, LocalJoinStrategy, ResultSink, TouchConfig, TouchJoin};
+use touch_core::{CountingSink, JoinOrder, JoinQuery, LocalJoinStrategy, TouchConfig, TouchJoin};
 use touch_datagen::SyntheticDistribution;
 
 const PAPER_A: usize = 1_600_000;
@@ -29,8 +29,8 @@ pub fn run(ctx: &Context) -> ExperimentTable {
 
     let mut run_config = |label: (&str, String), config: TouchConfig| {
         let algo = TouchJoin::new(config);
-        let mut sink = ResultSink::counting();
-        let report = distance_join(&algo, &a, &b, EPS, &mut sink);
+        let report =
+            JoinQuery::new(&a, &b).within_distance(EPS).engine(&algo).run(&mut CountingSink::new());
         table.push(Row::new(vec![("knob", label.0.to_string()), ("value", label.1)], report));
     };
 

@@ -6,7 +6,7 @@
 //! more replication.
 
 use crate::{scaled_large_suite, workload, Context, ExperimentTable, Row};
-use touch_core::{distance_join, ResultSink};
+use touch_core::{CountingSink, JoinQuery};
 use touch_datagen::SyntheticDistribution;
 
 const PAPER_N: usize = 1_600_000;
@@ -29,8 +29,10 @@ pub fn run(ctx: &Context) -> ExperimentTable {
         let b = workload::synthetic(ctx, PAPER_N, dist, ctx.seed_b);
         for eps in EPSILONS {
             for algo in &suite {
-                let mut sink = ResultSink::counting();
-                let report = distance_join(algo.as_ref(), &a, &b, eps, &mut sink);
+                let report = JoinQuery::new(&a, &b)
+                    .within_distance(eps)
+                    .engine(algo.as_ref())
+                    .run(&mut CountingSink::new());
                 table.push(Row::new(
                     vec![("distribution", dist.name().to_string()), ("eps", format!("{eps}"))],
                     report,

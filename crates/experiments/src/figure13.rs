@@ -8,7 +8,7 @@
 //! clustered data, and > 26 % for the neuroscience dataset.
 
 use crate::{workload, Context, ExperimentTable, Row};
-use touch_core::{distance_join, ResultSink, TouchJoin};
+use touch_core::{CountingSink, JoinQuery, TouchJoin};
 use touch_datagen::SyntheticDistribution;
 
 const PAPER_A: usize = 1_600_000;
@@ -32,8 +32,10 @@ pub fn run(ctx: &Context) -> ExperimentTable {
         let a = workload::synthetic(ctx, PAPER_A, dist, ctx.seed_a);
         for paper_b in PAPER_B_STEPS {
             let b = workload::synthetic(ctx, paper_b, dist, ctx.seed_b);
-            let mut sink = ResultSink::counting();
-            let report = distance_join(&touch, &a, &b, EPS, &mut sink);
+            let report = JoinQuery::new(&a, &b)
+                .within_distance(EPS)
+                .engine(&touch)
+                .run(&mut CountingSink::new());
             let filtered_pct = 100.0 * report.counters.filtered as f64 / b.len() as f64;
             table.push(Row::new(
                 vec![

@@ -7,7 +7,7 @@
 //! comparisons (≈ 1.5× between fanout 2 and fanout 20).
 
 use crate::{workload, Context, ExperimentTable, Row};
-use touch_core::{distance_join, ResultSink, TouchJoin};
+use touch_core::{CountingSink, JoinQuery, TouchJoin};
 use touch_datagen::SyntheticDistribution;
 
 const PAPER_A: usize = 1_600_000;
@@ -32,8 +32,10 @@ pub fn run(ctx: &Context) -> ExperimentTable {
         let b = workload::synthetic(ctx, PAPER_B, dist, ctx.seed_b);
         for fanout in FANOUTS {
             let touch = TouchJoin::with_fanout(fanout);
-            let mut sink = ResultSink::counting();
-            let report = distance_join(&touch, &a, &b, EPS, &mut sink);
+            let report = JoinQuery::new(&a, &b)
+                .within_distance(EPS)
+                .engine(&touch)
+                .run(&mut CountingSink::new());
             table.push(Row::new(
                 vec![
                     ("distribution", dist.name().to_string()),

@@ -7,7 +7,7 @@
 //! an order of magnitude less memory than PBSM-500.
 
 use crate::{scaled_large_suite, Context, ExperimentTable, Row};
-use touch_core::{distance_join, ResultSink};
+use touch_core::{CountingSink, JoinQuery};
 use touch_datagen::NeuroscienceSpec;
 
 const EPS: f64 = 5.0;
@@ -27,8 +27,10 @@ pub fn run(ctx: &Context) -> ExperimentTable {
         let a = data.axons.take_prefix(data.axons.len() * pct / 100);
         let b = data.dendrites.take_prefix(data.dendrites.len() * pct / 100);
         for algo in &suite {
-            let mut sink = ResultSink::counting();
-            let report = distance_join(algo.as_ref(), &a, &b, EPS, &mut sink);
+            let report = JoinQuery::new(&a, &b)
+                .within_distance(EPS)
+                .engine(algo.as_ref())
+                .run(&mut CountingSink::new());
             table.push(Row::new(
                 vec![("percentage", format!("{pct}")), ("a_objects", format!("{}", a.len()))],
                 report,

@@ -7,7 +7,7 @@
 //! in the centre and sparse at the periphery.
 
 use crate::{scaled_large_suite, Context, ExperimentTable, Row};
-use touch_core::{distance_join, ResultSink};
+use touch_core::{CountingSink, JoinQuery};
 use touch_datagen::NeuroscienceSpec;
 
 const EPSILONS: [f64; 2] = [5.0, 10.0];
@@ -23,8 +23,10 @@ pub fn run(ctx: &Context) -> ExperimentTable {
 
     for eps in EPSILONS {
         for algo in &suite {
-            let mut sink = ResultSink::counting();
-            let report = distance_join(algo.as_ref(), &data.axons, &data.dendrites, eps, &mut sink);
+            let report = JoinQuery::new(&data.axons, &data.dendrites)
+                .within_distance(eps)
+                .engine(algo.as_ref())
+                .run(&mut CountingSink::new());
             let filtered_pct =
                 100.0 * report.counters.filtered as f64 / data.dendrites.len() as f64;
             table.push(Row::new(

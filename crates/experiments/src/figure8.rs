@@ -6,7 +6,7 @@
 //! execution time tracks the number of comparisons.
 
 use crate::{scaled_small_suite, workload, Context, ExperimentTable, Row};
-use touch_core::{distance_join, ResultSink};
+use touch_core::{CountingSink, JoinQuery};
 use touch_datagen::SyntheticDistribution;
 
 const PAPER_A: usize = 10_000;
@@ -25,8 +25,10 @@ pub fn run(ctx: &Context) -> ExperimentTable {
     for paper_b in PAPER_B_STEPS {
         let b = workload::synthetic(ctx, paper_b, SyntheticDistribution::Uniform, ctx.seed_b);
         for algo in &suite {
-            let mut sink = ResultSink::counting();
-            let report = distance_join(algo.as_ref(), &a, &b, EPS, &mut sink);
+            let report = JoinQuery::new(&a, &b)
+                .within_distance(EPS)
+                .engine(algo.as_ref())
+                .run(&mut CountingSink::new());
             table.push(Row::new(
                 vec![("b_objects", format!("{}", b.len())), ("eps", format!("{EPS}"))],
                 report,

@@ -8,7 +8,7 @@
 //! but needs roughly two orders of magnitude more memory.
 
 use crate::{scaled_large_suite, workload, Context, ExperimentTable, Row};
-use touch_core::{distance_join, ResultSink};
+use touch_core::{CountingSink, JoinQuery};
 use touch_datagen::SyntheticDistribution;
 
 const PAPER_A: usize = 1_600_000;
@@ -38,8 +38,10 @@ pub fn run(ctx: &Context, dist: SyntheticDistribution) -> ExperimentTable {
     for paper_b in PAPER_B_STEPS {
         let b = workload::synthetic(ctx, paper_b, dist, ctx.seed_b);
         for algo in &suite {
-            let mut sink = ResultSink::counting();
-            let report = distance_join(algo.as_ref(), &a, &b, EPS, &mut sink);
+            let report = JoinQuery::new(&a, &b)
+                .within_distance(EPS)
+                .engine(algo.as_ref())
+                .run(&mut CountingSink::new());
             table.push(Row::new(
                 vec![
                     ("distribution", dist.name().to_string()),

@@ -9,7 +9,7 @@
 use crate::{scaled_resolution, workload, Context, ExperimentTable, Row};
 use std::time::Instant;
 use touch_baselines::PbsmJoin;
-use touch_core::{distance_join, ResultSink};
+use touch_core::{CountingSink, JoinQuery};
 use touch_datagen::SyntheticDistribution;
 use touch_geom::Dataset;
 
@@ -36,8 +36,10 @@ pub fn run(ctx: &Context) -> ExperimentTable {
         let loaded_b = Dataset::from_mbrs(b.iter().map(|o| o.mbr));
         let load_time = load_start.elapsed();
 
-        let mut sink = ResultSink::counting();
-        let report = distance_join(&pbsm, &loaded_a, &loaded_b, EPS, &mut sink);
+        let report = JoinQuery::new(&loaded_a, &loaded_b)
+            .within_distance(EPS)
+            .engine(pbsm)
+            .run(&mut CountingSink::new());
         let join_time = report.total_time();
 
         table.push(Row::new(

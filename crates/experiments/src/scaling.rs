@@ -16,7 +16,7 @@
 //! to the sequential join.
 
 use crate::{workload, Context, ExperimentTable, Row};
-use touch_core::{distance_join, ResultSink, SpatialJoinAlgorithm, TouchJoin};
+use touch_core::{CountingSink, JoinQuery, SpatialJoinAlgorithm, TouchJoin};
 use touch_datagen::SyntheticDistribution;
 use touch_metrics::RunReport;
 use touch_parallel::ParallelTouchJoin;
@@ -36,8 +36,8 @@ fn best_of(
 ) -> RunReport {
     let mut best: Option<RunReport> = None;
     for _ in 0..REPEATS {
-        let mut sink = ResultSink::counting();
-        let report = distance_join(algo, a, b, EPS, &mut sink);
+        let report =
+            JoinQuery::new(a, b).within_distance(EPS).engine(algo).run(&mut CountingSink::new());
         let improved = match &best {
             None => true,
             Some(current) => report.total_time() < current.total_time(),

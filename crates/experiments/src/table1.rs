@@ -7,7 +7,7 @@
 //! by clustered, then uniform; the neuroscience data sits above all synthetic ones.
 
 use crate::{workload, Context, ExperimentTable, Row};
-use touch_core::{distance_join, ResultSink, TouchJoin};
+use touch_core::{CountingSink, JoinQuery, TouchJoin};
 use touch_datagen::{NeuroscienceSpec, SyntheticDistribution};
 
 /// Paper cardinalities for the synthetic rows of Table 1.
@@ -31,8 +31,10 @@ pub fn run(ctx: &Context) -> ExperimentTable {
         let a = workload::synthetic(ctx, PAPER_A, dist, ctx.seed_a);
         let b = workload::synthetic(ctx, PAPER_B, dist, ctx.seed_b);
         for eps in EPSILONS {
-            let mut sink = ResultSink::counting();
-            let report = distance_join(&touch, &a, &b, eps, &mut sink);
+            let report = JoinQuery::new(&a, &b)
+                .within_distance(eps)
+                .engine(&touch)
+                .run(&mut CountingSink::new());
             table.push(Row::new(
                 vec![
                     ("dataset", dist.name().to_string()),
@@ -47,8 +49,10 @@ pub fn run(ctx: &Context) -> ExperimentTable {
     // Neuroscience dataset.
     let neuro = NeuroscienceSpec::scaled(ctx.scale).generate(ctx.seed_a);
     for eps in EPSILONS {
-        let mut sink = ResultSink::counting();
-        let report = distance_join(&touch, &neuro.axons, &neuro.dendrites, eps, &mut sink);
+        let report = JoinQuery::new(&neuro.axons, &neuro.dendrites)
+            .within_distance(eps)
+            .engine(&touch)
+            .run(&mut CountingSink::new());
         table.push(Row::new(
             vec![
                 ("dataset", "neuroscience".to_string()),

@@ -128,6 +128,20 @@ impl Dataset {
         Dataset::from_objects(objects)
     }
 
+    /// Writes the ε-extension of this dataset into `out`, reusing `out`'s
+    /// allocation instead of creating a fresh dataset.
+    ///
+    /// This is the allocation-free form of [`Dataset::extended`] used by the query
+    /// layer's distance-join translation: a long-lived query extends A into the
+    /// same scratch buffer on every run, so the extension stops allocating once
+    /// the buffer has grown to `self.len()` objects.
+    pub fn extend_into(&self, eps: f64, out: &mut Dataset) {
+        out.objects.clear();
+        out.objects
+            .extend(self.objects.iter().map(|o| SpatialObject::new(o.id, o.mbr.extended(eps))));
+        out.extent = self.extent.map(|e| e.extended(eps));
+    }
+
     /// Returns a dataset containing the first `n` objects (ids re-assigned densely).
     ///
     /// Used by the density-scaling experiment (Figure 15), which joins increasing
@@ -186,6 +200,30 @@ mod tests {
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.get(0).id, 0);
         assert_eq!(ds.get(1).id, 1);
+    }
+
+    #[test]
+    fn extend_into_matches_extended_and_reuses_the_buffer() {
+        let ds = Dataset::from_mbrs([unit_box_at(0.0), unit_box_at(3.0)]);
+        let mut scratch = Dataset::new();
+        ds.extend_into(0.5, &mut scratch);
+        let fresh = ds.extended(0.5);
+        assert_eq!(scratch.len(), fresh.len());
+        for (s, f) in scratch.iter().zip(fresh.iter()) {
+            assert_eq!(s.id, f.id);
+            assert_eq!(s.mbr, f.mbr);
+        }
+        assert_eq!(scratch.extent(), fresh.extent());
+        // A second extension reuses the buffer (no reallocation needed) and
+        // replaces the previous contents.
+        let cap_before = scratch.objects.capacity();
+        ds.extend_into(1.0, &mut scratch);
+        assert_eq!(scratch.objects.capacity(), cap_before);
+        assert_eq!(scratch.get(0).mbr.min, Point3::splat(-1.0));
+        // Extending an empty dataset clears the scratch.
+        Dataset::new().extend_into(1.0, &mut scratch);
+        assert!(scratch.is_empty());
+        assert!(scratch.extent().is_none());
     }
 
     #[test]

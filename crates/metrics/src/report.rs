@@ -8,6 +8,10 @@ use std::time::Duration;
 ///
 /// A `RunReport` is what every algorithm returns alongside its result pairs and what
 /// the experiment harness aggregates into the paper's tables and figures.
+///
+/// The type is `#[must_use]`: a join whose report is discarded silently is almost
+/// always a measurement bug — bind it (or `let _ = …` deliberately).
+#[must_use]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     /// Human-readable algorithm name, e.g. `"TOUCH"`, `"PBSM-500"`.

@@ -3,7 +3,7 @@
 
 use crate::phases::{par_assign, par_build_tree, par_join_into};
 use crate::ParallelConfig;
-use touch_core::{ResultSink, SpatialJoinAlgorithm};
+use touch_core::{PairSink, SpatialJoinAlgorithm};
 use touch_geom::Dataset;
 use touch_metrics::{MemoryUsage, Phase, RunReport};
 
@@ -14,17 +14,17 @@ use touch_metrics::{MemoryUsage, Phase, RunReport};
 ///
 /// 1. **Build**: the STR sort of the tree dataset runs as a parallel stable merge
 ///    sort with slab-parallel recursion ([`crate::sort::par_str_sort`]), then the
-///    hierarchy is assembled with [`TouchTree::from_tiled`].
+///    hierarchy is assembled with [`touch_core::TouchTree::from_tiled`].
 /// 2. **Assignment**: the probe dataset is cut into [`ParallelConfig::chunk_size`]
 ///    chunks; workers claim chunks from work-stealing queues and compute each
-///    object's target node with the read-only [`TouchTree::assignment_target`]; the
+///    object's target node with the read-only [`touch_core::TouchTree::assignment_target`]; the
 ///    coordinator applies the batches in chunk order, reproducing the sequential
 ///    assignment exactly.
 /// 3. **Join**: the nodes holding B-objects are sorted by estimated cost
 ///    (descending) and distributed over work-stealing deques
 ///    ([`crate::scheduler::StealQueues`]); each worker drains nodes through
-///    [`TouchTree::local_join_node`] into its own [`touch_core::SinkShard`] and
-///    [`Counters`], merged when the phase joins.
+///    [`touch_core::TouchTree::local_join_node`] into its own [`touch_core::SinkShard`] and
+///    [`touch_metrics::Counters`], merged when the phase joins.
 ///
 /// **Determinism**: because the parallel STR sort is stable and bit-identical to the
 /// sequential sort, the tree, the assignment and every per-node local join are the
@@ -64,12 +64,10 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
         }
     }
 
-    fn join(&self, a: &Dataset, b: &Dataset, sink: &mut ResultSink) -> RunReport {
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         let threads = self.config.effective_threads();
         let cfg = &self.config.touch;
-        let mut report = RunReport::new(self.name(), a.len(), b.len());
         report.threads = threads;
-        let results_before = sink.count();
         let build_on_a = cfg.builds_tree_on_a(a, b);
         let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
 
@@ -105,14 +103,12 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
             par_join_into(&tree, &params, threads, !build_on_a, sink, &mut counters)
         });
 
-        counters.results = sink.count() - results_before;
         report.counters = counters;
         // Charge the transient buffers of every phase, not just the local joins:
         // unlike the sequential join, the parallel one buffers sort scratch and
         // assignment batches, and hiding them would flatter TOUCH-P in the
         // experiments' memory comparison.
         report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux + aux_bytes;
-        report
     }
 }
 
@@ -120,7 +116,8 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
 mod tests {
     use super::*;
     use touch_core::{
-        collect_join, distance_join, JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin,
+        collect_join, distance_join, CountingSink, JoinOrder, LocalJoinStrategy, TouchConfig,
+        TouchJoin,
     };
     use touch_geom::{Aabb, Point3};
 
@@ -249,9 +246,9 @@ mod tests {
         let a = lattice(3, 3.0, 1.0, 0.0);
         let b = lattice(3, 3.0, 1.0, 1.6); // gap of 0.6 between neighbours
         let algo = ParallelTouchJoin::new(busy_config(4));
-        let mut sink = ResultSink::counting();
+        let mut sink = CountingSink::new();
         let miss = distance_join(&algo, &a, &b, 0.3, &mut sink);
-        let mut sink = ResultSink::counting();
+        let mut sink = CountingSink::new();
         let hit = distance_join(&algo, &a, &b, 0.8, &mut sink);
         assert!(hit.result_pairs() > miss.result_pairs());
         assert_eq!(hit.epsilon, 0.8);
@@ -264,7 +261,7 @@ mod tests {
         let algo = ParallelTouchJoin::with_threads(2);
         assert_eq!(algo.name(), "TOUCH-P2");
         assert_eq!(ParallelTouchJoin::default().name(), "TOUCH-P");
-        let mut sink = ResultSink::counting();
+        let mut sink = CountingSink::new();
         let report = algo.join(&a, &b, &mut sink);
         assert!(report.total_time() > std::time::Duration::ZERO);
         assert_eq!(report.threads, 2);

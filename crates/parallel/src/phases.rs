@@ -13,7 +13,7 @@
 
 use crate::scheduler::StealQueues;
 use crate::sort::par_str_sort;
-use touch_core::{LocalJoinParams, ResultSink, ShardedSink, TouchTree};
+use touch_core::{LocalJoinParams, PairSink, ShardedSink, TouchTree};
 use touch_geom::SpatialObject;
 use touch_metrics::Counters;
 
@@ -129,10 +129,12 @@ pub fn par_assign(
 /// distribution (round-robin seeding then spreads the heavy nodes across workers,
 /// and owner pops and steals both take the largest remaining task first — LPT).
 /// Pairs are pushed as `(tree_id, probe_id)`, or flipped when `swap_pairs` is set
-/// (the caller built the tree on dataset B). Returns the auxiliary bytes charged to
-/// the join phase: the sum over workers of each worker's peak local-join allocation
-/// (concurrent peaks can coexist, unlike the sequential join which charges only the
-/// single largest).
+/// (the caller built the tree on dataset B). Workers honour the sharded sink's
+/// early-termination protocol: once a shard reports done (its share of a
+/// [`PairSink::pair_limit`] budget is spent) the worker stops claiming nodes.
+/// Returns the auxiliary bytes charged to the join phase: the sum over workers of
+/// each worker's peak local-join allocation (concurrent peaks can coexist, unlike
+/// the sequential join which charges only the single largest).
 pub fn par_local_join(
     tree: &TouchTree,
     mut work: Vec<usize>,
@@ -168,9 +170,13 @@ pub fn par_local_join(
                                 } else {
                                     shard.push(tree_id, probe_id);
                                 }
+                                !shard.is_done()
                             },
                         );
                         peak_aux = peak_aux.max(aux);
+                        if shard.is_done() {
+                            break;
+                        }
                     }
                     (local, peak_aux)
                 })
@@ -187,25 +193,30 @@ pub fn par_local_join(
     aux_bytes
 }
 
-/// The complete parallel join phase against `sink`: fetches the work list, caps the
-/// worker count at the available work (never more shards than nodes to join), runs
-/// [`par_local_join`] over a [`ShardedSink`] matching the sink's mode, and merges
-/// the shards back. The one place the worker-capping/sharding decision lives, so
-/// the one-shot join and the streaming engine cannot diverge on it. Returns the
+/// The complete parallel join phase against any [`PairSink`]: fetches the work
+/// list, caps the worker count at the available work (never more shards than nodes
+/// to join), runs [`par_local_join`] over a [`ShardedSink`] adapting the sink's
+/// mode and pair budget, merges the shards back and adds the pairs the sink
+/// actually received to `counters.results` (not the shard totals — an
+/// early-terminating sink may refuse part of the merge). The one place the
+/// worker-capping/sharding decision lives,
+/// so the one-shot join and the streaming engine cannot diverge on it. Returns the
 /// auxiliary bytes charged to the join phase.
 pub fn par_join_into(
     tree: &TouchTree,
     params: &LocalJoinParams,
     threads: usize,
     swap_pairs: bool,
-    sink: &mut ResultSink,
+    sink: &mut dyn PairSink,
     counters: &mut Counters,
 ) -> usize {
     let work = tree.nodes_with_assignments();
     let workers = threads.min(work.len()).max(1);
     let mut sharded = ShardedSink::for_sink(sink, workers);
     let aux_bytes = par_local_join(tree, work, params, swap_pairs, &mut sharded, counters);
-    sharded.merge_into(sink);
+    // Credit only the pairs the sink actually received: a sink that became done
+    // without declaring a pair budget makes merge_into stop delivering early.
+    counters.results += sharded.merge_into(sink);
     aux_bytes
 }
 
@@ -280,7 +291,10 @@ mod tests {
 
         let mut seq_counters = Counters::new();
         let mut expected = Vec::new();
-        tree.join_assigned(&params, &mut seq_counters, &mut |x, y| expected.push((x, y)));
+        tree.join_assigned(&params, &mut seq_counters, &mut |x, y| {
+            expected.push((x, y));
+            true
+        });
         expected.sort_unstable();
 
         for workers in [1, 3] {
@@ -294,7 +308,7 @@ mod tests {
                 &mut sharded,
                 &mut counters,
             );
-            let mut sink = touch_core::ResultSink::collecting();
+            let mut sink = touch_core::CollectingSink::new();
             sharded.merge_into(&mut sink);
             assert_eq!(sink.sorted_pairs(), expected, "workers = {workers}");
             assert_eq!(counters, seq_counters, "workers = {workers}");

@@ -2,7 +2,7 @@
 
 use crate::EpochReport;
 use serde::{Deserialize, Serialize};
-use touch_core::{ResultSink, TouchConfig, TouchTree};
+use touch_core::{deliver, PairSink, SpatialJoinAlgorithm, TouchConfig, TouchTree};
 use touch_geom::{Dataset, SpatialObject};
 use touch_metrics::{Counters, MemoryUsage, Phase, RunReport};
 use touch_parallel::phases::{par_assign, par_build_tree, par_join_into, resolve_threads};
@@ -118,6 +118,25 @@ impl StreamingTouchJoin {
         }
     }
 
+    /// Builds a persistent **distance-join** tree: dataset `a` is ε-extended once,
+    /// the hierarchy is built over the extended boxes, and every epoch pushed
+    /// through [`StreamingTouchJoin::push_batch`] therefore answers the
+    /// within-distance-ε predicate (Section 4's translation, paid once per tree
+    /// instead of once per query).
+    ///
+    /// `RunReport::epsilon` is stamped on the engine's base record **before** any
+    /// epoch runs, so every partial [`cumulative_report`] — including one taken
+    /// mid-stream — already carries the threshold.
+    ///
+    /// [`cumulative_report`]: StreamingTouchJoin::cumulative_report
+    pub fn build_extended(a: &Dataset, eps: f64, config: StreamingConfig) -> Self {
+        let extended = a.extended(eps);
+        let mut engine = Self::build(&extended, config);
+        engine.base.epsilon = eps;
+        engine.cumulative.epsilon = eps;
+        engine
+    }
+
     /// Joins one epoch of the B stream against the persistent tree: clears the
     /// previous epoch's assignments, assigns `batch` (Algorithm 3), runs the local
     /// joins (Algorithm 4) into `sink`, and returns this epoch's [`EpochReport`].
@@ -126,7 +145,9 @@ impl StreamingTouchJoin {
     /// ([`TouchTree::assign`] / [`TouchTree::join_assigned`]); otherwise they run on
     /// the work-stealing machinery of [`touch_parallel::phases`]. The two paths are
     /// deterministically equivalent — same pairs, same counters, at every width.
-    pub fn push_batch(&mut self, batch: &[SpatialObject], sink: &mut ResultSink) -> EpochReport {
+    /// `sink` is any [`PairSink`]; an early-terminating sink
+    /// ([`PairSink::is_done`]) stops the epoch's local joins.
+    pub fn push_batch(&mut self, batch: &[SpatialObject], sink: &mut dyn PairSink) -> EpochReport {
         let mut report = EpochReport {
             epoch: self.epochs,
             batch_size: batch.len(),
@@ -136,7 +157,6 @@ impl StreamingTouchJoin {
             memory_bytes: 0,
             threads: self.threads,
         };
-        let results_before = sink.count();
         self.tree.clear_assignment();
 
         let mut counters = Counters::new();
@@ -150,14 +170,18 @@ impl StreamingTouchJoin {
         let params = self.config.touch.local_join_params(self.min_cell);
         let join_aux = report.timer.time(Phase::Join, || {
             if self.threads <= 1 {
-                self.tree
-                    .join_assigned(&params, &mut counters, &mut |a_id, b_id| sink.push(a_id, b_id))
+                let mut results = 0u64;
+                let aux = self.tree.join_assigned(&params, &mut counters, &mut |a_id, b_id| {
+                    deliver(sink, a_id, b_id, &mut results)
+                });
+                counters.results += results;
+                aux
             } else {
+                // par_join_into adds the delivered pairs to `counters.results`.
                 par_join_into(&self.tree, &params, self.threads, false, sink, &mut counters)
             }
         });
 
-        counters.results = sink.count() - results_before;
         report.counters = counters;
         report.memory_bytes = self.tree.memory_bytes() + assign_aux + join_aux;
 
@@ -227,10 +251,52 @@ impl StreamingTouchJoin {
     }
 }
 
+/// The streaming engine exposed as a one-shot [`SpatialJoinAlgorithm`]: builds the
+/// persistent tree over A and pushes the whole of B as a single epoch.
+///
+/// This is the adapter that lets the streaming engine participate in the unified
+/// [`touch_core::JoinQuery`] facade (and in every cross-engine equivalence suite)
+/// alongside `TouchJoin` and `ParallelTouchJoin`. For actual serving workloads use
+/// [`StreamingTouchJoin`] directly — the whole point of the engine is *not* to
+/// rebuild the tree per query.
+#[derive(Debug, Clone, Default)]
+pub struct OneShotStreaming {
+    config: StreamingConfig,
+}
+
+impl OneShotStreaming {
+    /// Wraps `config` as a one-shot algorithm.
+    pub fn new(config: StreamingConfig) -> Self {
+        OneShotStreaming { config }
+    }
+
+    /// The streaming configuration every run builds with.
+    pub fn config(&self) -> &StreamingConfig {
+        &self.config
+    }
+}
+
+impl SpatialJoinAlgorithm for OneShotStreaming {
+    fn name(&self) -> String {
+        format!("TOUCH-S{}", self.config.effective_threads())
+    }
+
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
+        let mut engine = StreamingTouchJoin::build(a, self.config);
+        let _ = engine.push_batch(b.objects(), sink);
+        let cumulative = engine.cumulative_report();
+        report.threads = cumulative.threads;
+        report.epochs = cumulative.epochs;
+        report.counters.merge(&cumulative.counters);
+        report.timer.merge(&cumulative.timer);
+        report.memory_bytes = report.memory_bytes.max(cumulative.memory_bytes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use touch_core::{collect_join, JoinOrder, TouchJoin};
+    use touch_core::{collect_join, CollectingSink, CountingSink, JoinOrder, TouchJoin};
     use touch_geom::{Aabb, Point3};
 
     fn lattice(side: usize, spacing: f64, box_side: f64, offset: f64) -> Dataset {
@@ -273,7 +339,7 @@ mod tests {
         threads: usize,
     ) -> (Vec<(u32, u32)>, RunReport, Vec<EpochReport>) {
         let mut engine = StreamingTouchJoin::build(a, streaming_cfg(threads));
-        let mut sink = ResultSink::collecting();
+        let mut sink = CollectingSink::new();
         let chunk = b.len().div_ceil(epochs).max(1);
         let mut reports = Vec::new();
         for batch in b.objects().chunks(chunk) {
@@ -331,7 +397,7 @@ mod tests {
         let (a, b) = workloads();
         let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
         let chunk = b.len().div_ceil(3);
-        let mut first = ResultSink::collecting();
+        let mut first = CollectingSink::new();
         let first_reports: Vec<_> =
             b.objects().chunks(chunk).map(|batch| engine.push_batch(batch, &mut first)).collect();
         let first_cumulative = engine.cumulative_report();
@@ -342,7 +408,7 @@ mod tests {
         assert_eq!(engine.cumulative_report().epochs, 0);
         assert_eq!(engine.tree().assigned_b_count(), 0);
 
-        let mut second = ResultSink::collecting();
+        let mut second = CollectingSink::new();
         let second_reports: Vec<_> =
             b.objects().chunks(chunk).map(|batch| engine.push_batch(batch, &mut second)).collect();
         assert_eq!(first.sorted_pairs(), second.sorted_pairs());
@@ -358,7 +424,7 @@ mod tests {
     fn empty_batches_and_empty_trees_are_harmless() {
         let (a, _) = workloads();
         let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(2));
-        let mut sink = ResultSink::counting();
+        let mut sink = CountingSink::new();
         let report = engine.push_batch(&[], &mut sink);
         assert_eq!(report.batch_size, 0);
         assert_eq!(report.results(), 0);
@@ -378,7 +444,7 @@ mod tests {
         let (a, b) = workloads();
         let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
         let build_time = engine.build_time();
-        let mut sink = ResultSink::counting();
+        let mut sink = CountingSink::new();
         for batch in b.objects().chunks(40) {
             engine.push_batch(batch, &mut sink);
         }
@@ -394,6 +460,58 @@ mod tests {
         engine.reset();
         let report = engine.push_batch(&b.objects()[..10], &mut sink);
         assert_eq!(report.timer.get(Phase::Build), std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn build_extended_answers_the_distance_predicate_and_carries_epsilon() {
+        let (a, b) = workloads();
+        const EPS: f64 = 0.4;
+        // Reference: the one-shot distance join through the unified query layer.
+        let mut expected = CollectingSink::new();
+        let expected_report = touch_core::JoinQuery::new(&a, &b)
+            .within_distance(EPS)
+            .engine(TouchJoin::new(touch_cfg()))
+            .run(&mut expected);
+
+        let mut engine = StreamingTouchJoin::build_extended(&a, EPS, streaming_cfg(1));
+        // The ε is visible on the *partial* cumulative report before any epoch.
+        assert_eq!(engine.cumulative_report().epsilon, EPS);
+        let mut sink = CollectingSink::new();
+        for batch in b.objects().chunks(40) {
+            let _ = engine.push_batch(batch, &mut sink);
+            assert_eq!(engine.cumulative_report().epsilon, EPS, "mid-stream report lost ε");
+        }
+        assert_eq!(sink.sorted_pairs(), expected.sorted_pairs());
+        assert_eq!(engine.cumulative_report().result_pairs(), expected_report.result_pairs());
+        engine.reset();
+        assert_eq!(engine.cumulative_report().epsilon, EPS, "reset must keep the ε stamp");
+    }
+
+    #[test]
+    fn one_shot_adapter_matches_the_sequential_join() {
+        let (a, b) = workloads();
+        let (expected_pairs, expected) = collect_join(&TouchJoin::new(touch_cfg()), &a, &b);
+        for threads in [1, 3] {
+            let adapter = OneShotStreaming::new(streaming_cfg(threads));
+            assert_eq!(adapter.name(), format!("TOUCH-S{threads}"));
+            assert_eq!(adapter.config().threads, threads);
+            let (pairs, report) = collect_join(&adapter, &a, &b);
+            assert_eq!(pairs, expected_pairs, "threads = {threads}");
+            assert_eq!(report.counters, expected.counters, "threads = {threads}");
+            assert_eq!(report.epochs, 1);
+            assert_eq!(report.threads, threads);
+            assert!(report.memory_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn push_batch_honours_early_terminating_sinks() {
+        let (a, b) = workloads();
+        let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let mut sink = touch_core::FirstKSink::new(2);
+        let report = engine.push_batch(b.objects(), &mut sink);
+        assert_eq!(sink.count(), 2);
+        assert_eq!(report.results(), 2);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! tree built on A, streaming B through [`StreamingTouchJoin::push_batch`] in **any
 //! epoch split** produces exactly the union of pairs — and exactly the additive
 //! counters — of the one-shot [`touch_core::TouchJoin`] over (A, B) with the same
-//! [`TouchConfig`] (tree on A; see [`StreamingConfig::touch`] for the two knobs the
+//! [`touch_core::TouchConfig`] (tree on A; see [`StreamingConfig::touch`] for the two knobs the
 //! engine pins). This holds for the sequential path and for every worker count,
 //! and is enforced by the workspace's `streaming_equivalence` property suite and
 //! the streaming cases of `parallel_determinism`.
@@ -31,13 +31,18 @@
 //! 2. the per-node local-join strategy choice consults only the A side
 //!    ([`touch_core::LocalJoinParams::allpairs_max_a`]), never the epoch's B count,
 //! 3. grid cells are sized from the tree dataset at build time
-//!    ([`TouchConfig::min_local_cell_size_of`]), not from the unknown-at-build B
+//!    ([`touch_core::TouchConfig::min_local_cell_size_of`]), not from the unknown-at-build B
 //!    stream.
+//!
+//! For cross-engine comparisons the crate also ships [`OneShotStreaming`], which
+//! wraps the engine as a regular [`touch_core::SpatialJoinAlgorithm`] (build +
+//! one epoch) so it can run through the unified [`touch_core::JoinQuery`] facade
+//! like every other engine.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use touch_core::ResultSink;
+//! use touch_core::CollectingSink;
 //! use touch_geom::{Aabb, Dataset, Point3};
 //! use touch_streaming::{StreamingConfig, StreamingTouchJoin};
 //!
@@ -52,7 +57,7 @@
 //!
 //! // Build the tree once, then stream B through it in three epochs.
 //! let mut engine = StreamingTouchJoin::build(&a, StreamingConfig::default());
-//! let mut sink = ResultSink::collecting();
+//! let mut sink = CollectingSink::new();
 //! let mut total = 0;
 //! for batch in b.objects().chunks(100) {
 //!     let epoch = engine.push_batch(batch, &mut sink);
@@ -69,5 +74,5 @@
 mod engine;
 mod report;
 
-pub use engine::{StreamingConfig, StreamingTouchJoin};
+pub use engine::{OneShotStreaming, StreamingConfig, StreamingTouchJoin};
 pub use report::{EpochReport, EpochSummary};

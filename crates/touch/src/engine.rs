@@ -1,0 +1,203 @@
+//! Engine selection for [`JoinQuery`](touch_core::JoinQuery): the [`Engine`] and
+//! [`Baseline`] enums.
+//!
+//! `touch-core` cannot name the parallel/streaming engines or the baselines (they
+//! live in downstream crates), so the facade provides the closed selector that
+//! spans the whole workspace. `Engine` itself implements
+//! [`SpatialJoinAlgorithm`] by delegating to the selected engine, which means it
+//! plugs into `JoinQuery::engine(...)` through the blanket
+//! [`touch_core::IntoEngine`] impl — and doubles as a serialisable-ish "engine
+//! id" for per-query engine selection in services.
+
+use touch_baselines::{
+    IndexedNestedLoopJoin, NestedLoopJoin, OctreeJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin,
+    S3Join, SeededTreeJoin,
+};
+use touch_core::{PairSink, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
+use touch_geom::Dataset;
+use touch_metrics::RunReport;
+use touch_parallel::{ParallelConfig, ParallelTouchJoin};
+use touch_streaming::{OneShotStreaming, StreamingConfig};
+
+/// One of the paper's competitor algorithms, in its evaluated configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Nested loop join (§2.1).
+    NestedLoop,
+    /// Plane-sweep join (§2.1).
+    PlaneSweep,
+    /// PBSM with 500 grid cells per dimension (§2.2.3).
+    Pbsm500,
+    /// PBSM with 100 grid cells per dimension (§2.2.3).
+    Pbsm100,
+    /// Size Separation Spatial Join (§2.2.3).
+    S3,
+    /// Indexed nested loop over an R-tree on dataset A (§2.2.2).
+    IndexedNestedLoop,
+    /// Synchronous R-tree traversal, both datasets indexed (§2.2.1).
+    RTree,
+    /// Octree double-index traversal (related work, §2.2.1).
+    Octree,
+    /// Seeded-tree join (related work, §2.2.2).
+    SeededTree,
+}
+
+impl Baseline {
+    /// Every baseline, in the order of the paper's Figure 8 suite (the two
+    /// related-work algorithms last).
+    pub const ALL: [Baseline; 9] = [
+        Baseline::NestedLoop,
+        Baseline::PlaneSweep,
+        Baseline::Pbsm500,
+        Baseline::Pbsm100,
+        Baseline::S3,
+        Baseline::IndexedNestedLoop,
+        Baseline::RTree,
+        Baseline::Octree,
+        Baseline::SeededTree,
+    ];
+
+    /// Instantiates the baseline in its paper configuration.
+    pub fn build(self) -> Box<dyn SpatialJoinAlgorithm> {
+        match self {
+            Baseline::NestedLoop => Box::new(NestedLoopJoin::new()),
+            Baseline::PlaneSweep => Box::new(PlaneSweepJoin::new()),
+            Baseline::Pbsm500 => Box::new(PbsmJoin::pbsm_500()),
+            Baseline::Pbsm100 => Box::new(PbsmJoin::pbsm_100()),
+            Baseline::S3 => Box::new(S3Join::paper_default()),
+            Baseline::IndexedNestedLoop => Box::new(IndexedNestedLoopJoin::paper_default()),
+            Baseline::RTree => Box::new(RTreeSyncJoin::paper_default()),
+            Baseline::Octree => Box::new(OctreeJoin::with_defaults()),
+            Baseline::SeededTree => Box::new(SeededTreeJoin::paper_comparable()),
+        }
+    }
+}
+
+/// The engine a [`JoinQuery`](touch_core::JoinQuery) executes on: the single
+/// selector spanning every join implementation of the workspace.
+///
+/// ```
+/// use touch::{CountingSink, Engine, JoinQuery, ParallelConfig, Predicate};
+/// use touch::{Aabb, Dataset, Point3};
+///
+/// let a: Dataset = (0..100)
+///     .map(|i| {
+///         let min = Point3::new(i as f64 * 3.0, 0.0, 0.0);
+///         Aabb::new(min, min + Point3::splat(1.0))
+///     })
+///     .collect();
+/// let b: Dataset = (0..100)
+///     .map(|i| {
+///         let min = Point3::new(i as f64 * 3.0 + 1.5, 0.0, 0.0);
+///         Aabb::new(min, min + Point3::splat(1.0))
+///     })
+///     .collect();
+///
+/// let mut sink = CountingSink::new();
+/// let report = JoinQuery::new(&a, &b)
+///     .predicate(Predicate::WithinDistance(1.0))
+///     .engine(Engine::Parallel(ParallelConfig::with_threads(2)))
+///     .run(&mut sink);
+/// assert_eq!(report.result_pairs(), sink.count());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Engine {
+    /// The sequential TOUCH join ([`TouchJoin`]).
+    Touch(TouchConfig),
+    /// The multi-threaded TOUCH join ([`ParallelTouchJoin`]).
+    Parallel(ParallelConfig),
+    /// The streaming engine run one-shot: build the tree, push B as one epoch
+    /// ([`OneShotStreaming`]).
+    Streaming(StreamingConfig),
+    /// One of the paper's competitor algorithms.
+    Baseline(Baseline),
+}
+
+impl Engine {
+    /// The default TOUCH engine in the paper's configuration.
+    pub fn touch() -> Self {
+        Engine::Touch(TouchConfig::default())
+    }
+
+    /// The parallel engine with auto-detected thread count.
+    pub fn parallel() -> Self {
+        Engine::Parallel(ParallelConfig::default())
+    }
+
+    /// Instantiates the selected engine.
+    pub fn build(&self) -> Box<dyn SpatialJoinAlgorithm> {
+        match *self {
+            Engine::Touch(cfg) => Box::new(TouchJoin::new(cfg)),
+            Engine::Parallel(cfg) => Box::new(ParallelTouchJoin::new(cfg)),
+            Engine::Streaming(cfg) => Box::new(OneShotStreaming::new(cfg)),
+            Engine::Baseline(baseline) => baseline.build(),
+        }
+    }
+}
+
+impl SpatialJoinAlgorithm for Engine {
+    fn name(&self) -> String {
+        self.build().name()
+    }
+
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
+        self.build().join_into(a, b, sink, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use touch_core::{collect_join, CollectingSink, JoinQuery};
+    use touch_geom::Point3;
+
+    fn sample(n: usize, seed: u64) -> Dataset {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        Dataset::from_mbrs((0..n).map(|_| {
+            let min = touch_geom::Point3::new(next() * 40.0, next() * 40.0, next() * 40.0);
+            touch_geom::Aabb::new(min, min + Point3::splat(0.3 + next() * 2.0))
+        }))
+    }
+
+    #[test]
+    fn every_engine_variant_agrees_through_join_query() {
+        let a = sample(120, 1);
+        let b = sample(150, 2);
+        let (expected, _) = collect_join(&TouchJoin::default(), &a, &b);
+        let engines = [
+            Engine::touch(),
+            Engine::Parallel(ParallelConfig::with_threads(2)),
+            Engine::Streaming(StreamingConfig::default()),
+            Engine::Baseline(Baseline::RTree),
+        ];
+        for engine in engines {
+            let mut sink = CollectingSink::new();
+            let report = JoinQuery::new(&a, &b).engine(engine).run(&mut sink);
+            assert_eq!(sink.sorted_pairs(), expected, "engine {engine:?}");
+            assert_eq!(report.algorithm, engine.name());
+        }
+    }
+
+    #[test]
+    fn baseline_names_match_the_paper() {
+        let names: Vec<String> = Baseline::ALL.iter().map(|b| b.build().name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "NL",
+                "PS",
+                "PBSM-500",
+                "PBSM-100",
+                "S3",
+                "Indexed NL",
+                "RTree",
+                "Octree",
+                "Seeded tree"
+            ]
+        );
+    }
+}

@@ -9,8 +9,10 @@
 //!   synthetic neuron morphologies),
 //! * [`index`] — indexing substrates (STR packing, packed R-tree, uniform and
 //!   hierarchical grids),
-//! * [`core`] — the TOUCH algorithm itself ([`TouchJoin`]) and the join interface
-//!   ([`SpatialJoinAlgorithm`], [`ResultSink`], [`distance_join`]),
+//! * [`core`] — the TOUCH algorithm ([`TouchJoin`]) and the unified query API:
+//!   the [`JoinQuery`] builder, the [`Predicate`] enum and the [`PairSink`]
+//!   result-consumer trait with its standard implementations ([`CountingSink`],
+//!   [`CollectingSink`], [`CallbackSink`], [`FirstKSink`]),
 //! * [`parallel`] — the multi-threaded execution subsystem ([`ParallelTouchJoin`]),
 //!   deterministically equivalent to [`TouchJoin`] at every thread count,
 //! * [`streaming`] — the batched/streaming engine ([`StreamingTouchJoin`]): one
@@ -19,10 +21,17 @@
 //! * [`baselines`] — the competitor algorithms of the paper's evaluation,
 //! * [`metrics`] — counters, timers and [`RunReport`]s.
 //!
+//! On top of the re-exports the facade defines [`Engine`] and [`Baseline`]: the
+//! closed selector enums that let one [`JoinQuery`] dispatch over every engine and
+//! baseline in the workspace.
+//!
 //! ## Quickstart
 //!
+//! Every join — any engine, any predicate, any result consumer — goes through the
+//! [`JoinQuery`] builder:
+//!
 //! ```
-//! use touch::{distance_join, Dataset, Aabb, Point3, ResultSink, TouchJoin};
+//! use touch::{Aabb, CollectingSink, Dataset, JoinQuery, Point3, Predicate};
 //!
 //! // Dataset A: a row of unit boxes. Dataset B: the same row, shifted by 1.5 units.
 //! let a: Dataset = (0..100)
@@ -38,16 +47,61 @@
 //!     })
 //!     .collect();
 //!
-//! // Find every pair within distance 1.0 of each other.
-//! let mut sink = ResultSink::collecting();
-//! let report = distance_join(&TouchJoin::default(), &a, &b, 1.0, &mut sink);
+//! // Find every pair within distance 1.0 of each other (runs TOUCH by default).
+//! let mut sink = CollectingSink::new();
+//! let report = JoinQuery::new(&a, &b)
+//!     .predicate(Predicate::WithinDistance(1.0))
+//!     .run(&mut sink);
 //!
 //! assert_eq!(report.result_pairs() as usize, sink.pairs().len());
+//! assert!(report.counters.comparisons < (a.len() * b.len()) as u64);
+//! ```
+//!
+//! Swap the engine without touching the rest of the query:
+//!
+//! ```
+//! use touch::{Baseline, CountingSink, Engine, JoinQuery, ParallelConfig};
+//! # use touch::{Aabb, Dataset, Point3};
+//! # let a: Dataset = (0..60).map(|i| {
+//! #     let min = Point3::new(i as f64 * 2.0, 0.0, 0.0);
+//! #     Aabb::new(min, min + Point3::splat(1.0))
+//! # }).collect();
+//! # let b = a.clone();
+//! let mut touch = CountingSink::new();
+//! let mut rtree = CountingSink::new();
+//! let t = JoinQuery::new(&a, &b).engine(Engine::touch()).run(&mut touch);
+//! let r = JoinQuery::new(&a, &b).engine(Engine::Baseline(Baseline::RTree)).run(&mut rtree);
+//! assert_eq!(touch.count(), rtree.count());
+//! assert_eq!(t.result_pairs(), r.result_pairs());
+//! ```
+//!
+//! And swap the result consumer without touching the engine — e.g. stream pairs
+//! into a callback with zero materialisation, or stop after the first match:
+//!
+//! ```
+//! use touch::{CallbackSink, FirstKSink, JoinQuery};
+//! # use touch::{Aabb, Dataset, Point3};
+//! # let a: Dataset = (0..60).map(|i| {
+//! #     let min = Point3::new(i as f64 * 2.0, 0.0, 0.0);
+//! #     Aabb::new(min, min + Point3::splat(1.0))
+//! # }).collect();
+//! # let b = a.clone();
+//! let mut streamed = 0u64;
+//! let mut callback = CallbackSink::new(|_a_id, _b_id| streamed += 1);
+//! let _ = JoinQuery::new(&a, &b).run(&mut callback);
+//!
+//! let mut exists = FirstKSink::new(1); // stops the engine after one pair
+//! let report = JoinQuery::new(&a, &b).run(&mut exists);
+//! assert_eq!(exists.count(), 1);
 //! assert!(report.counters.comparisons < (a.len() * b.len()) as u64);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+mod engine;
+
+pub use engine::{Baseline, Engine};
 
 pub use touch_baselines as baselines;
 pub use touch_core as core;
@@ -60,14 +114,20 @@ pub use touch_streaming as streaming;
 
 // The most common types, re-exported at the top level for convenience.
 pub use touch_baselines::{
-    IndexedNestedLoopJoin, NestedLoopJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, S3Join,
+    IndexedNestedLoopJoin, NestedLoopJoin, OctreeJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin,
+    S3Join, SeededTreeJoin,
 };
+#[allow(deprecated)]
+pub use touch_core::ResultSink;
 pub use touch_core::{
-    collect_join, count_join, distance_join, JoinOrder, LocalJoinParams, LocalJoinStrategy,
-    ResultSink, ShardedSink, SinkShard, SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
+    collect_join, count_join, distance_join, CallbackSink, CollectingSink, CountingSink,
+    FirstKSink, IntoEngine, JoinOrder, JoinQuery, LocalJoinParams, LocalJoinStrategy, PairSink,
+    Predicate, ShardedSink, SinkShard, SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
 };
 pub use touch_datagen::{NeuroscienceSpec, SyntheticDistribution, SyntheticSpec};
 pub use touch_geom::{Aabb, Cylinder, Dataset, ObjectId, Point3, SpatialObject};
 pub use touch_metrics::{Counters, Phase, RunReport};
 pub use touch_parallel::{ParallelConfig, ParallelTouchJoin};
-pub use touch_streaming::{EpochReport, EpochSummary, StreamingConfig, StreamingTouchJoin};
+pub use touch_streaming::{
+    EpochReport, EpochSummary, OneShotStreaming, StreamingConfig, StreamingTouchJoin,
+};

@@ -6,7 +6,7 @@
 //! ```
 
 use touch::baselines::full_suite;
-use touch::{distance_join, ResultSink, SyntheticDistribution, SyntheticSpec};
+use touch::{CountingSink, JoinQuery, SyntheticDistribution, SyntheticSpec};
 
 fn main() {
     let epsilon: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0);
@@ -23,8 +23,10 @@ fn main() {
 
     let mut reference_results: Option<u64> = None;
     for algo in full_suite() {
-        let mut sink = ResultSink::counting();
-        let report = distance_join(algo.as_ref(), &a, &b, epsilon, &mut sink);
+        let report = JoinQuery::new(&a, &b)
+            .within_distance(epsilon)
+            .engine(algo.as_ref())
+            .run(&mut CountingSink::new());
         println!(
             "{:<12} {:>14} {:>10} {:>12.0} {:>12.1}",
             report.algorithm,

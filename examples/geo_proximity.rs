@@ -9,7 +9,10 @@
 //! cargo run -p touch --release --example geo_proximity
 //! ```
 
-use touch::{collect_join, Aabb, Dataset, Point3, RTreeSyncJoin, SpatialJoinAlgorithm, TouchJoin};
+use touch::{
+    Aabb, CollectingSink, Dataset, JoinQuery, Point3, RTreeSyncJoin, SpatialJoinAlgorithm,
+    TouchJoin,
+};
 
 /// Builds an axis-aligned 2-D footprint (a building, a park, a facility) as a
 /// degenerate 3-D box.
@@ -41,13 +44,15 @@ fn main() {
     }
     println!("{} facilities, {} residential blocks", facilities.len(), dwellings.len());
 
-    // 2. Which residential blocks lie within 250 m of a facility? Distance joins are
-    //    intersection joins after extending one dataset by the threshold.
+    // 2. Which residential blocks lie within 250 m of a facility? The query layer
+    //    translates the distance predicate into an intersection join internally.
     let protection_distance = 250.0;
-    let extended_facilities = facilities.extended(protection_distance);
+    let mut query = JoinQuery::new(&facilities, &dwellings).within_distance(protection_distance);
 
     let touch = TouchJoin::default();
-    let (pairs, report) = collect_join(&touch, &extended_facilities, &dwellings);
+    let mut touch_sink = CollectingSink::new();
+    let report = query.run(&mut touch_sink);
+    let pairs = touch_sink.sorted_pairs();
     println!(
         "TOUCH: {} facility/block conflicts, {} comparisons, {:.1} ms",
         pairs.len(),
@@ -55,9 +60,13 @@ fn main() {
         report.total_time().as_secs_f64() * 1e3
     );
 
-    // 3. Cross-check with the synchronous R-tree traversal baseline: identical result.
+    // 3. Cross-check with the synchronous R-tree traversal baseline: swap the
+    //    engine, keep the query — identical result.
     let rtree = RTreeSyncJoin::paper_default();
-    let (rtree_pairs, rtree_report) = collect_join(&rtree, &extended_facilities, &dwellings);
+    let mut rtree_sink = CollectingSink::new();
+    let mut query = query.engine(rtree);
+    let rtree_report = query.run(&mut rtree_sink);
+    let rtree_pairs = rtree_sink.sorted_pairs();
     println!(
         "RTree: {} conflicts, {} comparisons, {:.1} ms",
         rtree_pairs.len(),

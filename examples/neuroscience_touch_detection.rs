@@ -10,7 +10,7 @@
 //! cargo run -p touch --release --example neuroscience_touch_detection
 //! ```
 
-use touch::{distance_join, Cylinder, NeuroscienceSpec, ResultSink, TouchJoin};
+use touch::{CallbackSink, Cylinder, JoinQuery, NeuroscienceSpec};
 
 fn main() {
     // 1. Build a synthetic tissue model at 1 % of the paper's scale: ~6.4 K axon
@@ -26,11 +26,23 @@ fn main() {
 
     let epsilon = 5.0;
 
-    // 2. Filtering phase: TOUCH finds all pairs of cylinders whose eps-extended MBRs
-    //    intersect. This is exactly what the paper evaluates.
-    let mut sink = ResultSink::collecting();
+    // 2 + 3. Filtering and refinement in one pass: TOUCH finds all pairs of
+    //    cylinders whose eps-extended MBRs intersect (exactly what the paper
+    //    evaluates), and a `CallbackSink` refines each candidate against the exact
+    //    cylinder geometry as it streams out of the join — no candidate list is
+    //    ever materialised. The paper leaves refinement to the application; the
+    //    library ships the exact geometry predicate.
+    let mut synapses: Vec<(u32, u32)> = Vec::new();
+    let mut sink = CallbackSink::new(|axon_id, dendrite_id| {
+        let axon: &Cylinder = &tissue.axon_cylinders[axon_id as usize];
+        let dendrite: &Cylinder = &tissue.dendrite_cylinders[dendrite_id as usize];
+        if axon.touches(dendrite, epsilon) {
+            synapses.push((axon_id, dendrite_id));
+        }
+    });
     let report =
-        distance_join(&TouchJoin::default(), &tissue.axons, &tissue.dendrites, epsilon, &mut sink);
+        JoinQuery::new(&tissue.axons, &tissue.dendrites).within_distance(epsilon).run(&mut sink);
+    let candidates = sink.count();
     println!(
         "filtering: {} candidate pairs, {} comparisons, {} dendrites filtered ({:.1}% of B)",
         report.result_pairs(),
@@ -38,28 +50,16 @@ fn main() {
         report.counters.filtered,
         100.0 * report.counters.filtered as f64 / tissue.dendrites.len() as f64,
     );
-
-    // 3. Refinement phase: check the exact cylinder-to-cylinder distance of every
-    //    candidate pair and keep the real touches. The paper leaves refinement to the
-    //    application; the library ships the exact geometry predicate.
-    let mut synapses: Vec<(u32, u32)> = Vec::new();
-    for &(axon_id, dendrite_id) in sink.pairs() {
-        let axon: &Cylinder = &tissue.axon_cylinders[axon_id as usize];
-        let dendrite: &Cylinder = &tissue.dendrite_cylinders[dendrite_id as usize];
-        if axon.touches(dendrite, epsilon) {
-            synapses.push((axon_id, dendrite_id));
-        }
-    }
     println!(
         "refinement: {} synapse locations confirmed out of {} candidates ({:.1}% precision)",
         synapses.len(),
-        sink.pairs().len(),
-        100.0 * synapses.len() as f64 / sink.pairs().len().max(1) as f64,
+        candidates,
+        100.0 * synapses.len() as f64 / (candidates as f64).max(1.0),
     );
 
     // The MBR filter is conservative: every true touch must appear among the
     // candidates, so refinement can only shrink the set.
-    assert!(synapses.len() <= sink.pairs().len());
+    assert!(synapses.len() as u64 <= candidates);
     for (axon_id, dendrite_id) in synapses.iter().take(5) {
         let a = &tissue.axon_cylinders[*axon_id as usize];
         let d = &tissue.dendrite_cylinders[*dendrite_id as usize];

@@ -6,8 +6,8 @@
 //! ```
 
 use touch::{
-    distance_join, Dataset, ResultSink, SpatialJoinAlgorithm, SyntheticDistribution, SyntheticSpec,
-    TouchJoin,
+    CollectingSink, Dataset, JoinQuery, Predicate, SpatialJoinAlgorithm, SyntheticDistribution,
+    SyntheticSpec, TouchJoin,
 };
 
 fn main() {
@@ -22,8 +22,11 @@ fn main() {
     // 2. Run the TOUCH distance join with the paper's default configuration
     //    (1024 partitions, fanout 2, grid local join) and a distance threshold of 10.
     let touch = TouchJoin::default();
-    let mut sink = ResultSink::collecting();
-    let report = distance_join(&touch, &a, &b, 10.0, &mut sink);
+    let mut sink = CollectingSink::new();
+    let report = JoinQuery::new(&a, &b)
+        .predicate(Predicate::WithinDistance(10.0))
+        .engine(&touch)
+        .run(&mut sink);
 
     // 3. Inspect the result and the measurements the paper reports.
     println!("algorithm:        {}", report.algorithm);

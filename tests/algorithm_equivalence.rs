@@ -8,8 +8,8 @@
 
 use touch::baselines::{OctreeJoin, SeededTreeJoin};
 use touch::{
-    collect_join, distance_join, Dataset, IndexedNestedLoopJoin, NestedLoopJoin, NeuroscienceSpec,
-    ParallelTouchJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, ResultSink, S3Join,
+    collect_join, CollectingSink, Dataset, IndexedNestedLoopJoin, JoinQuery, NestedLoopJoin,
+    NeuroscienceSpec, ParallelTouchJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, S3Join,
     SpatialJoinAlgorithm, SyntheticDistribution, SyntheticSpec, TouchJoin,
 };
 
@@ -40,16 +40,16 @@ fn full_suite() -> Vec<Box<dyn SpatialJoinAlgorithm>> {
 
 /// Ground truth via the nested loop.
 fn brute_force(a: &Dataset, b: &Dataset, eps: f64) -> Vec<(u32, u32)> {
-    let mut sink = ResultSink::collecting();
-    distance_join(&NestedLoopJoin::new(), a, b, eps, &mut sink);
+    let mut sink = CollectingSink::new();
+    let _ = JoinQuery::new(a, b).within_distance(eps).engine(NestedLoopJoin::new()).run(&mut sink);
     sink.sorted_pairs()
 }
 
 fn assert_all_algorithms_agree(a: &Dataset, b: &Dataset, eps: f64, context: &str) {
     let expected = brute_force(a, b, eps);
     for algo in full_suite() {
-        let mut sink = ResultSink::collecting();
-        let report = distance_join(algo.as_ref(), a, b, eps, &mut sink);
+        let mut sink = CollectingSink::new();
+        let report = JoinQuery::new(a, b).within_distance(eps).engine(algo.as_ref()).run(&mut sink);
         let pairs = sink.sorted_pairs();
         assert_eq!(
             pairs,
@@ -150,8 +150,8 @@ fn collect_join_and_distance_join_with_zero_eps_agree() {
     let b = synthetic(700, SyntheticDistribution::Uniform, 12);
     for algo in full_suite() {
         let (pairs, _) = collect_join(algo.as_ref(), &a, &b);
-        let mut sink = ResultSink::collecting();
-        distance_join(algo.as_ref(), &a, &b, 0.0, &mut sink);
+        let mut sink = CollectingSink::new();
+        let _ = JoinQuery::new(&a, &b).within_distance(0.0).engine(algo.as_ref()).run(&mut sink);
         assert_eq!(pairs, sink.sorted_pairs(), "{}", algo.name());
     }
 }

@@ -4,7 +4,8 @@
 //! refinement phase confirms on exact geometry).
 
 use touch::{
-    distance_join, Aabb, Cylinder, Dataset, NeuroscienceSpec, Point3, ResultSink, TouchJoin,
+    Aabb, CollectingSink, CountingSink, Cylinder, Dataset, JoinQuery, NeuroscienceSpec, Point3,
+    TouchJoin,
 };
 
 fn grid_dataset(side: usize, spacing: f64, box_side: f64) -> Dataset {
@@ -29,8 +30,11 @@ fn epsilon_thresholds_are_inclusive_and_monotone() {
     let touch = TouchJoin::default();
 
     let count = |eps: f64| {
-        let mut sink = ResultSink::counting();
-        distance_join(&touch, &a, &b, eps, &mut sink).result_pairs()
+        JoinQuery::new(&a, &b)
+            .within_distance(eps)
+            .engine(&touch)
+            .run(&mut CountingSink::new())
+            .result_pairs()
     };
 
     let at_zero = count(0.0);
@@ -69,8 +73,8 @@ fn exact_pair_set_on_a_known_configuration() {
     let touch = TouchJoin::default();
 
     let pairs_at = |eps: f64| {
-        let mut sink = ResultSink::collecting();
-        distance_join(&touch, &a, &b, eps, &mut sink);
+        let mut sink = CollectingSink::new();
+        let _ = JoinQuery::new(&a, &b).within_distance(eps).engine(&touch).run(&mut sink);
         sink.sorted_pairs()
     };
 
@@ -93,8 +97,8 @@ fn filtering_never_loses_a_matching_pair() {
         b.push_mbr(Aabb::new(min, min + Point3::splat(1.0)));
     }
     let eps = 1.5;
-    let mut sink = ResultSink::collecting();
-    let report = distance_join(&TouchJoin::default(), &a, &b, eps, &mut sink);
+    let mut sink = CollectingSink::new();
+    let report = JoinQuery::new(&a, &b).within_distance(eps).run(&mut sink);
     assert!(report.counters.filtered > 0, "the far-away B objects must be filtered");
 
     // Brute force over the eps-extended A (same translation the library applies).
@@ -124,8 +128,11 @@ fn refinement_on_cylinders_is_a_subset_of_the_filter_output() {
     let tissue = spec.generate(3);
     let eps = 2.0;
 
-    let mut sink = ResultSink::collecting();
-    distance_join(&TouchJoin::default(), &tissue.axons, &tissue.dendrites, eps, &mut sink);
+    let mut sink = CollectingSink::new();
+    let _ = JoinQuery::new(&tissue.axons, &tissue.dendrites)
+        .within_distance(eps)
+        .engine(TouchJoin::default())
+        .run(&mut sink);
     let candidates: std::collections::HashSet<(u32, u32)> = sink.pairs().iter().copied().collect();
 
     let mut exact_touches = 0usize;

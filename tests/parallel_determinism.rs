@@ -6,8 +6,8 @@
 //! output).
 
 use touch::{
-    collect_join, distance_join, Dataset, EpochSummary, NeuroscienceSpec, ParallelConfig,
-    ParallelTouchJoin, ResultSink, StreamingConfig, StreamingTouchJoin, SyntheticDistribution,
+    collect_join, CollectingSink, Dataset, EpochSummary, JoinQuery, NeuroscienceSpec,
+    ParallelConfig, ParallelTouchJoin, StreamingConfig, StreamingTouchJoin, SyntheticDistribution,
     SyntheticSpec, TouchConfig, TouchJoin,
 };
 
@@ -28,14 +28,15 @@ fn busy_config(threads: usize) -> ParallelConfig {
 }
 
 fn assert_deterministic(a: &Dataset, b: &Dataset, eps: f64, context: &str) {
-    let mut sink = ResultSink::collecting();
-    let sequential = distance_join(&TouchJoin::default(), a, b, eps, &mut sink);
+    let mut sink = CollectingSink::new();
+    let sequential =
+        JoinQuery::new(a, b).within_distance(eps).engine(TouchJoin::default()).run(&mut sink);
     let expected = sink.sorted_pairs();
 
     for threads in THREAD_COUNTS {
         let algo = ParallelTouchJoin::new(busy_config(threads));
-        let mut sink = ResultSink::collecting();
-        let report = distance_join(&algo, a, b, eps, &mut sink);
+        let mut sink = CollectingSink::new();
+        let report = JoinQuery::new(a, b).within_distance(eps).engine(&algo).run(&mut sink);
         assert_eq!(
             sink.sorted_pairs(),
             expected,
@@ -114,7 +115,7 @@ fn stream_epochs(
     let mut summaries = Vec::new();
     let mut pair_sets = Vec::new();
     for batch in b.objects().chunks(chunk) {
-        let mut sink = ResultSink::collecting();
+        let mut sink = CollectingSink::new();
         summaries.push(engine.push_batch(batch, &mut sink).summary());
         pair_sets.push(sink.sorted_pairs());
     }

@@ -6,8 +6,8 @@ use touch::core::TouchTree;
 use touch::index::{HierGridIndex, HierarchicalGrid, MultiAssignGrid, PackedRTree, UniformGrid};
 use touch::metrics::MemoryUsage;
 use touch::{
-    count_join, distance_join, Counters, Dataset, Phase, ResultSink, SpatialJoinAlgorithm,
-    SyntheticDistribution, SyntheticSpec, TouchConfig, TouchJoin,
+    count_join, CollectingSink, Counters, CountingSink, Dataset, JoinQuery, Phase,
+    SpatialJoinAlgorithm, SyntheticDistribution, SyntheticSpec, TouchConfig, TouchJoin,
 };
 
 fn dataset(count: usize, seed: u64) -> Dataset {
@@ -44,13 +44,16 @@ fn touch_phases_can_be_driven_manually_through_the_public_api() {
         allpairs_max_a: 8,
     };
     let mut pairs = Vec::new();
-    tree.join_assigned(&params, &mut counters, &mut |x, y| pairs.push((x, y)));
+    tree.join_assigned(&params, &mut counters, &mut |x, y| {
+        pairs.push((x, y));
+        true
+    });
     pairs.sort_unstable();
 
     // The one-shot API must produce the identical result.
     let algo = TouchJoin::new(TouchConfig { partitions: 256, ..TouchConfig::default() });
-    let mut sink = ResultSink::collecting();
-    algo.join(&a, &b, &mut sink);
+    let mut sink = CollectingSink::new();
+    let _ = algo.join(&a, &b, &mut sink);
     assert_eq!(pairs, sink.sorted_pairs());
 
     // The tree is reusable after clearing the assignment.
@@ -103,10 +106,8 @@ fn reports_carry_phase_timings_and_selectivity() {
 fn distance_join_reports_epsilon_and_scales_with_it() {
     let a = dataset(2_000, 6);
     let b = dataset(2_000, 7);
-    let mut sink = ResultSink::counting();
-    let small = distance_join(&TouchJoin::default(), &a, &b, 1.0, &mut sink);
-    let mut sink = ResultSink::counting();
-    let large = distance_join(&TouchJoin::default(), &a, &b, 6.0, &mut sink);
+    let small = JoinQuery::new(&a, &b).within_distance(1.0).run(&mut CountingSink::new());
+    let large = JoinQuery::new(&a, &b).within_distance(6.0).run(&mut CountingSink::new());
     assert_eq!(small.epsilon, 1.0);
     assert_eq!(large.epsilon, 6.0);
     assert!(large.result_pairs() > small.result_pairs());

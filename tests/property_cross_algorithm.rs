@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use touch::baselines::{IndexedNestedLoopJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin, S3Join};
 use touch::{
-    distance_join, Aabb, Dataset, JoinOrder, LocalJoinStrategy, NestedLoopJoin, Point3, ResultSink,
+    Aabb, CollectingSink, Dataset, JoinOrder, JoinQuery, LocalJoinStrategy, NestedLoopJoin, Point3,
     SpatialJoinAlgorithm, TouchConfig, TouchJoin,
 };
 
@@ -27,14 +27,12 @@ fn arb_dataset(max: usize) -> impl Strategy<Value = Dataset> {
 }
 
 fn ground_truth(a: &Dataset, b: &Dataset, eps: f64) -> Vec<(u32, u32)> {
-    let mut sink = ResultSink::collecting();
-    distance_join(&NestedLoopJoin::new(), a, b, eps, &mut sink);
-    sink.sorted_pairs()
+    run(&NestedLoopJoin::new(), a, b, eps)
 }
 
 fn run(algo: &dyn SpatialJoinAlgorithm, a: &Dataset, b: &Dataset, eps: f64) -> Vec<(u32, u32)> {
-    let mut sink = ResultSink::collecting();
-    distance_join(algo, a, b, eps, &mut sink);
+    let mut sink = CollectingSink::new();
+    let _ = JoinQuery::new(a, b).within_distance(eps).engine(algo).run(&mut sink);
     sink.sorted_pairs()
 }
 
@@ -106,8 +104,8 @@ proptest! {
         b in arb_dataset(150),
         eps in 0.0..6.0f64,
     ) {
-        let mut sink = ResultSink::collecting();
-        let report = distance_join(&TouchJoin::default(), &a, &b, eps, &mut sink);
+        let mut sink = CollectingSink::new();
+        let report = JoinQuery::new(&a, &b).within_distance(eps).run(&mut sink);
         // Results reported == pairs delivered.
         prop_assert_eq!(report.result_pairs(), sink.pairs().len() as u64);
         // Filtered objects are a subset of the probe dataset (TOUCH builds its tree

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use touch::{
-    collect_join, Aabb, Counters, Dataset, JoinOrder, Point3, ResultSink, StreamingConfig,
+    collect_join, Aabb, CollectingSink, Counters, Dataset, JoinOrder, Point3, StreamingConfig,
     StreamingTouchJoin, TouchConfig, TouchJoin,
 };
 
@@ -85,9 +85,9 @@ fn stream(
     threads: usize,
 ) -> (Vec<(u32, u32)>, Counters, usize) {
     let mut engine = StreamingTouchJoin::build(a, streaming_cfg(threads));
-    let mut sink = ResultSink::collecting();
+    let mut sink = CollectingSink::new();
     for window in bounds.windows(2) {
-        engine.push_batch(&b.objects()[window[0]..window[1]], &mut sink);
+        let _ = engine.push_batch(&b.objects()[window[0]..window[1]], &mut sink);
     }
     let cumulative = engine.cumulative_report();
     (sink.sorted_pairs(), cumulative.counters, cumulative.epochs)
@@ -148,9 +148,9 @@ proptest! {
         let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
         for (stream_no, epochs) in [1usize, 5, 13].into_iter().enumerate() {
             let bounds = random_epoch_bounds(b.len(), epochs, seed ^ stream_no as u64);
-            let mut sink = ResultSink::collecting();
+            let mut sink = CollectingSink::new();
             for window in bounds.windows(2) {
-                engine.push_batch(&b.objects()[window[0]..window[1]], &mut sink);
+                let _ = engine.push_batch(&b.objects()[window[0]..window[1]], &mut sink);
             }
             prop_assert_eq!(
                 &sink.sorted_pairs(), &expected_pairs,
