@@ -1,0 +1,287 @@
+//! `perfsmoke` — the repo's recorded performance trajectory.
+//!
+//! Runs the three TOUCH engines (sequential, parallel, streaming) over pinned
+//! synthetic workloads and writes `BENCH_core.json` with **wall-time derived
+//! throughput** (pairs/sec, join-phase pairs/sec) *and* the **machine-independent
+//! work counters** (comparisons, node tests, replicas) for every engine × workload
+//! cell. The counters are deterministic — they let a single-core CI sandbox record a
+//! meaningful trend even when its wall-clock numbers are noisy; the throughput
+//! columns are what a quiet multicore box compares across commits.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p touch-bench --release --bin perfsmoke -- [--smoke] \
+//!     [--scale <f>] [--reps <n>] [--out <path>]
+//! ```
+//!
+//! `--smoke` is the CI mode: a tiny scale and few repetitions, enough to prove the
+//! harness runs and to archive the counter trajectory as a build artifact.
+
+use std::time::Instant;
+use touch_core::{CountingSink, JoinOrder, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
+use touch_datagen::SyntheticDistribution;
+use touch_experiments::{workload, Context};
+use touch_geom::Dataset;
+use touch_metrics::{Phase, RunReport};
+use touch_parallel::{ParallelConfig, ParallelTouchJoin};
+use touch_streaming::{StreamingConfig, StreamingTouchJoin};
+
+/// One pinned workload: its datasets plus the TOUCH configuration every engine runs
+/// with (pinned so the numbers stay comparable across commits).
+struct Workload {
+    name: &'static str,
+    a: Dataset,
+    b: Dataset,
+    eps: f64,
+    cfg: TouchConfig,
+}
+
+/// The measurement of one engine on one workload.
+struct Cell {
+    engine: String,
+    threads: usize,
+    epochs: usize,
+    pairs: u64,
+    comparisons: u64,
+    node_tests: u64,
+    replicas: u64,
+    /// Best (minimum) wall-clock total over the repetitions, in seconds.
+    wall_s: f64,
+    /// Best join-phase time over the repetitions, in seconds.
+    join_s: f64,
+    reps: usize,
+}
+
+impl Cell {
+    fn from_runs(engine: String, reports: &[RunReport]) -> Cell {
+        let best = reports
+            .iter()
+            .min_by(|p, q| p.total_time().partial_cmp(&q.total_time()).unwrap())
+            .expect("at least one rep");
+        let join_s =
+            reports.iter().map(|r| r.timer.get(Phase::Join).as_secs_f64()).fold(f64::MAX, f64::min);
+        Cell {
+            engine,
+            threads: best.threads,
+            epochs: best.epochs,
+            pairs: best.result_pairs(),
+            comparisons: best.counters.comparisons,
+            node_tests: best.counters.node_tests,
+            replicas: best.counters.replicas,
+            wall_s: best.total_time().as_secs_f64(),
+            join_s,
+            reps: reports.len(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let pps = if self.wall_s > 0.0 { self.pairs as f64 / self.wall_s } else { 0.0 };
+        let jpps = if self.join_s > 0.0 { self.pairs as f64 / self.join_s } else { 0.0 };
+        format!(
+            concat!(
+                "{{\"engine\":{},\"threads\":{},\"epochs\":{},\"pairs\":{},",
+                "\"comparisons\":{},\"node_tests\":{},\"replicas\":{},",
+                "\"wall_s\":{:.6},\"join_s\":{:.6},",
+                "\"pairs_per_sec\":{:.1},\"join_pairs_per_sec\":{:.1},\"reps\":{}}}"
+            ),
+            json_str(&self.engine),
+            self.threads,
+            self.epochs,
+            self.pairs,
+            self.comparisons,
+            self.node_tests,
+            self.replicas,
+            self.wall_s,
+            self.join_s,
+            pps,
+            jpps,
+            self.reps,
+        )
+    }
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// The pinned workloads. Two shapes the engines stress differently:
+///
+/// * `grid_uniform` — uniform data at paper density with a wide ε and coarse
+///   partitioning, so the join phase is dominated by **grid local joins** over
+///   well-filled nodes (the kernel the CSR directory targets).
+/// * `clustered_filter` — clustered data over a sparse uniform probe side: deep
+///   assignment descents, heavy filtering, many small nodes (the kernel the flat
+///   MBR descent targets).
+fn workloads(ctx: &Context) -> Vec<Workload> {
+    let grid_cfg =
+        TouchConfig { partitions: 64, join_order: JoinOrder::TreeOnA, ..TouchConfig::default() };
+    let cluster_cfg = TouchConfig { join_order: JoinOrder::TreeOnA, ..TouchConfig::default() };
+    vec![
+        Workload {
+            name: "grid_uniform",
+            a: workload::synthetic(ctx, 160_000, SyntheticDistribution::Uniform, ctx.seed_a),
+            b: workload::synthetic(ctx, 160_000, SyntheticDistribution::Uniform, ctx.seed_b),
+            eps: 3.0,
+            cfg: grid_cfg,
+        },
+        Workload {
+            name: "clustered_filter",
+            a: workload::synthetic(
+                ctx,
+                160_000,
+                SyntheticDistribution::paper_clustered(),
+                ctx.seed_a,
+            ),
+            b: workload::synthetic(ctx, 160_000, SyntheticDistribution::Uniform, ctx.seed_b),
+            eps: 1.5,
+            cfg: cluster_cfg,
+        },
+    ]
+}
+
+fn run_one_shot(algo: &dyn SpatialJoinAlgorithm, w: &Workload, reps: usize) -> Vec<RunReport> {
+    (0..reps)
+        .map(|_| {
+            let mut sink = CountingSink::new();
+            touch_core::JoinQuery::new(&w.a, &w.b)
+                .within_distance(w.eps)
+                .engine(algo)
+                .run(&mut sink)
+        })
+        .collect()
+}
+
+/// Streaming: build once per rep, push the probe side in `epochs` batches, report
+/// the cumulative record (build charged once + per-epoch work summed).
+fn run_streaming(w: &Workload, epochs: usize, reps: usize) -> Vec<RunReport> {
+    (0..reps)
+        .map(|_| {
+            let cfg = StreamingConfig { touch: w.cfg, ..StreamingConfig::default() };
+            let mut engine = StreamingTouchJoin::build_extended(&w.a, w.eps, cfg);
+            let mut sink = CountingSink::new();
+            let chunk = w.b.len().div_ceil(epochs).max(1);
+            for batch in w.b.objects().chunks(chunk) {
+                let _ = engine.push_batch(batch, &mut sink);
+            }
+            engine.cumulative_report()
+        })
+        .collect()
+}
+
+/// Exits with the experiment binaries' bad-argument convention: one line on
+/// stderr, status 2.
+fn usage_error(message: impl std::fmt::Display) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.15f64;
+    let mut reps = 5usize;
+    // Smoke mode defaults to its own output file so a casual `--smoke` run can
+    // never clobber the committed full-mode trajectory record; CI passes
+    // `--out BENCH_core.json` explicitly to name its artifact.
+    let mut out: Option<String> = None;
+    let mut mode = "full";
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> String {
+        match args.get(i) {
+            Some(v) => v.clone(),
+            None => usage_error(format_args!("missing value after {flag}")),
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                mode = "smoke";
+                scale = 0.005;
+                reps = 2;
+            }
+            "--scale" => {
+                i += 1;
+                scale = value(&args, i, "--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--scale takes a float"));
+            }
+            "--reps" => {
+                i += 1;
+                reps = value(&args, i, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--reps takes an integer"));
+            }
+            "--out" => {
+                i += 1;
+                out = Some(value(&args, i, "--out"));
+            }
+            other => usage_error(format_args!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if !(scale > 0.0 && scale <= 1.0) {
+        usage_error("--scale must be in (0, 1]");
+    }
+    if reps == 0 {
+        usage_error("--reps must be at least 1");
+    }
+    let out = out.unwrap_or_else(|| {
+        String::from(if mode == "smoke" { "BENCH_core.smoke.json" } else { "BENCH_core.json" })
+    });
+
+    let ctx = Context::new(scale);
+    let started = Instant::now();
+    let mut wl_json = Vec::new();
+    for w in workloads(&ctx) {
+        eprintln!(
+            "[perfsmoke] workload {} (|A|={}, |B|={}, eps={})",
+            w.name,
+            w.a.len(),
+            w.b.len(),
+            w.eps
+        );
+        let mut cells = Vec::new();
+
+        let touch = TouchJoin::new(w.cfg);
+        cells.push(Cell::from_runs("touch".into(), &run_one_shot(&touch, &w, reps)));
+
+        let par = ParallelTouchJoin::new(ParallelConfig {
+            threads: 4,
+            touch: w.cfg,
+            ..ParallelConfig::default()
+        });
+        cells.push(Cell::from_runs("parallel".into(), &run_one_shot(&par, &w, reps)));
+
+        cells.push(Cell::from_runs("streaming".into(), &run_streaming(&w, 4, reps)));
+
+        for c in &cells {
+            eprintln!(
+                "[perfsmoke]   {:<10} pairs={} comparisons={} wall={:.4}s join={:.4}s ({:.0} pairs/s)",
+                c.engine,
+                c.pairs,
+                c.comparisons,
+                c.wall_s,
+                c.join_s,
+                if c.wall_s > 0.0 { c.pairs as f64 / c.wall_s } else { 0.0 },
+            );
+        }
+        wl_json.push(format!(
+            "{{\"name\":{},\"a\":{},\"b\":{},\"eps\":{},\"engines\":[{}]}}",
+            json_str(w.name),
+            w.a.len(),
+            w.b.len(),
+            w.eps,
+            cells.iter().map(Cell::to_json).collect::<Vec<_>>().join(",")
+        ));
+    }
+
+    let json = format!(
+        "{{\"schema\":\"touch-bench-core/v1\",\"mode\":{},\"scale\":{},\"reps\":{},\"workloads\":[{}]}}\n",
+        json_str(mode),
+        scale,
+        reps,
+        wl_json.join(",")
+    );
+    std::fs::write(&out, &json).expect("write BENCH_core.json");
+    eprintln!("[perfsmoke] wrote {out} in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -89,9 +89,12 @@ pub fn plane_sweep(
 }
 
 fn sort_by_xmin(objs: &mut [SpatialObject]) {
-    objs.sort_unstable_by(|p, q| {
-        p.mbr.min.x.partial_cmp(&q.mbr.min.x).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: the latter is not a
+    // total order when NaN coordinates slip in (NaN would compare "equal" to
+    // everything), and `sort_unstable_by` may produce an arbitrary permutation —
+    // or worse — under an inconsistent comparator. IEEE total ordering keeps the
+    // sweep deterministic for every input.
+    objs.sort_unstable_by(|p, q| p.mbr.min.x.total_cmp(&q.mbr.min.x));
 }
 
 #[cfg(test)]
@@ -263,6 +266,38 @@ mod tests {
         });
         assert_eq!(emitted, 3);
         assert_eq!(counters.comparisons, 3, "the scan must stop with the emitter");
+    }
+
+    #[test]
+    fn sort_by_xmin_is_total_even_with_nan_coordinates() {
+        // A NaN x-min must not poison the comparator: `total_cmp` orders NaN after
+        // every finite value, so the sweep stays deterministic and the finite
+        // objects still join correctly against each other.
+        let a = dataset(&[(5.0, 0.0, 0.0, 1.0), (0.0, 0.0, 0.0, 1.0), (2.0, 0.0, 0.0, 1.0)]);
+        let b = dataset(&[(0.5, 0.0, 0.0, 1.0), (4.8, 0.0, 0.0, 1.0)]);
+        let mut sa = a.objects().to_vec();
+        sa[1].mbr.min.x = f64::NAN;
+        let mut expected = Vec::new();
+        for oa in &sa {
+            for ob in b.iter() {
+                if oa.mbr.intersects(&ob.mbr) {
+                    expected.push((oa.id, ob.id));
+                }
+            }
+        }
+        expected.sort_unstable();
+        let mut counters = Counters::new();
+        let mut pairs = Vec::new();
+        let mut sb = b.objects().to_vec();
+        plane_sweep(&mut sa, &mut sb, &mut counters, &mut |x, y| {
+            pairs.push((x, y));
+            true
+        });
+        // NaN sorts last (IEEE total order), so the finite objects are swept in
+        // ascending x and their intersections are all found.
+        assert!(sa.last().unwrap().mbr.min.x.is_nan());
+        pairs.sort_unstable();
+        assert_eq!(pairs, expected);
     }
 
     #[test]

@@ -68,12 +68,14 @@
 
 pub mod kernels;
 mod query;
+mod scratch;
 mod sink;
 mod touch;
 mod traits;
 mod tree;
 
 pub use query::{IntoEngine, JoinQuery, Predicate};
+pub use scratch::{LocalJoinScratch, ScratchPool};
 #[allow(deprecated)]
 pub use sink::ResultSink;
 pub use sink::{

@@ -2,7 +2,7 @@
 //! implementation tying the three phases together (Algorithm 1).
 
 use crate::tree::LocalJoinKind;
-use crate::{deliver, PairSink, SpatialJoinAlgorithm, TouchTree};
+use crate::{deliver, LocalJoinScratch, PairSink, SpatialJoinAlgorithm, TouchTree};
 use serde::{Deserialize, Serialize};
 use touch_geom::Dataset;
 use touch_metrics::{MemoryUsage, Phase, RunReport};
@@ -184,11 +184,13 @@ impl SpatialJoinAlgorithm for TouchJoin {
         });
 
         // Phase 3: local joins (Algorithm 4), honouring the sink's early
-        // termination after every delivered pair.
+        // termination after every delivered pair. The scratch lives for the whole
+        // join, so the per-node grid directories and sweep buffers allocate once.
         let params = self.config.local_join_params(self.config.min_local_cell_size(a, b));
+        let mut scratch = LocalJoinScratch::new();
         let mut results = 0u64;
         let peak_local_aux = report.timer.time(Phase::Join, || {
-            tree.join_assigned(&params, &mut counters, &mut |tree_id, probe_id| {
+            tree.join_assigned(&params, &mut scratch, &mut counters, &mut |tree_id, probe_id| {
                 if build_on_a {
                     deliver(sink, tree_id, probe_id, &mut results)
                 } else {

@@ -11,7 +11,7 @@
 //! phase iterates.
 
 use crate::kernels;
-use std::collections::HashMap;
+use crate::scratch::LocalJoinScratch;
 use std::ops::Range;
 use touch_geom::{Aabb, ObjectId, SpatialObject};
 use touch_index::{str_sort, UniformGrid};
@@ -107,6 +107,12 @@ impl TouchNode {
 pub struct TouchTree {
     a_items: Vec<SpatialObject>,
     nodes: Vec<TouchNode>,
+    /// Flat `[min; max]` cache of every node's MBR, indexed by node id. The
+    /// assignment descent tests a parent's children — contiguous ids — against the
+    /// probe object; scanning this 48-byte-stride array instead of hopping across
+    /// the much larger [`TouchNode`] structs keeps the hot loop inside one or two
+    /// cache lines per child run.
+    node_mbrs: Vec<Aabb>,
     /// Node-index ranges per level, leaves first.
     levels: Vec<Range<usize>>,
     partitions: usize,
@@ -137,6 +143,7 @@ impl Clone for TouchTree {
         TouchTree {
             a_items: self.a_items.clone(),
             nodes,
+            node_mbrs: self.node_mbrs.clone(),
             levels: self.levels.clone(),
             partitions: self.partitions,
             fanout: self.fanout,
@@ -204,6 +211,7 @@ impl TouchTree {
             return TouchTree {
                 a_items,
                 nodes,
+                node_mbrs: Vec::new(),
                 levels,
                 partitions,
                 fanout,
@@ -257,9 +265,11 @@ impl TouchTree {
             level += 1;
         }
 
+        let node_mbrs = nodes.iter().map(|n| n.mbr).collect();
         TouchTree {
             a_items,
             nodes,
+            node_mbrs,
             levels,
             partitions,
             fanout,
@@ -367,18 +377,22 @@ impl TouchTree {
         // (Section 4.4: objects outside every leaf MBR cannot intersect anything).
         if self.nodes[current].is_leaf {
             counters.record_node_test();
-            return if self.nodes[current].mbr.intersects(mbr) { Some(current) } else { None };
+            return if self.node_mbrs[current].intersects(mbr) { Some(current) } else { None };
         }
         loop {
             let node = &self.nodes[current];
             if node.is_leaf {
                 return Some(current);
             }
+            // The descent scans the children's MBRs from the flat cache: child ids
+            // are contiguous, so this is a linear walk over packed `[min; max]`
+            // boxes, not a hop across full node structs.
             let mut overlapping: Option<usize> = None;
             let mut multiple = false;
-            for child in node.child_indices() {
+            let children = node.child_indices();
+            for (child, child_mbr) in children.clone().zip(&self.node_mbrs[children]) {
                 counters.record_node_test();
-                if self.nodes[child].mbr.intersects(mbr) {
+                if child_mbr.intersects(mbr) {
                     if overlapping.is_some() {
                         multiple = true;
                         break;
@@ -449,57 +463,76 @@ impl TouchTree {
     /// Returned in ascending node-index order (derived from the touched-node list,
     /// so the scan is O(touched log touched), not O(all nodes)).
     pub fn nodes_with_assignments(&self) -> Vec<usize> {
-        let mut work: Vec<usize> = self
-            .touched
-            .iter()
-            .map(|&idx| idx as usize)
-            .filter(|&idx| self.nodes[idx].a_count() > 0)
-            .collect();
-        work.sort_unstable();
+        let mut work = Vec::new();
+        self.nodes_with_assignments_into(&mut work);
         work
+    }
+
+    /// The allocation-free form of [`TouchTree::nodes_with_assignments`]: clears
+    /// `work` and refills it in ascending node-index order, retaining the buffer's
+    /// capacity. A persistent engine serving many epochs passes the same buffer
+    /// every time (see [`crate::ScratchPool::take_work`]) so the per-epoch work
+    /// list stops allocating after the first typical epoch.
+    pub fn nodes_with_assignments_into(&self, work: &mut Vec<usize>) {
+        work.clear();
+        work.extend(
+            self.touched
+                .iter()
+                .map(|&idx| idx as usize)
+                .filter(|&idx| self.nodes[idx].a_count() > 0),
+        );
+        work.sort_unstable();
     }
 
     /// Runs the join phase (Algorithm 4) over every node holding B-objects, emitting
     /// each intersecting pair `(a_id, b_id)` exactly once.
     ///
     /// `params` configures the per-node grid of the [`LocalJoinKind::Grid`] strategy
-    /// (Section 5.2.2: cells should stay larger than the average object). `emit`
-    /// follows the early-termination convention of [`crate::kernels`]: returning
-    /// `false` stops the join phase — the current local join and the remaining
-    /// nodes are abandoned. Returns the peak number of auxiliary bytes used by any
-    /// single local join, which the caller folds into the reported memory
+    /// (Section 5.2.2: cells should stay larger than the average object). `scratch`
+    /// provides the reusable join-phase memory — the CSR grid directory, the
+    /// plane-sweep buffers and the work-list buffer all live there, so a caller
+    /// that passes the same scratch across epochs allocates nothing per epoch once
+    /// the buffers have warmed up. `emit` follows the early-termination convention
+    /// of [`crate::kernels`]: returning `false` stops the join phase — the current
+    /// local join and the remaining nodes are abandoned. Returns the bytes the
+    /// scratch has reserved, which the caller folds into the reported memory
     /// footprint.
     pub fn join_assigned(
         &self,
         params: &LocalJoinParams,
+        scratch: &mut LocalJoinScratch,
         counters: &mut Counters,
         emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
     ) -> usize {
-        let mut peak_aux = 0usize;
+        let mut work = std::mem::take(&mut scratch.work);
+        self.nodes_with_assignments_into(&mut work);
         let mut stopped = false;
-        for idx in self.nodes_with_assignments() {
+        for &idx in &work {
             let mut watched = |a: ObjectId, b: ObjectId| {
                 let go_on = emit(a, b);
                 stopped = !go_on;
                 go_on
             };
-            let aux = self.local_join_node(idx, params, counters, &mut watched);
-            peak_aux = peak_aux.max(aux);
+            self.local_join_node(idx, params, scratch, counters, &mut watched);
             if stopped {
                 break;
             }
         }
-        peak_aux
+        scratch.work = work;
+        scratch.memory_bytes()
     }
 
     /// Joins the B-objects assigned to the node at `index` against the A-objects of
-    /// its descendant leaves, using the requested local-join strategy. `emit`
-    /// returning `false` abandons the rest of this node's local join. Returns the
-    /// number of auxiliary bytes the local join allocated.
+    /// its descendant leaves, using the requested local-join strategy over the
+    /// reusable buffers of `scratch`. `emit` returning `false` abandons the rest of
+    /// this node's local join. Returns the bytes the scratch has reserved after
+    /// this join (its high-water mark so far — the figure a caller folds into the
+    /// join phase's auxiliary memory).
     pub fn local_join_node(
         &self,
         index: usize,
         params: &LocalJoinParams,
+        scratch: &mut LocalJoinScratch,
         counters: &mut Counters,
         emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
     ) -> usize {
@@ -509,16 +542,14 @@ impl TouchTree {
         match params.kind {
             LocalJoinKind::AllPairs => {
                 kernels::all_pairs(a_objs, b_objs, counters, emit);
-                0
             }
             LocalJoinKind::PlaneSweep => {
-                let mut a_scratch = a_objs.to_vec();
-                let mut b_scratch = b_objs.to_vec();
-                kernels::plane_sweep(&mut a_scratch, &mut b_scratch, counters, emit);
-                vec_bytes(&a_scratch) + vec_bytes(&b_scratch)
+                let (a_scratch, b_scratch) = scratch.load_sweep(a_objs, b_objs);
+                kernels::plane_sweep(a_scratch, b_scratch, counters, emit);
             }
-            LocalJoinKind::Grid => grid_local_join(node, a_objs, params, counters, emit),
+            LocalJoinKind::Grid => grid_local_join(node, a_objs, params, scratch, counters, emit),
         }
+        scratch.memory_bytes()
     }
 }
 
@@ -529,14 +560,16 @@ impl TouchTree {
 /// cells it overlaps. A candidate pair may meet in several cells, so a pair is only
 /// reported from the cell containing the *reference point* (the lower corner of the
 /// MBR intersection), which guarantees exactly-once results without a deduplication
-/// pass (Dittrich & Seeger).
+/// pass (Dittrich & Seeger). The cell directory is the reused CSR layout of
+/// [`LocalJoinScratch`] — no per-node allocation once the scratch is warm.
 fn grid_local_join(
     node: &TouchNode,
     a_objs: &[SpatialObject],
     params: &LocalJoinParams,
+    scratch: &mut LocalJoinScratch,
     counters: &mut Counters,
     emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
-) -> usize {
+) {
     let b_objs = node.assigned_b();
     // Nodes over a handful of A-objects do not repay building a grid; fall back to
     // all-pairs. The cutoff must not consult the B count: the B side of a node may
@@ -544,65 +577,14 @@ fn grid_local_join(
     // every split so that counters stay exactly additive (see [`LocalJoinParams`]).
     if a_objs.len() <= params.allpairs_max_a {
         kernels::all_pairs(a_objs, b_objs, counters, emit);
-        return 0;
+        return;
     }
     let grid = UniformGrid::with_min_cell_size(
         node.mbr,
         params.cells_per_dim.max(1),
         params.min_cell_size,
     );
-
-    // Multiple assignment of the node's B-objects to the cells they overlap.
-    let mut cells: HashMap<usize, Vec<u32>> = HashMap::new();
-    for (pos, b) in b_objs.iter().enumerate() {
-        let mut first = true;
-        grid.for_each_overlapped_cell(&b.mbr, |cell| {
-            cells.entry(cell).or_default().push(pos as u32);
-            if first {
-                first = false;
-            } else {
-                counters.record_replica();
-            }
-        });
-    }
-
-    // Probe: every A-object of the subtree visits the cells it overlaps. A `false`
-    // from `emit` abandons the remaining candidates, cells and A-objects.
-    let mut stopped = false;
-    for a in a_objs {
-        grid.for_each_overlapped_cell(&a.mbr, |cell| {
-            if stopped {
-                return;
-            }
-            let Some(candidates) = cells.get(&cell) else { return };
-            for &bpos in candidates {
-                let b = &b_objs[bpos as usize];
-                counters.record_comparison();
-                if a.mbr.intersects(&b.mbr) {
-                    // Reference-point rule: report only from the cell that contains
-                    // the lower corner of the intersection.
-                    let rp = a.mbr.intersection_reference_point(&b.mbr);
-                    let rp_cell = grid.linear_index(grid.cell_of_point(&rp));
-                    if rp_cell == cell {
-                        if !emit(a.id, b.id) {
-                            stopped = true;
-                            return;
-                        }
-                    } else {
-                        counters.record_duplicate_suppressed();
-                    }
-                }
-            }
-        });
-        if stopped {
-            break;
-        }
-    }
-
-    // Auxiliary memory of this local join: the sparse cell lists.
-    let bucket = std::mem::size_of::<usize>() + std::mem::size_of::<Vec<u32>>();
-    cells.len() * bucket
-        + cells.values().map(|v| v.capacity() * std::mem::size_of::<u32>()).sum::<usize>()
+    scratch.grid_join(&grid, a_objs, b_objs, counters, emit);
 }
 
 impl MemoryUsage for TouchTree {
@@ -613,6 +595,7 @@ impl MemoryUsage for TouchTree {
         vec_bytes(&self.a_items)
             + self.nodes.capacity() * std::mem::size_of::<TouchNode>()
             + self.b_items_bytes
+            + vec_bytes(&self.node_mbrs)
             + vec_bytes(&self.levels)
             + vec_bytes(&self.touched)
     }
@@ -815,10 +798,15 @@ mod tests {
         fresh.assign(b.objects(), &mut fresh_counters);
         let mut fresh_pairs = Vec::new();
         let params = test_params(LocalJoinKind::Grid);
-        fresh.join_assigned(&params, &mut fresh_counters, &mut |x, y| {
-            fresh_pairs.push((x, y));
-            true
-        });
+        fresh.join_assigned(
+            &params,
+            &mut LocalJoinScratch::new(),
+            &mut fresh_counters,
+            &mut |x, y| {
+                fresh_pairs.push((x, y));
+                true
+            },
+        );
         fresh_pairs.sort_unstable();
 
         // Reused tree: three assign → join → clear cycles must each reproduce the
@@ -840,10 +828,15 @@ mod tests {
                 );
             }
             let mut pairs = Vec::new();
-            reused.join_assigned(&params, &mut counters, &mut |x, y| {
-                pairs.push((x, y));
-                true
-            });
+            reused.join_assigned(
+                &params,
+                &mut LocalJoinScratch::new(),
+                &mut counters,
+                &mut |x, y| {
+                    pairs.push((x, y));
+                    true
+                },
+            );
             pairs.sort_unstable();
             assert_eq!(pairs, fresh_pairs, "round {round}: pairs drifted");
             assert_eq!(counters, fresh_counters, "round {round}: counters polluted by reuse");
@@ -888,10 +881,15 @@ mod tests {
         let mut counters = Counters::new();
         tree.assign(b.objects(), &mut counters);
         let mut pairs = Vec::new();
-        tree.join_assigned(&test_params(kind), &mut counters, &mut |x, y| {
-            pairs.push((x, y));
-            true
-        });
+        tree.join_assigned(
+            &test_params(kind),
+            &mut LocalJoinScratch::new(),
+            &mut counters,
+            &mut |x, y| {
+                pairs.push((x, y));
+                true
+            },
+        );
         pairs.sort_unstable();
         (pairs, counters)
     }
@@ -1013,10 +1011,15 @@ mod tests {
         let mut counters = Counters::new();
         tree.assign(b.objects(), &mut counters);
         let mut pairs = Vec::new();
-        tree.join_assigned(&test_params(LocalJoinKind::Grid), &mut counters, &mut |x, y| {
-            pairs.push((x, y));
-            true
-        });
+        tree.join_assigned(
+            &test_params(LocalJoinKind::Grid),
+            &mut LocalJoinScratch::new(),
+            &mut counters,
+            &mut |x, y| {
+                pairs.push((x, y));
+                true
+            },
+        );
         pairs.sort_unstable();
         assert_eq!(pairs, brute_pairs(&a, &b));
     }
@@ -1068,15 +1071,16 @@ mod tests {
         }
         // Joining exactly these nodes gives the same pairs as join_assigned.
         let params = test_params(LocalJoinKind::Grid);
+        let mut scratch = LocalJoinScratch::new();
         let mut via_list = Vec::new();
         for idx in &work {
-            tree.local_join_node(*idx, &params, &mut counters, &mut |x, y| {
+            tree.local_join_node(*idx, &params, &mut scratch, &mut counters, &mut |x, y| {
                 via_list.push((x, y));
                 true
             });
         }
         let mut via_all = Vec::new();
-        tree.join_assigned(&params, &mut counters, &mut |x, y| {
+        tree.join_assigned(&params, &mut scratch, &mut counters, &mut |x, y| {
             via_all.push((x, y));
             true
         });

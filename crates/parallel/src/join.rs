@@ -3,7 +3,7 @@
 
 use crate::phases::{par_assign, par_build_tree, par_join_into};
 use crate::ParallelConfig;
-use touch_core::{PairSink, SpatialJoinAlgorithm};
+use touch_core::{PairSink, ScratchPool, SpatialJoinAlgorithm};
 use touch_geom::Dataset;
 use touch_metrics::{MemoryUsage, Phase, RunReport};
 
@@ -99,8 +99,9 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
         // Phase 3: work-stealing local joins (Algorithm 4). Grid sizing comes from
         // the same shared helper as the sequential join.
         let params = cfg.local_join_params(cfg.min_local_cell_size(a, b));
+        let mut pool = ScratchPool::new();
         let aux_bytes = report.timer.time(Phase::Join, || {
-            par_join_into(&tree, &params, threads, !build_on_a, sink, &mut counters)
+            par_join_into(&tree, &params, threads, !build_on_a, sink, &mut pool, &mut counters)
         });
 
         report.counters = counters;

@@ -13,7 +13,9 @@
 
 use crate::scheduler::StealQueues;
 use crate::sort::par_str_sort;
-use touch_core::{LocalJoinParams, PairSink, ShardedSink, TouchTree};
+use touch_core::{
+    LocalJoinParams, LocalJoinScratch, PairSink, ScratchPool, ShardedSink, TouchTree,
+};
 use touch_geom::SpatialObject;
 use touch_metrics::Counters;
 
@@ -125,36 +127,49 @@ pub fn par_assign(
 }
 
 /// Phase 3: drains `work` through per-worker local joins, one worker per shard of
-/// `sharded`. The nodes are ordered by descending estimated cost before
-/// distribution (round-robin seeding then spreads the heavy nodes across workers,
-/// and owner pops and steals both take the largest remaining task first — LPT).
-/// Pairs are pushed as `(tree_id, probe_id)`, or flipped when `swap_pairs` is set
-/// (the caller built the tree on dataset B). Workers honour the sharded sink's
-/// early-termination protocol: once a shard reports done (its share of a
-/// [`PairSink::pair_limit`] budget is spent) the worker stops claiming nodes.
-/// Returns the auxiliary bytes charged to the join phase: the sum over workers of
-/// each worker's peak local-join allocation (concurrent peaks can coexist, unlike
-/// the sequential join which charges only the single largest).
+/// `sharded` with its own reusable [`LocalJoinScratch`]. The nodes are ordered by
+/// descending estimated cost before distribution (round-robin seeding then spreads
+/// the heavy nodes across workers, and owner pops and steals both take the largest
+/// remaining task first — LPT); the sort happens in place, so a caller-retained
+/// `work` buffer is reused without reallocating. Pairs are pushed as
+/// `(tree_id, probe_id)`, or flipped when `swap_pairs` is set (the caller built the
+/// tree on dataset B). Workers honour the sharded sink's early-termination
+/// protocol: once a shard reports done (its share of a [`PairSink::pair_limit`]
+/// budget is spent) the worker stops claiming nodes. Returns the auxiliary bytes
+/// charged to the join phase: the sum over workers of each worker's reserved
+/// scratch bytes (concurrent footprints coexist, unlike the sequential join which
+/// charges a single scratch).
+///
+/// # Panics
+/// Panics if `scratches` provides fewer scratches than `sharded` has shards.
 pub fn par_local_join(
     tree: &TouchTree,
-    mut work: Vec<usize>,
+    work: &mut [usize],
     params: &LocalJoinParams,
     swap_pairs: bool,
     sharded: &mut ShardedSink,
+    scratches: &mut [LocalJoinScratch],
     counters: &mut Counters,
 ) -> usize {
+    assert!(
+        scratches.len() >= sharded.shard_count(),
+        "need one scratch per worker: {} shards, {} scratches",
+        sharded.shard_count(),
+        scratches.len()
+    );
     work.sort_by_key(|&idx| {
         let node = tree.node(idx);
         std::cmp::Reverse(node.a_count() as u64 * node.assigned_b().len() as u64)
     });
-    let queues = StealQueues::distribute(work, sharded.shard_count());
+    let queues = StealQueues::distribute(work.iter().copied(), sharded.shard_count());
 
     let per_worker: Vec<(Counters, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = sharded
             .shards_mut()
             .iter_mut()
+            .zip(scratches.iter_mut())
             .enumerate()
-            .map(|(w, shard)| {
+            .map(|(w, (shard, scratch))| {
                 let queues = &queues;
                 scope.spawn(move || {
                     let mut local = Counters::new();
@@ -163,6 +178,7 @@ pub fn par_local_join(
                         let aux = tree.local_join_node(
                             idx,
                             params,
+                            scratch,
                             &mut local,
                             &mut |tree_id, probe_id| {
                                 if swap_pairs {
@@ -194,26 +210,42 @@ pub fn par_local_join(
 }
 
 /// The complete parallel join phase against any [`PairSink`]: fetches the work
-/// list, caps the worker count at the available work (never more shards than nodes
-/// to join), runs [`par_local_join`] over a [`ShardedSink`] adapting the sink's
-/// mode and pair budget, merges the shards back and adds the pairs the sink
+/// list into the pool's reused buffer, caps the worker count at the available work
+/// (never more shards than nodes to join), runs [`par_local_join`] over a
+/// [`ShardedSink`] adapting the sink's mode and pair budget with one pooled
+/// scratch per worker, merges the shards back and adds the pairs the sink
 /// actually received to `counters.results` (not the shard totals — an
 /// early-terminating sink may refuse part of the merge). The one place the
 /// worker-capping/sharding decision lives,
 /// so the one-shot join and the streaming engine cannot diverge on it. Returns the
 /// auxiliary bytes charged to the join phase.
+///
+/// `pool` owns the per-worker scratches and the work-list buffer; a persistent
+/// engine passes the same pool every epoch, so the join phase stops allocating
+/// once the pool has warmed up. A one-shot join passes a fresh pool.
 pub fn par_join_into(
     tree: &TouchTree,
     params: &LocalJoinParams,
     threads: usize,
     swap_pairs: bool,
     sink: &mut dyn PairSink,
+    pool: &mut ScratchPool,
     counters: &mut Counters,
 ) -> usize {
-    let work = tree.nodes_with_assignments();
+    let mut work = pool.take_work();
+    tree.nodes_with_assignments_into(&mut work);
     let workers = threads.min(work.len()).max(1);
     let mut sharded = ShardedSink::for_sink(sink, workers);
-    let aux_bytes = par_local_join(tree, work, params, swap_pairs, &mut sharded, counters);
+    let aux_bytes = par_local_join(
+        tree,
+        &mut work,
+        params,
+        swap_pairs,
+        &mut sharded,
+        pool.worker_scratches(workers),
+        counters,
+    );
+    pool.restore_work(work);
     // Credit only the pairs the sink actually received: a sink that became done
     // without declaring a pair budget makes merge_into stop delivering early.
     counters.results += sharded.merge_into(sink);
@@ -291,21 +323,29 @@ mod tests {
 
         let mut seq_counters = Counters::new();
         let mut expected = Vec::new();
-        tree.join_assigned(&params, &mut seq_counters, &mut |x, y| {
-            expected.push((x, y));
-            true
-        });
+        tree.join_assigned(
+            &params,
+            &mut LocalJoinScratch::new(),
+            &mut seq_counters,
+            &mut |x, y| {
+                expected.push((x, y));
+                true
+            },
+        );
         expected.sort_unstable();
 
         for workers in [1, 3] {
             let mut sharded = ShardedSink::collecting(workers);
             let mut counters = Counters::new();
+            let mut pool = ScratchPool::new();
+            let mut work = tree.nodes_with_assignments();
             par_local_join(
                 &tree,
-                tree.nodes_with_assignments(),
+                &mut work,
                 &params,
                 false,
                 &mut sharded,
+                pool.worker_scratches(workers),
                 &mut counters,
             );
             let mut sink = touch_core::CollectingSink::new();

@@ -2,7 +2,7 @@
 
 use crate::EpochReport;
 use serde::{Deserialize, Serialize};
-use touch_core::{deliver, PairSink, SpatialJoinAlgorithm, TouchConfig, TouchTree};
+use touch_core::{deliver, PairSink, ScratchPool, SpatialJoinAlgorithm, TouchConfig, TouchTree};
 use touch_geom::{Dataset, SpatialObject};
 use touch_metrics::{Counters, MemoryUsage, Phase, RunReport};
 use touch_parallel::phases::{par_assign, par_build_tree, par_join_into, resolve_threads};
@@ -83,6 +83,10 @@ pub struct StreamingTouchJoin {
     cumulative: RunReport,
     epochs: usize,
     streams: usize,
+    /// Reusable join-phase memory — per-worker grid directories, sweep buffers and
+    /// the work list — retained across epochs *and* streams, so a warmed-up engine
+    /// allocates nothing in its join phase.
+    scratch: ScratchPool,
 }
 
 impl StreamingTouchJoin {
@@ -115,6 +119,7 @@ impl StreamingTouchJoin {
             cumulative,
             epochs: 0,
             streams: 1,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -168,17 +173,22 @@ impl StreamingTouchJoin {
         report.assigned = self.tree.assigned_b_count();
 
         let params = self.config.touch.local_join_params(self.min_cell);
+        let tree = &self.tree;
+        let pool = &mut self.scratch;
         let join_aux = report.timer.time(Phase::Join, || {
             if self.threads <= 1 {
                 let mut results = 0u64;
-                let aux = self.tree.join_assigned(&params, &mut counters, &mut |a_id, b_id| {
-                    deliver(sink, a_id, b_id, &mut results)
-                });
+                let aux = tree.join_assigned(
+                    &params,
+                    pool.primary(),
+                    &mut counters,
+                    &mut |a_id, b_id| deliver(sink, a_id, b_id, &mut results),
+                );
                 counters.results += results;
                 aux
             } else {
                 // par_join_into adds the delivered pairs to `counters.results`.
-                par_join_into(&self.tree, &params, self.threads, false, sink, &mut counters)
+                par_join_into(tree, &params, self.threads, false, sink, pool, &mut counters)
             }
         });
 

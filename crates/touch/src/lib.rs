@@ -121,8 +121,9 @@ pub use touch_baselines::{
 pub use touch_core::ResultSink;
 pub use touch_core::{
     collect_join, count_join, distance_join, CallbackSink, CollectingSink, CountingSink,
-    FirstKSink, IntoEngine, JoinOrder, JoinQuery, LocalJoinParams, LocalJoinStrategy, PairSink,
-    Predicate, ShardedSink, SinkShard, SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
+    FirstKSink, IntoEngine, JoinOrder, JoinQuery, LocalJoinParams, LocalJoinScratch,
+    LocalJoinStrategy, PairSink, Predicate, ScratchPool, ShardedSink, SinkShard,
+    SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
 };
 pub use touch_datagen::{NeuroscienceSpec, SyntheticDistribution, SyntheticSpec};
 pub use touch_geom::{Aabb, Cylinder, Dataset, ObjectId, Point3, SpatialObject};

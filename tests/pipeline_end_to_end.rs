@@ -44,7 +44,8 @@ fn touch_phases_can_be_driven_manually_through_the_public_api() {
         allpairs_max_a: 8,
     };
     let mut pairs = Vec::new();
-    tree.join_assigned(&params, &mut counters, &mut |x, y| {
+    let mut scratch = touch::core::LocalJoinScratch::new();
+    tree.join_assigned(&params, &mut scratch, &mut counters, &mut |x, y| {
         pairs.push((x, y));
         true
     });

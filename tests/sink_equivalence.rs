@@ -265,3 +265,61 @@ fn raw_trait_join_honours_first_k() {
     assert_eq!(sink.count(), 3);
     assert_eq!(report.counters.comparisons, 3);
 }
+
+/// One [`touch::LocalJoinScratch`] shared across every sink kind and an
+/// early-terminating run in between: the tree-level join driven the way a
+/// persistent application would drive it. Every sink must observe the same pair
+/// stream no matter how dirty the scratch's buffers are from previous consumers,
+/// and an aborted [`FirstKSink`] run must not leak state into the next one.
+#[test]
+fn every_sink_sees_the_same_pairs_through_a_shared_scratch() {
+    let a = synthetic(600, 31);
+    let b = synthetic(800, 32);
+    let cfg = TouchConfig { partitions: 16, ..TouchConfig::default() };
+    let mut tree = touch::TouchTree::build(a.objects(), cfg.partitions, cfg.fanout);
+    let mut counters = touch::Counters::new();
+    tree.assign(b.objects(), &mut counters);
+    let params = cfg.local_join_params(cfg.min_local_cell_size(&a, &b));
+
+    let mut scratch = touch::LocalJoinScratch::new();
+    let run = |scratch: &mut touch::LocalJoinScratch, emit: &mut dyn FnMut(u32, u32) -> bool| {
+        let mut counters = touch::Counters::new();
+        tree.join_assigned(&params, scratch, &mut counters, &mut |x, y| emit(x, y));
+        counters
+    };
+
+    // Collecting through the shared scratch is the reference.
+    let mut collected = Vec::new();
+    let reference_counters = run(&mut scratch, &mut |x, y| {
+        collected.push((x, y));
+        true
+    });
+    assert!(!collected.is_empty());
+
+    // An early-terminated pass in between must deliver a prefix and leave the
+    // scratch reusable.
+    let mut first_two = Vec::new();
+    run(&mut scratch, &mut |x, y| {
+        first_two.push((x, y));
+        first_two.len() < 2
+    });
+    assert_eq!(first_two, collected[..2].to_vec());
+
+    // Counting and callback consumers over the same dirty scratch see the
+    // identical stream and work.
+    let mut count = 0u64;
+    let counting_counters = run(&mut scratch, &mut |_, _| {
+        count += 1;
+        true
+    });
+    assert_eq!(count, collected.len() as u64);
+    assert_eq!(counting_counters, reference_counters);
+
+    let mut replayed = Vec::new();
+    let callback_counters = run(&mut scratch, &mut |x, y| {
+        replayed.push((x, y));
+        true
+    });
+    assert_eq!(replayed, collected, "shared scratch changed the pair stream");
+    assert_eq!(callback_counters, reference_counters);
+}
