@@ -1,24 +1,32 @@
-//! `perfsmoke` — the repo's recorded performance trajectory.
+//! `perfsmoke` — the repo's recorded performance trajectory and regression gate.
 //!
-//! Runs the three TOUCH engines (sequential, parallel, streaming) over pinned
+//! Runs the three TOUCH engines (sequential, parallel, streaming) **plus the
+//! auto-planner** (`Engine::Auto` at a pinned 4-thread budget) over pinned
 //! synthetic workloads and writes `BENCH_core.json` with **wall-time derived
-//! throughput** (pairs/sec, join-phase pairs/sec) *and* the **machine-independent
-//! work counters** (comparisons, node tests, replicas) for every engine × workload
-//! cell. The counters are deterministic — they let a single-core CI sandbox record a
-//! meaningful trend even when its wall-clock numbers are noisy; the throughput
-//! columns are what a quiet multicore box compares across commits.
+//! throughput** (pairs/sec, join-phase pairs/sec), the **machine-independent
+//! work counters** (comparisons, node tests, replicas) and — for planned runs —
+//! the **chosen plan** for every engine × workload cell. The counters are
+//! deterministic — they let a single-core CI sandbox record a meaningful trend
+//! even when its wall-clock numbers are noisy; the throughput columns are what a
+//! quiet multicore box compares across commits.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p touch-bench --release --bin perfsmoke -- [--smoke] \
-//!     [--scale <f>] [--reps <n>] [--out <path>]
+//!     [--scale <f>] [--reps <n>] [--out <path>] [--gate <baseline.json>]
 //! ```
 //!
-//! `--smoke` is the CI mode: a tiny scale and few repetitions, enough to prove the
-//! harness runs and to archive the counter trajectory as a build artifact.
+//! `--smoke` is the quick mode: a tiny scale and few repetitions, enough to
+//! prove the harness runs. `--gate <baseline>` is the CI mode: the run replays
+//! the committed baseline's scale and then **fails (exit 3) if any
+//! machine-independent counter regressed** — pairs must match exactly,
+//! comparisons / node tests / replicas must not exceed the baseline. Wall-clock
+//! throughput stays advisory (CI boxes are noisy); updating the committed
+//! `BENCH_core.json` is the deliberate act that moves the bar.
 
 use std::time::Instant;
+use touch::AutoEngine;
 use touch_core::{CountingSink, JoinOrder, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
 use touch_datagen::SyntheticDistribution;
 use touch_experiments::{workload, Context};
@@ -51,6 +59,9 @@ struct Cell {
     /// Best join-phase time over the repetitions, in seconds.
     join_s: f64,
     reps: usize,
+    /// The compact plan string of planned runs (what the Auto row chose; the
+    /// fixed engines record their translated configuration).
+    plan: Option<String>,
 }
 
 impl Cell {
@@ -72,18 +83,23 @@ impl Cell {
             wall_s: best.total_time().as_secs_f64(),
             join_s,
             reps: reports.len(),
+            plan: best.plan.as_ref().map(|p| p.compact()),
         }
     }
 
     fn to_json(&self) -> String {
         let pps = if self.wall_s > 0.0 { self.pairs as f64 / self.wall_s } else { 0.0 };
         let jpps = if self.join_s > 0.0 { self.pairs as f64 / self.join_s } else { 0.0 };
+        let plan = match &self.plan {
+            Some(p) => format!(",\"plan\":{}", json_str(p)),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"engine\":{},\"threads\":{},\"epochs\":{},\"pairs\":{},",
                 "\"comparisons\":{},\"node_tests\":{},\"replicas\":{},",
                 "\"wall_s\":{:.6},\"join_s\":{:.6},",
-                "\"pairs_per_sec\":{:.1},\"join_pairs_per_sec\":{:.1},\"reps\":{}}}"
+                "\"pairs_per_sec\":{:.1},\"join_pairs_per_sec\":{:.1},\"reps\":{}{}}}"
             ),
             json_str(&self.engine),
             self.threads,
@@ -97,12 +113,117 @@ impl Cell {
             pps,
             jpps,
             self.reps,
+            plan,
         )
     }
 }
 
 fn json_str(s: &str) -> String {
     format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// One baseline counter record parsed back out of a committed trajectory file.
+struct BaselineCell {
+    workload: String,
+    engine: String,
+    pairs: u64,
+    comparisons: u64,
+    node_tests: u64,
+    replicas: u64,
+}
+
+/// Extracts the raw text of `"key":<value>` from one flat JSON object (our own
+/// pinned `touch-bench-core/v1` format — scalar fields, no nested objects
+/// inside engine cells).
+fn json_field<'j>(obj: &'j str, key: &str) -> Option<&'j str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn json_u64(obj: &str, key: &str) -> Option<u64> {
+    json_field(obj, key)?.parse().ok()
+}
+
+/// Parses the counter cells of a `touch-bench-core/v1` baseline file, returning
+/// its scale and every (workload, engine) counter record.
+fn parse_baseline(json: &str) -> Result<(f64, Vec<BaselineCell>), String> {
+    if !json.contains("touch-bench-core/v1") {
+        return Err("baseline is not a touch-bench-core/v1 file".into());
+    }
+    let scale: f64 = json_field(json, "scale")
+        .and_then(|v| v.parse().ok())
+        .ok_or("baseline has no scale field")?;
+    let mut cells = Vec::new();
+    // Workload chunks start at `{"name":…`; engine chunks at `{"engine":…`.
+    for wl_chunk in json.split("{\"name\":").skip(1) {
+        let workload = wl_chunk.trim_start().trim_start_matches('"');
+        let workload: String = workload.chars().take_while(|&c| c != '"').collect();
+        for engine_chunk in wl_chunk.split("{\"engine\":").skip(1) {
+            // The chunk starts right after the split token, i.e. with the quoted
+            // engine name itself.
+            let engine: String = engine_chunk
+                .trim_start()
+                .trim_start_matches('"')
+                .chars()
+                .take_while(|&c| c != '"')
+                .collect();
+            let parse = |key: &str| {
+                json_u64(engine_chunk, key)
+                    .ok_or_else(|| format!("baseline cell {workload}/{engine} lacks {key}"))
+            };
+            let (pairs, comparisons, node_tests, replicas) =
+                (parse("pairs")?, parse("comparisons")?, parse("node_tests")?, parse("replicas")?);
+            cells.push(BaselineCell {
+                workload: workload.clone(),
+                engine,
+                pairs,
+                comparisons,
+                node_tests,
+                replicas,
+            });
+        }
+    }
+    if cells.is_empty() {
+        return Err("baseline contains no engine cells".into());
+    }
+    Ok((scale, cells))
+}
+
+/// The regression gate: every baseline cell must be matched by the current run
+/// with **equal pairs** and **no higher** comparisons / node tests / replicas —
+/// the machine-independent work counters. Returns the list of violations.
+fn gate_violations(baseline: &[BaselineCell], current: &[(String, Vec<Cell>)]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in baseline {
+        let cell = current
+            .iter()
+            .find(|(name, _)| *name == base.workload)
+            .and_then(|(_, cells)| cells.iter().find(|c| c.engine == base.engine));
+        let Some(cell) = cell else {
+            violations.push(format!(
+                "{}/{}: present in the baseline but missing from this run",
+                base.workload, base.engine
+            ));
+            continue;
+        };
+        let mut check = |what: &str, now: u64, then: u64, exact: bool| {
+            let bad = if exact { now != then } else { now > then };
+            if bad {
+                violations.push(format!(
+                    "{}/{}: {what} regressed ({now} vs baseline {then})",
+                    base.workload, base.engine
+                ));
+            }
+        };
+        check("pairs", cell.pairs, base.pairs, true);
+        check("comparisons", cell.comparisons, base.comparisons, false);
+        check("node_tests", cell.node_tests, base.node_tests, false);
+        check("replicas", cell.replicas, base.replicas, false);
+    }
+    violations
 }
 
 /// The pinned workloads. Two shapes the engines stress differently:
@@ -182,9 +303,10 @@ fn main() {
     let mut reps = 5usize;
     // Smoke mode defaults to its own output file so a casual `--smoke` run can
     // never clobber the committed full-mode trajectory record; CI passes
-    // `--out BENCH_core.json` explicitly to name its artifact.
+    // `--out` explicitly to name its artifact.
     let mut out: Option<String> = None;
     let mut mode = "full";
+    let mut gate: Option<String> = None;
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
         match args.get(i) {
@@ -215,10 +337,27 @@ fn main() {
                 i += 1;
                 out = Some(value(&args, i, "--out"));
             }
+            "--gate" => {
+                i += 1;
+                gate = Some(value(&args, i, "--gate"));
+            }
             other => usage_error(format_args!("unknown flag {other}")),
         }
         i += 1;
     }
+
+    // Gate mode replays the baseline's scale: the machine-independent counters
+    // are only comparable over identical workloads.
+    let baseline = gate.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| usage_error(format_args!("cannot read {path}: {e}")));
+        let (base_scale, cells) =
+            parse_baseline(&text).unwrap_or_else(|e| usage_error(format_args!("{path}: {e}")));
+        mode = "gate";
+        scale = base_scale;
+        (path, cells)
+    });
+
     if !(scale > 0.0 && scale <= 1.0) {
         usage_error("--scale must be in (0, 1]");
     }
@@ -226,11 +365,12 @@ fn main() {
         usage_error("--reps must be at least 1");
     }
     let out = out.unwrap_or_else(|| {
-        String::from(if mode == "smoke" { "BENCH_core.smoke.json" } else { "BENCH_core.json" })
+        String::from(if mode == "full" { "BENCH_core.json" } else { "BENCH_core.smoke.json" })
     });
 
     let ctx = Context::new(scale);
     let started = Instant::now();
+    let mut results: Vec<(String, Vec<Cell>)> = Vec::new();
     let mut wl_json = Vec::new();
     for w in workloads(&ctx) {
         eprintln!(
@@ -254,15 +394,23 @@ fn main() {
 
         cells.push(Cell::from_runs("streaming".into(), &run_streaming(&w, 4, reps)));
 
+        // The auto-planner at a pinned 4-thread budget (Engine::Auto proper would
+        // detect the local core count, which would make the recorded plan — and
+        // on tiny boxes the strategy — machine-dependent). The recorded plan
+        // column shows what the planner chose for this workload.
+        let auto = AutoEngine::with_threads(4);
+        cells.push(Cell::from_runs("auto".into(), &run_one_shot(&auto, &w, reps)));
+
         for c in &cells {
             eprintln!(
-                "[perfsmoke]   {:<10} pairs={} comparisons={} wall={:.4}s join={:.4}s ({:.0} pairs/s)",
+                "[perfsmoke]   {:<10} pairs={} comparisons={} wall={:.4}s join={:.4}s ({:.0} pairs/s){}",
                 c.engine,
                 c.pairs,
                 c.comparisons,
                 c.wall_s,
                 c.join_s,
                 if c.wall_s > 0.0 { c.pairs as f64 / c.wall_s } else { 0.0 },
+                c.plan.as_deref().map(|p| format!("  plan={p}")).unwrap_or_default(),
             );
         }
         wl_json.push(format!(
@@ -273,6 +421,7 @@ fn main() {
             w.eps,
             cells.iter().map(Cell::to_json).collect::<Vec<_>>().join(",")
         ));
+        results.push((w.name.to_string(), cells));
     }
 
     let json = format!(
@@ -284,4 +433,26 @@ fn main() {
     );
     std::fs::write(&out, &json).expect("write BENCH_core.json");
     eprintln!("[perfsmoke] wrote {out} in {:.1}s", started.elapsed().as_secs_f64());
+
+    if let Some((path, baseline_cells)) = baseline {
+        let violations = gate_violations(&baseline_cells, &results);
+        if violations.is_empty() {
+            eprintln!(
+                "[perfsmoke] gate vs {path}: OK ({} cells, no counter regressions)",
+                baseline_cells.len()
+            );
+        } else {
+            eprintln!("[perfsmoke] gate vs {path}: FAILED");
+            for v in &violations {
+                eprintln!("[perfsmoke]   {v}");
+            }
+            eprintln!(
+                "[perfsmoke] counters are deterministic: a regression here means the \
+                 join does more work than the committed baseline. If the increase is \
+                 intentional, regenerate BENCH_core.json (cargo run -p touch-bench \
+                 --release --bin perfsmoke) and commit it."
+            );
+            std::process::exit(3);
+        }
+    }
 }

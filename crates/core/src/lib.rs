@@ -29,6 +29,9 @@
 //! * the [`JoinQuery`] builder — the single user-facing entrypoint that owns the
 //!   distance-join ε-translation ([`Predicate::WithinDistance`]), report identity
 //!   and the sink lifecycle,
+//! * the planning layer — [`DatasetStats`] (one-pass, exactly-mergeable dataset
+//!   statistics), the [`JoinPlanner`] cost model and the [`JoinPlan`] every
+//!   engine executes; a bare query (no `.engine(…)`) plans automatically,
 //! * the pairwise join kernels ([`kernels`]).
 //!
 //! For multi-threaded execution (the `touch-parallel` crate) the tree exposes its
@@ -67,21 +70,23 @@
 #![warn(rust_2018_idioms)]
 
 pub mod kernels;
+mod plan;
 mod query;
 mod scratch;
 mod sink;
+mod stats;
 mod touch;
 mod traits;
 mod tree;
 
+pub use plan::{AutoJoin, ExecutionStrategy, JoinPlan, JoinPlanner, PlanEnv};
 pub use query::{IntoEngine, JoinQuery, Predicate};
 pub use scratch::{LocalJoinScratch, ScratchPool};
-#[allow(deprecated)]
-pub use sink::ResultSink;
 pub use sink::{
     deliver, CallbackSink, CollectingSink, CountingSink, FirstKSink, PairSink, ShardedSink,
     SinkShard,
 };
+pub use stats::{DatasetStats, EXTENT_BUCKETS};
 pub use touch::{JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};
 pub use traits::{collect_join, count_join, distance_join, SpatialJoinAlgorithm};
 pub use tree::{LocalJoinKind, LocalJoinParams, TouchNode, TouchTree};

@@ -31,6 +31,7 @@
 //! report identity (label, sizes, `epsilon` — set *before* the engine runs) and
 //! the sink lifecycle ([`crate::PairSink::finish`] after the join).
 
+use crate::plan::{AutoJoin, JoinPlan};
 use crate::{PairSink, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
 use touch_geom::Dataset;
 use touch_metrics::RunReport;
@@ -114,14 +115,22 @@ impl std::fmt::Debug for JoinQuery<'_> {
 
 impl<'a> JoinQuery<'a> {
     /// A query joining datasets `a` and `b` with the default predicate
-    /// ([`Predicate::Intersects`]) and the default engine
-    /// ([`TouchJoin::default`]).
+    /// ([`Predicate::Intersects`]) and the default engine: **automatic
+    /// planning** ([`AutoJoin`]) — dataset statistics are collected when the
+    /// query runs and every TOUCH knob (partitioning, fanout, grid sizing, the
+    /// all-pairs cutoff) is derived from them by the
+    /// [`JoinPlanner`](crate::JoinPlanner).
+    ///
+    /// `touch-core`'s auto engine executes its plans sequentially; the facade
+    /// crate's `Engine::Auto` additionally dispatches to the parallel and
+    /// streaming engines when the plan calls for them. Pass an explicit engine
+    /// with [`JoinQuery::engine`] to bypass planning entirely.
     pub fn new(a: &'a Dataset, b: &'a Dataset) -> Self {
         JoinQuery {
             a,
             b,
             predicate: Predicate::Intersects,
-            engine: Box::new(TouchJoin::default()),
+            engine: Box::new(AutoJoin::new()),
             scratch: None,
         }
     }
@@ -148,6 +157,26 @@ impl<'a> JoinQuery<'a> {
     /// The configured predicate.
     pub fn predicate_ref(&self) -> &Predicate {
         &self.predicate
+    }
+
+    /// The [`JoinPlan`] the configured engine would execute for this query, or
+    /// `None` for engines without a TOUCH plan (the baselines).
+    ///
+    /// For a distance query the plan is computed over the ε-extended dataset A —
+    /// exactly what the engine will see — reusing the query's extension scratch.
+    /// The plan is recomputed per call (planning is a cheap linear pass); note
+    /// that an auto engine may still refine the *strategy* at run time from
+    /// sink hints ([`PairSink::pair_limit`]) the query cannot know here.
+    pub fn plan(&mut self) -> Option<JoinPlan> {
+        let eps = self.predicate.epsilon();
+        let a_run: &Dataset = if eps > 0.0 {
+            let scratch = self.scratch.get_or_insert_with(Dataset::new);
+            self.a.extend_into(eps, scratch);
+            scratch
+        } else {
+            self.a
+        };
+        self.engine.plan_for(a_run, self.b)
     }
 
     /// The name of the configured engine (the label runs will carry).
@@ -206,18 +235,34 @@ mod tests {
     }
 
     #[test]
-    fn default_query_runs_touch_with_intersects() {
+    fn default_query_plans_automatically_with_intersects() {
         let a = row(10, 0.0);
         let b = row(10, 0.5);
         let mut sink = CollectingSink::new();
         let mut query = JoinQuery::new(&a, &b);
-        assert_eq!(query.engine_name(), "TOUCH");
+        assert_eq!(query.engine_name(), "TOUCH-AUTO");
         assert_eq!(*query.predicate_ref(), Predicate::Intersects);
+        let plan = query.plan().expect("the auto engine always has a plan");
+        assert!(plan.partitions >= 1);
         let report = query.run(&mut sink);
-        assert_eq!(report.algorithm, "TOUCH");
+        assert_eq!(report.algorithm, "TOUCH-AUTO");
         assert_eq!(report.epsilon, 0.0);
         assert_eq!(report.result_pairs(), 10);
         assert_eq!(sink.count(), 10);
+        let executed = report.plan.expect("auto runs record their plan");
+        assert_eq!(executed.strategy, "sequential");
+        assert_eq!(executed.partitions, plan.partitions);
+    }
+
+    #[test]
+    fn explicit_engines_report_their_plan_too() {
+        let a = row(12, 0.0);
+        let b = row(12, 0.5);
+        let mut query = JoinQuery::new(&a, &b).engine(TouchConfig::default());
+        let plan = query.plan().expect("TouchJoin translates its config into a plan");
+        assert_eq!(plan.partitions, TouchConfig::default().partitions);
+        let report = query.run(&mut CountingSink::new());
+        assert_eq!(report.plan.unwrap().partitions, TouchConfig::default().partitions);
     }
 
     #[test]

@@ -278,106 +278,6 @@ impl PairSink for FirstKSink {
     }
 }
 
-/// The pre-[`PairSink`] result collector: a closed count-or-materialise sink.
-///
-/// Kept for one release as a thin enum over [`CountingSink`] and
-/// [`CollectingSink`] so existing call sites keep compiling; new code should pick
-/// one of the `PairSink` implementations (or write its own) and run joins through
-/// [`crate::JoinQuery`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use CountingSink / CollectingSink (or any other PairSink) with JoinQuery"
-)]
-#[derive(Debug, Clone)]
-pub enum ResultSink {
-    /// Counting mode ([`CountingSink`]).
-    Counting(CountingSink),
-    /// Collecting mode ([`CollectingSink`]).
-    Collecting(CollectingSink),
-}
-
-#[allow(deprecated)]
-impl ResultSink {
-    /// A sink that only counts result pairs.
-    pub fn counting() -> Self {
-        ResultSink::Counting(CountingSink::new())
-    }
-
-    /// A sink that counts and materialises result pairs.
-    pub fn collecting() -> Self {
-        ResultSink::Collecting(CollectingSink::new())
-    }
-
-    /// Number of pairs reported so far.
-    #[inline]
-    pub fn count(&self) -> u64 {
-        match self {
-            ResultSink::Counting(s) => s.count(),
-            ResultSink::Collecting(s) => s.count(),
-        }
-    }
-
-    /// `true` if this sink materialises pairs.
-    #[inline]
-    pub fn is_collecting(&self) -> bool {
-        matches!(self, ResultSink::Collecting(_))
-    }
-
-    /// The materialised pairs (empty in counting mode).
-    #[inline]
-    pub fn pairs(&self) -> &[(ObjectId, ObjectId)] {
-        match self {
-            ResultSink::Counting(_) => &[],
-            ResultSink::Collecting(s) => s.pairs(),
-        }
-    }
-
-    /// Consumes the sink and returns the materialised pairs.
-    pub fn into_pairs(self) -> Vec<(ObjectId, ObjectId)> {
-        match self {
-            ResultSink::Counting(_) => Vec::new(),
-            ResultSink::Collecting(s) => s.into_pairs(),
-        }
-    }
-
-    /// Returns the pairs sorted lexicographically.
-    pub fn sorted_pairs(&self) -> Vec<(ObjectId, ObjectId)> {
-        match self {
-            ResultSink::Counting(_) => Vec::new(),
-            ResultSink::Collecting(s) => s.sorted_pairs(),
-        }
-    }
-
-    /// Resets the sink to its empty state, keeping the collection mode.
-    pub fn clear(&mut self) {
-        match self {
-            ResultSink::Counting(s) => s.count = 0,
-            ResultSink::Collecting(s) => s.clear(),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl PairSink for ResultSink {
-    #[inline]
-    fn push(&mut self, a: ObjectId, b: ObjectId) {
-        match self {
-            ResultSink::Counting(s) => s.push(a, b),
-            ResultSink::Collecting(s) => s.push(a, b),
-        }
-    }
-
-    fn wants_pairs(&self) -> bool {
-        self.is_collecting()
-    }
-
-    fn add_count(&mut self, n: u64) {
-        if let ResultSink::Counting(s) = self {
-            s.add_count(n);
-        }
-    }
-}
-
 /// One shard of a [`ShardedSink`]: a private result collector owned by a single
 /// worker thread.
 ///
@@ -608,29 +508,6 @@ mod tests {
         let s = FirstKSink::new(0);
         assert!(s.is_done());
         assert_eq!(s.pair_limit(), Some(0));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn result_sink_alias_behaves_like_before() {
-        let mut s = ResultSink::counting();
-        assert!(!s.is_collecting());
-        assert!(!s.wants_pairs());
-        s.push(1, 2);
-        s.add_count(2);
-        assert_eq!(s.count(), 3);
-        assert!(s.pairs().is_empty());
-        s.clear();
-        assert_eq!(s.count(), 0);
-
-        let mut s = ResultSink::collecting();
-        assert!(s.is_collecting());
-        s.push(3, 4);
-        s.push(1, 2);
-        assert_eq!(s.count(), 2);
-        assert_eq!(s.pairs(), &[(3, 4), (1, 2)]);
-        assert_eq!(s.sorted_pairs(), vec![(1, 2), (3, 4)]);
-        assert_eq!(s.into_pairs(), vec![(3, 4), (1, 2)]);
     }
 
     #[test]

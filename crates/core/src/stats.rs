@@ -1,0 +1,354 @@
+//! Dataset statistics for the join planner: one cheap pass, exact merging.
+//!
+//! [`DatasetStats`] is the planner's entire view of a dataset: object count,
+//! global MBR, per-axis extent sums (→ means) and per-axis **extent histograms**
+//! over data-independent log₂ buckets (→ percentiles). Everything is collected in
+//! a single linear pass ([`DatasetStats::from_objects`]), a handful of flops per
+//! object — on the engines' hot path this is noise next to the STR sort that
+//! follows it, and the measured collection time is recorded on the
+//! [`RunReport`](touch_metrics::RunReport) (`PlanSummary::stats_time`) so the
+//! overhead is never hidden.
+//!
+//! ## Mergeability
+//!
+//! Streaming workloads see dataset B one epoch at a time, so the statistics must
+//! *accumulate*: [`DatasetStats::merge`] combines per-epoch stats into stream
+//! stats. Every field merges exactly — counts and histogram buckets add, MBRs
+//! union — except the floating-point extent sums, which are subject to the usual
+//! non-associativity of `f64` addition (relative error ~1e-15 per merge; the
+//! property suite in `tests/planner_equivalence.rs` pins merged == one-shot to
+//! that tolerance). Bucket boundaries are **data-independent** (fixed log₂
+//! scale), which is what makes histogram merging exact: the same object lands in
+//! the same bucket no matter which epoch delivered it.
+
+use serde::{Deserialize, Serialize};
+use touch_geom::{Aabb, Dataset, SpatialObject};
+
+/// Number of log₂ extent buckets per axis.
+///
+/// Bucket `i` covers side lengths in `[2^(i-HIST_ZERO_BUCKET), 2^(i+1-HIST_ZERO_BUCKET))`,
+/// so the 48 buckets span `2⁻²⁴ … 2²⁴` — twelve orders of magnitude around 1.0,
+/// clamped at both ends (degenerate/zero extents land in bucket 0).
+pub const EXTENT_BUCKETS: usize = 48;
+
+/// The bucket holding side lengths in `[1, 2)`.
+const HIST_ZERO_BUCKET: i32 = 24;
+
+/// Single-pass, exactly-mergeable summary statistics of one dataset (or one
+/// epoch of a stream) — the planner's input.
+///
+/// ```
+/// use touch_core::DatasetStats;
+/// use touch_geom::{Aabb, Dataset, Point3};
+///
+/// let ds = Dataset::from_mbrs((0..100).map(|i| {
+///     let min = Point3::new(i as f64, 0.0, 0.0);
+///     Aabb::new(min, min + Point3::new(2.0, 1.0, 1.0))
+/// }));
+/// let stats = DatasetStats::from_dataset(&ds);
+/// assert_eq!(stats.count(), 100);
+/// assert!((stats.mean_side(0) - 2.0).abs() < 1e-12);
+/// // Every object has x-extent 2 → the 90th-percentile bucket covers 2.0.
+/// assert!(stats.extent_percentile(0, 0.9) >= 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    count: u64,
+    mbr: Option<Aabb>,
+    sum_side: [f64; 3],
+    sum_volume: f64,
+    hist: [[u64; EXTENT_BUCKETS]; 3],
+}
+
+impl Default for DatasetStats {
+    fn default() -> Self {
+        DatasetStats {
+            count: 0,
+            mbr: None,
+            sum_side: [0.0; 3],
+            sum_volume: 0.0,
+            hist: [[0; EXTENT_BUCKETS]; 3],
+        }
+    }
+}
+
+/// The data-independent log₂ bucket of a side length. Degenerate extents —
+/// zero, negative or NaN — land in bucket 0.
+///
+/// `⌊log₂ side⌋` is read straight from the IEEE-754 exponent field instead of
+/// calling `log2()`: the histogram update runs once per object per axis on the
+/// planning path, and the bit twiddle keeps the whole stats pass at a handful
+/// of integer ops per object. Subnormals (exponent field 0, values ≤ 2⁻¹⁰²²)
+/// clamp to bucket 0, far below the smallest real bucket edge (2⁻²⁴).
+#[inline]
+fn bucket_of(side: f64) -> usize {
+    if side.is_nan() || side <= 0.0 {
+        return 0;
+    }
+    let exponent = ((side.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+    (exponent + HIST_ZERO_BUCKET).clamp(0, EXTENT_BUCKETS as i32 - 1) as usize
+}
+
+/// Upper edge of bucket `i` — the value percentile queries report.
+#[inline]
+fn bucket_upper(i: usize) -> f64 {
+    f64::powi(2.0, i as i32 + 1 - HIST_ZERO_BUCKET)
+}
+
+impl DatasetStats {
+    /// Empty statistics (the identity of [`DatasetStats::merge`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collects statistics over `objects` in one linear pass.
+    pub fn from_objects(objects: &[SpatialObject]) -> Self {
+        let mut s = Self::new();
+        for o in objects {
+            s.record(&o.mbr);
+        }
+        s
+    }
+
+    /// Collects statistics over a [`Dataset`] in one linear pass.
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        Self::from_objects(ds.objects())
+    }
+
+    /// Folds one object MBR into the statistics.
+    #[inline]
+    pub fn record(&mut self, mbr: &Aabb) {
+        self.count += 1;
+        match &mut self.mbr {
+            Some(m) => m.expand_to_include(mbr),
+            None => self.mbr = Some(*mbr),
+        }
+        let mut volume = 1.0;
+        for axis in 0..3 {
+            let side = mbr.side(axis);
+            self.sum_side[axis] += side;
+            volume *= side;
+            self.hist[axis][bucket_of(side)] += 1;
+        }
+        self.sum_volume += volume;
+    }
+
+    /// Accumulates another statistics record into this one (epoch → stream).
+    ///
+    /// Counts, histograms and MBRs combine exactly; the floating-point sums are
+    /// exact up to `f64` addition order (see the module docs).
+    pub fn merge(&mut self, other: &DatasetStats) {
+        self.count += other.count;
+        match (&mut self.mbr, &other.mbr) {
+            (Some(m), Some(o)) => m.expand_to_include(o),
+            (None, Some(o)) => self.mbr = Some(*o),
+            _ => {}
+        }
+        for axis in 0..3 {
+            self.sum_side[axis] += other.sum_side[axis];
+            for b in 0..EXTENT_BUCKETS {
+                self.hist[axis][b] += other.hist[axis][b];
+            }
+        }
+        self.sum_volume += other.sum_volume;
+    }
+
+    /// Number of objects summarised.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// `true` if no objects have been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The union of all recorded MBRs, or `None` for empty statistics.
+    #[inline]
+    pub fn mbr(&self) -> Option<Aabb> {
+        self.mbr
+    }
+
+    /// Mean object extent along `axis` (0 for empty statistics).
+    pub fn mean_side(&self, axis: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_side[axis] / self.count as f64
+    }
+
+    /// Mean object extent averaged over all three axes — the figure the grid
+    /// cell-size rule of Section 5.2.2 is based on. Matches
+    /// [`Dataset::average_side`] averaged over the axes.
+    pub fn mean_side_all_axes(&self) -> f64 {
+        (0..3).map(|ax| self.mean_side(ax)).sum::<f64>() / 3.0
+    }
+
+    /// Mean object MBR volume (0 for empty statistics).
+    pub fn mean_volume(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_volume / self.count as f64
+    }
+
+    /// Approximate `q`-quantile (`0 < q <= 1`) of the object extent along `axis`,
+    /// reported as the upper edge of the histogram bucket where the cumulative
+    /// count crosses `q` — i.e. at least a fraction `q` of the objects have an
+    /// extent `<=` the returned value. Resolution is one log₂ bucket (a factor of
+    /// 2). Returns 0 for empty statistics.
+    pub fn extent_percentile(&self, axis: usize, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.hist[axis].iter().enumerate() {
+            cumulative += n;
+            if cumulative >= threshold {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(EXTENT_BUCKETS - 1)
+    }
+
+    /// Object density: count divided by the volume of the global MBR. Returns 0
+    /// for empty statistics or a degenerate (zero-volume) extent.
+    pub fn density(&self) -> f64 {
+        match self.mbr {
+            Some(m) if m.volume() > 0.0 => self.count as f64 / m.volume(),
+            _ => 0.0,
+        }
+    }
+
+    /// The per-axis extent histogram (log₂ buckets, see [`EXTENT_BUCKETS`]).
+    pub fn extent_histogram(&self, axis: usize) -> &[u64; EXTENT_BUCKETS] {
+        &self.hist[axis]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use touch_geom::Point3;
+
+    fn row(n: usize, side: f64) -> Dataset {
+        Dataset::from_mbrs((0..n).map(|i| {
+            let min = Point3::new(i as f64 * 3.0, 0.0, 0.0);
+            Aabb::new(min, min + Point3::splat(side))
+        }))
+    }
+
+    #[test]
+    fn one_pass_collection_matches_dataset_helpers() {
+        let ds = row(50, 1.5);
+        let stats = DatasetStats::from_dataset(&ds);
+        assert_eq!(stats.count(), 50);
+        assert!(!stats.is_empty());
+        assert_eq!(stats.mbr(), ds.extent());
+        for axis in 0..3 {
+            assert!((stats.mean_side(axis) - ds.average_side(axis)).abs() < 1e-12);
+        }
+        assert!((stats.mean_volume() - ds.average_volume()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_inert() {
+        let stats = DatasetStats::new();
+        assert!(stats.is_empty());
+        assert_eq!(stats.mbr(), None);
+        assert_eq!(stats.mean_side(0), 0.0);
+        assert_eq!(stats.mean_side_all_axes(), 0.0);
+        assert_eq!(stats.extent_percentile(0, 0.5), 0.0);
+        assert_eq!(stats.density(), 0.0);
+
+        // Merging empty into non-empty (and vice versa) is the identity.
+        let full = DatasetStats::from_dataset(&row(10, 1.0));
+        let mut merged = full.clone();
+        merged.merge(&DatasetStats::new());
+        assert_eq!(merged, full);
+        let mut from_empty = DatasetStats::new();
+        from_empty.merge(&full);
+        assert_eq!(from_empty, full);
+    }
+
+    #[test]
+    fn merge_equals_one_shot() {
+        let ds = row(97, 1.25);
+        let one_shot = DatasetStats::from_dataset(&ds);
+        for chunks in [1, 2, 5, 13] {
+            let chunk = ds.len().div_ceil(chunks);
+            let mut merged = DatasetStats::new();
+            for batch in ds.objects().chunks(chunk) {
+                merged.merge(&DatasetStats::from_objects(batch));
+            }
+            assert_eq!(merged.count(), one_shot.count());
+            assert_eq!(merged.mbr(), one_shot.mbr());
+            for axis in 0..3 {
+                assert_eq!(merged.extent_histogram(axis), one_shot.extent_histogram(axis));
+                assert!((merged.mean_side(axis) - one_shot.mean_side(axis)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_bracket_the_extents() {
+        // 90 objects of side 1, 10 of side 8: p50 covers the small ones, p99 the big.
+        let mut ds = row(90, 1.0);
+        for i in 0..10 {
+            let min = Point3::new(500.0 + i as f64 * 20.0, 0.0, 0.0);
+            ds.push_mbr(Aabb::new(min, min + Point3::splat(8.0)));
+        }
+        let stats = DatasetStats::from_dataset(&ds);
+        let p50 = stats.extent_percentile(0, 0.5);
+        let p99 = stats.extent_percentile(0, 0.99);
+        assert!((1.0..8.0).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 8.0, "p99 = {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn buckets_are_data_independent_and_clamped() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(-1.0), 0);
+        assert_eq!(bucket_of(f64::NAN), 0);
+        assert_eq!(bucket_of(1.0), HIST_ZERO_BUCKET as usize);
+        assert_eq!(bucket_of(1.5), HIST_ZERO_BUCKET as usize);
+        assert_eq!(bucket_of(2.0), HIST_ZERO_BUCKET as usize + 1);
+        assert_eq!(bucket_of(0.5), HIST_ZERO_BUCKET as usize - 1);
+        assert_eq!(bucket_of(1e300), EXTENT_BUCKETS - 1);
+        assert_eq!(bucket_of(1e-300), 0);
+        assert_eq!(bucket_of(f64::INFINITY), EXTENT_BUCKETS - 1);
+        assert!(bucket_upper(HIST_ZERO_BUCKET as usize) == 2.0);
+    }
+
+    #[test]
+    fn exponent_extraction_matches_log2() {
+        // The IEEE-exponent fast path must agree with the textbook formula on
+        // every magnitude the buckets span (and beyond both clamps).
+        let mut side = 1e-9f64;
+        while side < 1e9 {
+            for v in [side, side * 1.0001, side * 1.9999] {
+                let reference = ((v.log2().floor() as i32) + HIST_ZERO_BUCKET)
+                    .clamp(0, EXTENT_BUCKETS as i32 - 1) as usize;
+                assert_eq!(bucket_of(v), reference, "side = {v}");
+            }
+            side *= 2.0;
+        }
+    }
+
+    #[test]
+    fn density_uses_the_global_extent() {
+        let ds = Dataset::from_mbrs([
+            Aabb::new(Point3::ORIGIN, Point3::splat(1.0)),
+            Aabb::new(Point3::splat(9.0), Point3::splat(10.0)),
+        ]);
+        let stats = DatasetStats::from_dataset(&ds);
+        assert!((stats.density() - 2.0 / 1000.0).abs() < 1e-12);
+        // Degenerate extent (single point-ish axis) → density reported as 0.
+        let flat = Dataset::from_mbrs([Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 0.0))]);
+        assert_eq!(DatasetStats::from_dataset(&flat).density(), 0.0);
+    }
+}

@@ -1,6 +1,7 @@
 //! The TOUCH join algorithm: configuration and the [`SpatialJoinAlgorithm`]
 //! implementation tying the three phases together (Algorithm 1).
 
+use crate::plan::JoinPlan;
 use crate::tree::LocalJoinKind;
 use crate::{deliver, LocalJoinScratch, PairSink, SpatialJoinAlgorithm, TouchTree};
 use serde::{Deserialize, Serialize};
@@ -36,6 +37,16 @@ impl LocalJoinStrategy {
             LocalJoinStrategy::Grid => "grid",
             LocalJoinStrategy::PlaneSweep => "plane-sweep",
             LocalJoinStrategy::AllPairs => "all-pairs",
+        }
+    }
+
+    /// The inverse of [`LocalJoinStrategy::kind`] (used when a resolved
+    /// [`JoinPlan`] is translated back into a [`TouchConfig`]).
+    pub fn from_kind(kind: LocalJoinKind) -> Self {
+        match kind {
+            LocalJoinKind::Grid => LocalJoinStrategy::Grid,
+            LocalJoinKind::PlaneSweep => LocalJoinStrategy::PlaneSweep,
+            LocalJoinKind::AllPairs => LocalJoinStrategy::AllPairs,
         }
     }
 }
@@ -97,9 +108,15 @@ impl Default for TouchConfig {
 }
 
 /// The TOUCH in-memory spatial join (the paper's contribution).
+///
+/// Executes from a [`JoinPlan`]: an explicit [`TouchConfig`] is translated per
+/// run with [`JoinPlan::from_touch_config`] (reproducing the pre-planning
+/// behaviour exactly), while [`TouchJoin::from_plan`] pins a pre-computed plan —
+/// the form the auto-planning layer dispatches to.
 #[derive(Debug, Clone, Default)]
 pub struct TouchJoin {
     config: TouchConfig,
+    plan: Option<JoinPlan>,
 }
 
 impl TouchConfig {
@@ -148,19 +165,79 @@ impl TouchConfig {
 impl TouchJoin {
     /// Creates a TOUCH join with the given configuration.
     pub fn new(config: TouchConfig) -> Self {
-        TouchJoin { config }
+        TouchJoin { config, plan: None }
+    }
+
+    /// Creates a TOUCH join that executes a pre-computed, fully resolved
+    /// [`JoinPlan`] (the planner's output). The plan pins every decision —
+    /// tree side, partitioning, grid sizing — so it should be executed on the
+    /// datasets it was planned for.
+    pub fn from_plan(plan: JoinPlan) -> Self {
+        TouchJoin { config: plan.as_touch_config(), plan: Some(plan) }
     }
 
     /// Creates a TOUCH join with the paper's default configuration but a custom
     /// fanout (used by the fanout-impact experiment, Figure 14).
     pub fn with_fanout(fanout: usize) -> Self {
-        TouchJoin { config: TouchConfig { fanout, ..TouchConfig::default() } }
+        TouchJoin::new(TouchConfig { fanout, ..TouchConfig::default() })
     }
 
-    /// The configuration this join runs with.
+    /// The configuration this join runs with (for a plan-pinned join, the
+    /// equivalent explicit configuration).
     pub fn config(&self) -> &TouchConfig {
         &self.config
     }
+
+    /// The plan this join executes for datasets `a` and `b`: the pinned plan if
+    /// one was provided, otherwise the faithful translation of the configuration.
+    fn resolve_plan(&self, a: &Dataset, b: &Dataset) -> JoinPlan {
+        self.plan.unwrap_or_else(|| JoinPlan::from_touch_config(&self.config, a, b))
+    }
+}
+
+/// Executes a resolved [`JoinPlan`] sequentially: the single code path behind
+/// [`TouchJoin::join_into`], shared by explicit configurations and the planning
+/// layer so the two can never diverge.
+pub(crate) fn execute_sequential(
+    plan: &JoinPlan,
+    a: &Dataset,
+    b: &Dataset,
+    sink: &mut dyn PairSink,
+    report: &mut RunReport,
+) {
+    report.plan = Some(plan.summary());
+    let build_on_a = plan.build_on_a;
+    let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
+
+    // Phase 1: build the hierarchy on the tree dataset (Algorithm 2).
+    let mut tree = report
+        .timer
+        .time(Phase::Build, || TouchTree::build(tree_ds.objects(), plan.partitions, plan.fanout));
+
+    // Phase 2: assign the probe dataset to the hierarchy (Algorithm 3).
+    let mut counters = std::mem::take(&mut report.counters);
+    report.timer.time(Phase::Assignment, || {
+        tree.assign(probe_ds.objects(), &mut counters);
+    });
+
+    // Phase 3: local joins (Algorithm 4), honouring the sink's early
+    // termination after every delivered pair. The scratch lives for the whole
+    // join, so the per-node grid directories and sweep buffers allocate once.
+    let mut scratch = LocalJoinScratch::new();
+    let mut results = 0u64;
+    let peak_local_aux = report.timer.time(Phase::Join, || {
+        tree.join_assigned(&plan.params, &mut scratch, &mut counters, &mut |tree_id, probe_id| {
+            if build_on_a {
+                deliver(sink, tree_id, probe_id, &mut results)
+            } else {
+                deliver(sink, probe_id, tree_id, &mut results)
+            }
+        })
+    });
+
+    counters.results += results;
+    report.counters = counters;
+    report.memory_bytes = tree.memory_bytes() + peak_local_aux;
 }
 
 impl SpatialJoinAlgorithm for TouchJoin {
@@ -168,40 +245,12 @@ impl SpatialJoinAlgorithm for TouchJoin {
         "TOUCH".to_string()
     }
 
+    fn plan_for(&self, a: &Dataset, b: &Dataset) -> Option<JoinPlan> {
+        Some(self.resolve_plan(a, b))
+    }
+
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
-        let build_on_a = self.config.builds_tree_on_a(a, b);
-        let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
-
-        // Phase 1: build the hierarchy on the tree dataset (Algorithm 2).
-        let mut tree = report.timer.time(Phase::Build, || {
-            TouchTree::build(tree_ds.objects(), self.config.partitions, self.config.fanout)
-        });
-
-        // Phase 2: assign the probe dataset to the hierarchy (Algorithm 3).
-        let mut counters = std::mem::take(&mut report.counters);
-        report.timer.time(Phase::Assignment, || {
-            tree.assign(probe_ds.objects(), &mut counters);
-        });
-
-        // Phase 3: local joins (Algorithm 4), honouring the sink's early
-        // termination after every delivered pair. The scratch lives for the whole
-        // join, so the per-node grid directories and sweep buffers allocate once.
-        let params = self.config.local_join_params(self.config.min_local_cell_size(a, b));
-        let mut scratch = LocalJoinScratch::new();
-        let mut results = 0u64;
-        let peak_local_aux = report.timer.time(Phase::Join, || {
-            tree.join_assigned(&params, &mut scratch, &mut counters, &mut |tree_id, probe_id| {
-                if build_on_a {
-                    deliver(sink, tree_id, probe_id, &mut results)
-                } else {
-                    deliver(sink, probe_id, tree_id, &mut results)
-                }
-            })
-        });
-
-        counters.results += results;
-        report.counters = counters;
-        report.memory_bytes = tree.memory_bytes() + peak_local_aux;
+        execute_sequential(&self.resolve_plan(a, b), a, b, sink, report);
     }
 }
 

@@ -7,6 +7,7 @@
 //! ([`distance_join`], [`collect_join`], [`count_join`]) are thin wrappers over it
 //! kept for existing call sites — see `MIGRATION.md` at the workspace root.
 
+use crate::plan::JoinPlan;
 use crate::{CollectingSink, CountingSink, JoinQuery, PairSink, Predicate};
 use touch_geom::{Dataset, ObjectId};
 use touch_metrics::RunReport;
@@ -29,6 +30,16 @@ use touch_metrics::RunReport;
 pub trait SpatialJoinAlgorithm {
     /// Human-readable name used in reports and figures (e.g. `"TOUCH"`, `"PBSM-500"`).
     fn name(&self) -> String;
+
+    /// The [`JoinPlan`] this engine would execute for `a` and `b`, if it is a
+    /// planned engine: the TOUCH engines return the faithful translation of
+    /// their configuration (or the pinned plan they were built from), the auto
+    /// engines return the planner's output. Baselines — which have no TOUCH
+    /// plan — return `None` (the default).
+    fn plan_for(&self, a: &Dataset, b: &Dataset) -> Option<JoinPlan> {
+        let _ = (a, b);
+        None
+    }
 
     /// Joins datasets `a` and `b`, pushing every intersecting pair `(id_a, id_b)`
     /// into `sink` exactly once, and records phase times, counters and memory into
@@ -54,6 +65,10 @@ impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for &T {
         (**self).name()
     }
 
+    fn plan_for(&self, a: &Dataset, b: &Dataset) -> Option<JoinPlan> {
+        (**self).plan_for(a, b)
+    }
+
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         (**self).join_into(a, b, sink, report)
     }
@@ -62,6 +77,10 @@ impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for &T {
 impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for Box<T> {
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn plan_for(&self, a: &Dataset, b: &Dataset) -> Option<JoinPlan> {
+        (**self).plan_for(a, b)
     }
 
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {

@@ -100,6 +100,21 @@ impl TouchNode {
     }
 }
 
+/// Memoised per-node local-join grid geometry (see [`TouchTree::memoise_grids`]).
+///
+/// The cache is valid for exactly one `(cells_per_dim, min_cell_size)` pair — the
+/// two [`LocalJoinParams`] fields grid geometry depends on besides the node MBR,
+/// which is immutable. A lookup under different parameters misses, so a stale
+/// cache can never change a join; it only stops accelerating it.
+#[derive(Debug, Clone)]
+struct GridCache {
+    cells_per_dim: usize,
+    min_cell_size: f64,
+    /// One entry per node; `None` for nodes that use the all-pairs fallback
+    /// (at most `allpairs_max_a` A-objects) or hold no A-objects.
+    grids: Vec<Option<UniformGrid>>,
+}
+
 /// The TOUCH support structure: a data-oriented hierarchy over dataset A whose inner
 /// (and, degenerately, leaf) nodes additionally hold the assigned objects of
 /// dataset B.
@@ -132,6 +147,11 @@ pub struct TouchTree {
     /// capacities (deliberately — reuse stops allocating), so this figure survives
     /// clears, exactly like the memory itself does.
     b_items_bytes: usize,
+    /// Memoised per-node grid geometry for persistent trees (`touch-streaming`):
+    /// epoch re-joins of the same node stop recomputing
+    /// [`UniformGrid::with_min_cell_size`] from scratch. `None` until
+    /// [`TouchTree::memoise_grids`] is called; read-only during joins.
+    grid_cache: Option<GridCache>,
 }
 
 impl Clone for TouchTree {
@@ -150,6 +170,7 @@ impl Clone for TouchTree {
             touched: self.touched.clone(),
             assigned_b: self.assigned_b,
             b_items_bytes,
+            grid_cache: self.grid_cache.clone(),
         }
     }
 }
@@ -218,6 +239,7 @@ impl TouchTree {
                 touched: Vec::new(),
                 assigned_b: 0,
                 b_items_bytes: 0,
+                grid_cache: None,
             };
         }
 
@@ -276,6 +298,7 @@ impl TouchTree {
             touched: Vec::new(),
             assigned_b: 0,
             b_items_bytes: 0,
+            grid_cache: None,
         }
     }
 
@@ -547,44 +570,88 @@ impl TouchTree {
                 let (a_scratch, b_scratch) = scratch.load_sweep(a_objs, b_objs);
                 kernels::plane_sweep(a_scratch, b_scratch, counters, emit);
             }
-            LocalJoinKind::Grid => grid_local_join(node, a_objs, params, scratch, counters, emit),
+            LocalJoinKind::Grid => {
+                // Nodes over a handful of A-objects do not repay building a grid;
+                // fall back to all-pairs. The cutoff must not consult the B count:
+                // the B side of a node may arrive split across epochs, and the
+                // per-node strategy has to be the same for every split so that
+                // counters stay exactly additive (see [`LocalJoinParams`]).
+                if a_objs.len() <= params.allpairs_max_a {
+                    kernels::all_pairs(a_objs, b_objs, counters, emit);
+                } else {
+                    let grid = self.node_grid(index, params);
+                    scratch.grid_join(&grid, a_objs, b_objs, counters, emit);
+                }
+            }
         }
         scratch.memory_bytes()
     }
-}
 
-/// Algorithm 4: grid-based local join of one node.
-///
-/// The node's extent is divided into a uniform grid; the node's B-objects are
-/// replicated into every cell they overlap; every A-object of the subtree probes the
-/// cells it overlaps. A candidate pair may meet in several cells, so a pair is only
-/// reported from the cell containing the *reference point* (the lower corner of the
-/// MBR intersection), which guarantees exactly-once results without a deduplication
-/// pass (Dittrich & Seeger). The cell directory is the reused CSR layout of
-/// [`LocalJoinScratch`] — no per-node allocation once the scratch is warm.
-fn grid_local_join(
-    node: &TouchNode,
-    a_objs: &[SpatialObject],
-    params: &LocalJoinParams,
-    scratch: &mut LocalJoinScratch,
-    counters: &mut Counters,
-    emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
-) {
-    let b_objs = node.assigned_b();
-    // Nodes over a handful of A-objects do not repay building a grid; fall back to
-    // all-pairs. The cutoff must not consult the B count: the B side of a node may
-    // arrive split across epochs, and the per-node strategy has to be the same for
-    // every split so that counters stay exactly additive (see [`LocalJoinParams`]).
-    if a_objs.len() <= params.allpairs_max_a {
-        kernels::all_pairs(a_objs, b_objs, counters, emit);
-        return;
+    /// The local-join grid geometry of the node at `index` (Algorithm 4): the
+    /// memoised copy when [`TouchTree::memoise_grids`] pre-computed it for these
+    /// parameters, otherwise freshly derived. The two are identical by
+    /// construction — [`UniformGrid::with_min_cell_size`] is a pure function of
+    /// the node MBR and the parameters — so memoisation can never change a join.
+    #[inline]
+    fn node_grid(&self, index: usize, params: &LocalJoinParams) -> UniformGrid {
+        if let Some(cache) = &self.grid_cache {
+            if cache.cells_per_dim == params.cells_per_dim
+                && cache.min_cell_size == params.min_cell_size
+            {
+                if let Some(grid) = cache.grids[index] {
+                    return grid;
+                }
+            }
+        }
+        UniformGrid::with_min_cell_size(
+            self.nodes[index].mbr,
+            params.cells_per_dim.max(1),
+            params.min_cell_size,
+        )
     }
-    let grid = UniformGrid::with_min_cell_size(
-        node.mbr,
-        params.cells_per_dim.max(1),
-        params.min_cell_size,
-    );
-    scratch.grid_join(&grid, a_objs, b_objs, counters, emit);
+
+    /// Pre-computes the local-join grid geometry of every node that can need one
+    /// (more than `params.allpairs_max_a` A-objects in its subtree), replacing any
+    /// previously memoised set.
+    ///
+    /// This is the persistent-tree optimisation of `touch-streaming`: a one-shot
+    /// join uses each node's grid exactly once, but a tree serving many epochs
+    /// re-derives identical geometry every time a node is re-joined. The cache is
+    /// keyed by the `(cells_per_dim, min_cell_size)` it was built for — a join
+    /// under different parameters simply bypasses it — and is invisible to
+    /// results: grids are pure geometry, so cached and freshly computed joins are
+    /// bit-identical (locked down by the streaming equivalence suites).
+    pub fn memoise_grids(&mut self, params: &LocalJoinParams) {
+        let grids = self
+            .nodes
+            .iter()
+            .map(|node| {
+                if node.a_count() > params.allpairs_max_a {
+                    Some(UniformGrid::with_min_cell_size(
+                        node.mbr,
+                        params.cells_per_dim.max(1),
+                        params.min_cell_size,
+                    ))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        self.grid_cache = Some(GridCache {
+            cells_per_dim: params.cells_per_dim,
+            min_cell_size: params.min_cell_size,
+            grids,
+        });
+    }
+
+    /// Number of node grids currently memoised (0 without a cache). Exposed for
+    /// the reuse test suites and the streaming engine's memory accounting.
+    pub fn memoised_grid_count(&self) -> usize {
+        self.grid_cache
+            .as_ref()
+            .map(|c| c.grids.iter().filter(|g| g.is_some()).count())
+            .unwrap_or(0)
+    }
 }
 
 impl MemoryUsage for TouchTree {
@@ -598,6 +665,7 @@ impl MemoryUsage for TouchTree {
             + vec_bytes(&self.node_mbrs)
             + vec_bytes(&self.levels)
             + vec_bytes(&self.touched)
+            + self.grid_cache.as_ref().map(|c| vec_bytes(&c.grids)).unwrap_or(0)
     }
 }
 
@@ -932,6 +1000,84 @@ mod tests {
             counters.comparisons,
             nested_loop
         );
+    }
+
+    #[test]
+    fn memoised_grids_do_not_change_the_join() {
+        let a = lattice(4, 1.5, 1.0);
+        let b = lattice(5, 1.2, 0.8);
+        let params = test_params(LocalJoinKind::Grid);
+
+        let run = |tree: &mut TouchTree| {
+            let mut counters = Counters::new();
+            tree.assign(b.objects(), &mut counters);
+            let mut pairs = Vec::new();
+            tree.join_assigned(
+                &params,
+                &mut LocalJoinScratch::new(),
+                &mut counters,
+                &mut |x, y| {
+                    pairs.push((x, y));
+                    true
+                },
+            );
+            (pairs, counters)
+        };
+
+        let mut plain = TouchTree::build(a.objects(), 8, 2);
+        let expected = run(&mut plain);
+        assert_eq!(plain.memoised_grid_count(), 0, "no cache unless requested");
+
+        let mut memoised = TouchTree::build(a.objects(), 8, 2);
+        memoised.memoise_grids(&params);
+        assert!(memoised.memoised_grid_count() > 0, "lattice leaves exceed the cutoff");
+        // Emission order, pairs and counters are identical with the cache in place,
+        // over repeated epochs.
+        for round in 0..3 {
+            let got = run(&mut memoised);
+            assert_eq!(got, expected, "round {round} diverged with memoised grids");
+            memoised.clear_assignment();
+        }
+
+        // A join under *different* parameters bypasses the cache instead of using
+        // stale geometry: it must agree with a fresh tree run under those params.
+        let other = LocalJoinParams { cells_per_dim: 7, ..params };
+        let mut fresh = TouchTree::build(a.objects(), 8, 2);
+        let mut fresh_counters = Counters::new();
+        fresh.assign(b.objects(), &mut fresh_counters);
+        let mut fresh_pairs = Vec::new();
+        fresh.join_assigned(
+            &other,
+            &mut LocalJoinScratch::new(),
+            &mut fresh_counters,
+            &mut |x, y| {
+                fresh_pairs.push((x, y));
+                true
+            },
+        );
+        let mut stale_counters = Counters::new();
+        memoised.assign(b.objects(), &mut stale_counters);
+        let mut stale_pairs = Vec::new();
+        memoised.join_assigned(
+            &other,
+            &mut LocalJoinScratch::new(),
+            &mut stale_counters,
+            &mut |x, y| {
+                stale_pairs.push((x, y));
+                true
+            },
+        );
+        assert_eq!(stale_pairs, fresh_pairs);
+        assert_eq!(stale_counters, fresh_counters);
+    }
+
+    #[test]
+    fn memoising_grows_the_memory_accounting() {
+        let a = lattice(4, 1.5, 1.0);
+        let mut tree = TouchTree::build(a.objects(), 8, 2);
+        let before = tree.memory_bytes();
+        tree.memoise_grids(&test_params(LocalJoinKind::Grid));
+        assert!(tree.memory_bytes() > before, "the grid cache must be charged");
     }
 
     #[test]

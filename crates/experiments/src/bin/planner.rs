@@ -1,0 +1,14 @@
+//! Runs the planner ablation (Engine::Auto vs fixed configurations).
+//! Usage:
+//! `cargo run -p touch-experiments --release --bin planner -- [--scale 0.01] [--out results]`
+
+fn main() {
+    let ctx = match touch_experiments::Context::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    touch_experiments::planner::run(&ctx).finish(&ctx);
+}

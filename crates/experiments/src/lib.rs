@@ -15,6 +15,7 @@
 //! | [`figure15`] | Figure 15 — neuroscience density scaling |
 //! | [`figure16`] | Figure 16 — neuroscience datasets, time / comparisons / memory |
 //! | [`ablation`] | beyond the paper: TOUCH local-join strategy and join order |
+//! | [`planner`] | beyond the paper: automatic planning (`Engine::Auto`) vs fixed configurations |
 //! | [`scaling`] | beyond the paper: `touch-parallel` thread scaling at 1/2/4/8 threads |
 //! | [`streaming`] | beyond the paper: `touch-streaming` epoch amortisation vs. per-batch rebuild |
 //!
@@ -45,6 +46,7 @@ pub mod figure16;
 pub mod figure8;
 pub mod figure9_11;
 pub mod loading;
+pub mod planner;
 pub mod scaling;
 pub mod streaming;
 mod suite;
@@ -72,6 +74,7 @@ pub fn run_all(ctx: &Context) -> Vec<ExperimentTable> {
         figure15::run(ctx),
         figure16::run(ctx),
         ablation::run(ctx),
+        planner::run(ctx),
         scaling::run(ctx),
         streaming::run(ctx),
     ]

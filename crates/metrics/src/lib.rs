@@ -27,5 +27,5 @@ mod timer;
 
 pub use counters::Counters;
 pub use memory::{vec_bytes, MemoryUsage};
-pub use report::{format_count, format_duration, RunReport};
+pub use report::{format_count, format_duration, PlanSummary, RunReport};
 pub use timer::{Phase, PhaseTimer};

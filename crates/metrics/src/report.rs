@@ -4,6 +4,47 @@ use crate::{Counters, Phase, PhaseTimer};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
+/// The record of a planned join execution: which strategy ran and the derived
+/// configuration knobs, plus the time spent collecting dataset statistics.
+///
+/// This is plain measurement data — the planner itself (cost model, statistics)
+/// lives in `touch-core`; engines attach a `PlanSummary` to their [`RunReport`]
+/// so experiment tables and the perfsmoke trajectory can show *what* the planner
+/// chose without re-deriving it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSummary {
+    /// Execution strategy label: `"sequential"`, `"parallel(4)"`, `"streaming(2)"`.
+    pub strategy: String,
+    /// Whether the hierarchy was built on dataset A.
+    pub build_on_a: bool,
+    /// STR partitions (leaf buckets) of the hierarchy.
+    pub partitions: usize,
+    /// Fanout of the hierarchy.
+    pub fanout: usize,
+    /// Target local-join grid cells per dimension.
+    pub cells_per_dim: usize,
+    /// Minimum local-join grid cell size (already resolved to a concrete value).
+    pub min_cell_size: f64,
+    /// A-count cutoff below which nodes use an all-pairs scan instead of a grid.
+    pub allpairs_max_a: usize,
+    /// Worker threads the plan runs with (1 for sequential).
+    pub threads: usize,
+    /// Wall-clock time spent collecting `DatasetStats` for this plan (zero when
+    /// the plan was translated from an explicit configuration).
+    pub stats_time: Duration,
+}
+
+impl PlanSummary {
+    /// Compact one-token rendering for CSV cells and log lines, e.g.
+    /// `"parallel(4):p1024:f2:c500:ap8"`.
+    pub fn compact(&self) -> String {
+        format!(
+            "{}:p{}:f{}:c{}:ap{}",
+            self.strategy, self.partitions, self.fanout, self.cells_per_dim, self.allpairs_max_a
+        )
+    }
+}
+
 /// The complete measurement record of one join execution.
 ///
 /// A `RunReport` is what every algorithm returns alongside its result pairs and what
@@ -35,6 +76,11 @@ pub struct RunReport {
     /// the number of pushed batches for a `touch-streaming` cumulative report
     /// (0 before the first batch arrives).
     pub epochs: usize,
+    /// The plan this run executed — strategy, derived knobs and stats-collection
+    /// time. `None` only for algorithms outside the planned TOUCH engines (the
+    /// baselines); the TOUCH engines record it whether the plan came from the
+    /// planner (`Engine::Auto`) or from an explicit configuration.
+    pub plan: Option<PlanSummary>,
 }
 
 impl RunReport {
@@ -50,6 +96,7 @@ impl RunReport {
             memory_bytes: 0,
             threads: 1,
             epochs: 1,
+            plan: None,
         }
     }
 
@@ -96,7 +143,7 @@ impl RunReport {
     /// One CSV row with the standard columns (see [`RunReport::csv_header`]).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{:.6}",
             self.algorithm,
             self.dataset_a,
             self.dataset_b,
@@ -113,12 +160,14 @@ impl RunReport {
             self.timer.get(Phase::Assignment).as_secs_f64(),
             self.timer.get(Phase::Join).as_secs_f64(),
             self.total_time().as_secs_f64(),
+            self.plan.as_ref().map(|p| p.compact()).unwrap_or_else(|| "-".to_string()),
+            self.plan.as_ref().map(|p| p.stats_time.as_secs_f64()).unwrap_or(0.0),
         )
     }
 
     /// The CSV header matching [`RunReport::to_csv_row`].
     pub fn csv_header() -> &'static str {
-        "algorithm,a,b,epsilon,threads,epochs,comparisons,node_tests,results,filtered,duplicates_suppressed,memory_bytes,build_s,assignment_s,join_s,total_s"
+        "algorithm,a,b,epsilon,threads,epochs,comparisons,node_tests,results,filtered,duplicates_suppressed,memory_bytes,build_s,assignment_s,join_s,total_s,plan,planning_s"
     }
 }
 
@@ -211,6 +260,31 @@ mod tests {
         assert_eq!(r.timer.get(Phase::Build), Duration::from_millis(10));
         assert_eq!(r.timer.get(Phase::Join), Duration::from_millis(3));
         assert_eq!(r.timer.get(Phase::Assignment), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn plan_summary_round_trips_through_csv() {
+        let mut r = RunReport::new("TOUCH", 10, 20);
+        assert!(r.to_csv_row().contains(",-,0.000000"), "unplanned runs render a dash");
+        r.plan = Some(PlanSummary {
+            strategy: "parallel(4)".into(),
+            build_on_a: true,
+            partitions: 1024,
+            fanout: 2,
+            cells_per_dim: 500,
+            min_cell_size: 1.5,
+            allpairs_max_a: 8,
+            threads: 4,
+            stats_time: Duration::from_millis(3),
+        });
+        let row = r.to_csv_row();
+        assert!(row.contains("parallel(4):p1024:f2:c500:ap8"));
+        assert!(row.ends_with("0.003000"));
+        assert_eq!(
+            RunReport::csv_header().split(',').count(),
+            row.split(',').count(),
+            "plan columns must keep header arity"
+        );
     }
 
     #[test]

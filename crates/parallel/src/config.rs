@@ -1,7 +1,7 @@
 //! Configuration of the parallel TOUCH join.
 
 use serde::{Deserialize, Serialize};
-use touch_core::TouchConfig;
+use touch_core::{JoinPlanner, TouchConfig};
 
 /// Configuration of [`crate::ParallelTouchJoin`].
 ///
@@ -27,10 +27,13 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
+        // The execution knobs share the planner's constants, so plans translated
+        // from a default configuration and configurations synthesised from a
+        // default plan can never drift apart.
         ParallelConfig {
             threads: 0,
-            chunk_size: 4096,
-            sort_threshold: 8192,
+            chunk_size: JoinPlanner::DEFAULT_CHUNK_SIZE,
+            sort_threshold: JoinPlanner::DEFAULT_SORT_THRESHOLD,
             touch: TouchConfig::default(),
         }
     }

@@ -3,7 +3,7 @@
 
 use crate::phases::{par_assign, par_build_tree, par_join_into};
 use crate::ParallelConfig;
-use touch_core::{PairSink, ScratchPool, SpatialJoinAlgorithm};
+use touch_core::{ExecutionStrategy, JoinPlan, PairSink, ScratchPool, SpatialJoinAlgorithm};
 use touch_geom::Dataset;
 use touch_metrics::{MemoryUsage, Phase, RunReport};
 
@@ -35,24 +35,105 @@ use touch_metrics::{MemoryUsage, Phase, RunReport};
 #[derive(Debug, Clone, Default)]
 pub struct ParallelTouchJoin {
     config: ParallelConfig,
+    plan: Option<JoinPlan>,
 }
 
 impl ParallelTouchJoin {
     /// Creates a parallel TOUCH join with the given configuration.
     pub fn new(config: ParallelConfig) -> Self {
-        ParallelTouchJoin { config }
+        ParallelTouchJoin { config, plan: None }
+    }
+
+    /// Creates a parallel TOUCH join that executes a pre-computed, fully
+    /// resolved [`JoinPlan`] (the planner's output): tree side, partitioning and
+    /// grid sizing are pinned by the plan, the worker count comes from the
+    /// plan's strategy. Like every `from_plan` constructor, the plan should be
+    /// executed on the datasets it was planned for.
+    pub fn from_plan(plan: JoinPlan) -> Self {
+        ParallelTouchJoin {
+            config: ParallelConfig {
+                threads: plan.threads(),
+                chunk_size: plan.chunk_size,
+                sort_threshold: plan.sort_threshold,
+                touch: plan.as_touch_config(),
+            },
+            plan: Some(plan),
+        }
     }
 
     /// Default algorithmic configuration pinned to an explicit thread count
     /// (`with_threads(1)` is the sequential algorithm on the pool machinery).
     pub fn with_threads(threads: usize) -> Self {
-        ParallelTouchJoin { config: ParallelConfig::with_threads(threads) }
+        ParallelTouchJoin::new(ParallelConfig::with_threads(threads))
     }
 
-    /// The configuration this join runs with.
+    /// The configuration this join runs with (for a plan-pinned join, the
+    /// equivalent explicit configuration).
     pub fn config(&self) -> &ParallelConfig {
         &self.config
     }
+
+    /// The plan this join executes for datasets `a` and `b`: the pinned plan if
+    /// one was provided, otherwise the faithful translation of the configuration.
+    fn resolve_plan(&self, a: &Dataset, b: &Dataset) -> JoinPlan {
+        self.plan.unwrap_or_else(|| {
+            JoinPlan::from_touch_config(&self.config.touch, a, b)
+                .with_strategy(ExecutionStrategy::Parallel {
+                    threads: self.config.effective_threads(),
+                })
+                .with_execution(self.config.chunk_size, self.config.sort_threshold)
+        })
+    }
+}
+
+/// Executes a resolved [`JoinPlan`] on the work-stealing machinery: the single
+/// code path behind [`ParallelTouchJoin::join_into`], shared by explicit
+/// configurations and the planning layer so the two can never diverge.
+fn execute_parallel(
+    plan: &JoinPlan,
+    a: &Dataset,
+    b: &Dataset,
+    sink: &mut dyn PairSink,
+    report: &mut RunReport,
+) {
+    report.plan = Some(plan.summary());
+    let threads = plan.threads();
+    report.threads = threads;
+    let build_on_a = plan.build_on_a;
+    let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
+
+    // Phase 1: parallel STR sort, then hierarchy assembly (Algorithm 2). Each
+    // phase is timed at its fork/join point, so the recorded duration is wall
+    // clock — correct no matter how many workers ran inside.
+    let (mut tree, sort_aux) = report.timer.time(Phase::Build, || {
+        par_build_tree(
+            tree_ds.objects(),
+            plan.partitions,
+            plan.fanout,
+            threads,
+            plan.sort_threshold,
+        )
+    });
+
+    // Phase 2: chunked parallel assignment (Algorithm 3).
+    let mut counters = std::mem::take(&mut report.counters);
+    let assign_aux = report.timer.time(Phase::Assignment, || {
+        par_assign(&mut tree, probe_ds.objects(), plan.chunk_size, threads, &mut counters)
+    });
+
+    // Phase 3: work-stealing local joins (Algorithm 4). Grid sizing is pinned by
+    // the plan — the same resolved parameters the sequential engine executes.
+    let mut pool = ScratchPool::new();
+    let aux_bytes = report.timer.time(Phase::Join, || {
+        par_join_into(&tree, &plan.params, threads, !build_on_a, sink, &mut pool, &mut counters)
+    });
+
+    report.counters = counters;
+    // Charge the transient buffers of every phase, not just the local joins:
+    // unlike the sequential join, the parallel one buffers sort scratch and
+    // assignment batches, and hiding them would flatter TOUCH-P in the
+    // experiments' memory comparison.
+    report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux + aux_bytes;
 }
 
 impl SpatialJoinAlgorithm for ParallelTouchJoin {
@@ -64,52 +145,12 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
         }
     }
 
+    fn plan_for(&self, a: &Dataset, b: &Dataset) -> Option<JoinPlan> {
+        Some(self.resolve_plan(a, b))
+    }
+
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
-        let threads = self.config.effective_threads();
-        let cfg = &self.config.touch;
-        report.threads = threads;
-        let build_on_a = cfg.builds_tree_on_a(a, b);
-        let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
-
-        // Phase 1: parallel STR sort, then hierarchy assembly (Algorithm 2). Each
-        // phase is timed at its fork/join point, so the recorded duration is wall
-        // clock — correct no matter how many workers ran inside.
-        let (mut tree, sort_aux) = report.timer.time(Phase::Build, || {
-            par_build_tree(
-                tree_ds.objects(),
-                cfg.partitions,
-                cfg.fanout,
-                threads,
-                self.config.sort_threshold,
-            )
-        });
-
-        // Phase 2: chunked parallel assignment (Algorithm 3).
-        let mut counters = std::mem::take(&mut report.counters);
-        let assign_aux = report.timer.time(Phase::Assignment, || {
-            par_assign(
-                &mut tree,
-                probe_ds.objects(),
-                self.config.chunk_size,
-                threads,
-                &mut counters,
-            )
-        });
-
-        // Phase 3: work-stealing local joins (Algorithm 4). Grid sizing comes from
-        // the same shared helper as the sequential join.
-        let params = cfg.local_join_params(cfg.min_local_cell_size(a, b));
-        let mut pool = ScratchPool::new();
-        let aux_bytes = report.timer.time(Phase::Join, || {
-            par_join_into(&tree, &params, threads, !build_on_a, sink, &mut pool, &mut counters)
-        });
-
-        report.counters = counters;
-        // Charge the transient buffers of every phase, not just the local joins:
-        // unlike the sequential join, the parallel one buffers sort scratch and
-        // assignment batches, and hiding them would flatter TOUCH-P in the
-        // experiments' memory comparison.
-        report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux + aux_bytes;
+        execute_parallel(&self.resolve_plan(a, b), a, b, sink, report);
     }
 }
 

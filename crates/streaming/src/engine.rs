@@ -2,7 +2,10 @@
 
 use crate::EpochReport;
 use serde::{Deserialize, Serialize};
-use touch_core::{deliver, PairSink, ScratchPool, SpatialJoinAlgorithm, TouchConfig, TouchTree};
+use touch_core::{
+    deliver, DatasetStats, JoinPlan, JoinPlanner, PairSink, PlanEnv, ScratchPool,
+    SpatialJoinAlgorithm, TouchConfig, TouchTree,
+};
 use touch_geom::{Dataset, SpatialObject};
 use touch_metrics::{Counters, MemoryUsage, Phase, RunReport};
 use touch_parallel::phases::{par_assign, par_build_tree, par_join_into, resolve_threads};
@@ -37,11 +40,12 @@ pub struct StreamingConfig {
 
 impl Default for StreamingConfig {
     fn default() -> Self {
+        // Execution knobs share the planner's constants (see `ParallelConfig`).
         StreamingConfig {
             touch: TouchConfig::default(),
             threads: 1,
-            chunk_size: 4096,
-            sort_threshold: 8192,
+            chunk_size: JoinPlanner::DEFAULT_CHUNK_SIZE,
+            sort_threshold: JoinPlanner::DEFAULT_SORT_THRESHOLD,
         }
     }
 }
@@ -76,7 +80,20 @@ pub struct StreamingTouchJoin {
     config: StreamingConfig,
     threads: usize,
     tree: TouchTree,
-    min_cell: f64,
+    /// The resolved plan the current stream executes: partitioning pinned at
+    /// build, local-join parameters pinned per stream (never mid-stream, so
+    /// epoch splits stay equivalence-exact).
+    plan: JoinPlan,
+    /// `Some` when the engine was built through the planning layer
+    /// ([`StreamingTouchJoin::build_planned`]): [`StreamingTouchJoin::reset`]
+    /// then re-plans the next stream's local-join parameters from the statistics
+    /// accumulated over the previous stream's epochs.
+    planner: Option<JoinPlanner>,
+    /// Statistics of the tree dataset, collected once at build.
+    tree_stats: DatasetStats,
+    /// Statistics of the current stream's probe side, accumulated batch by batch
+    /// ([`DatasetStats::merge`] — exact, see `touch-core`'s stats module).
+    stream_stats: DatasetStats,
     /// Snapshot of the cumulative report right after the build: what `reset`
     /// rewinds to.
     base: RunReport,
@@ -94,27 +111,85 @@ impl StreamingTouchJoin {
     /// stable STR sort at `threads > 1`, bit-identical to the sequential sort).
     /// This is the amortised cost: every epoch of every stream reuses the tree.
     pub fn build(a: &Dataset, config: StreamingConfig) -> Self {
+        let plan = JoinPlan::from_streaming_tree(
+            &config.touch,
+            a,
+            config.effective_threads(),
+            config.chunk_size,
+            config.sort_threshold,
+        );
+        Self::build_with_plan_inner(a, config, plan, None)
+    }
+
+    /// Builds the persistent hierarchy with **statistics-driven planning**: the
+    /// tree knobs (partitions, fanout, grid sizing, all-pairs cutoff) come from
+    /// `planner` over the tree dataset's statistics, and every
+    /// [`reset`](StreamingTouchJoin::reset) **re-plans the next stream** from the
+    /// probe statistics accumulated over the finished stream's epochs — a stream
+    /// of tiny objects shrinks the next stream's grid cells, a stream of large
+    /// ones grows them. Within a stream the parameters never change, so the
+    /// epoch-split equivalence guarantee is untouched.
+    ///
+    /// `config.touch` is ignored except as the source of execution knobs
+    /// (threads, chunk size, sort threshold); the algorithmic knobs are planned.
+    pub fn build_planned(a: &Dataset, config: StreamingConfig, planner: JoinPlanner) -> Self {
+        let tree_stats = DatasetStats::from_dataset(a);
+        let threads = config.effective_threads();
+        let env = PlanEnv::sequential().with_threads(threads);
+        // The configured worker count is an execution knob the caller owns, not
+        // a planning decision: pin the recorded strategy to it so the plan on
+        // every report matches the workers that actually run the epochs.
+        let plan = planner
+            .plan_streaming(&tree_stats, &DatasetStats::new(), &env)
+            .with_execution(config.chunk_size, config.sort_threshold)
+            .with_strategy(touch_core::ExecutionStrategy::Streaming { threads });
+        let mut engine = Self::build_with_plan_inner(a, config, plan, Some(planner));
+        engine.tree_stats = tree_stats;
+        engine
+    }
+
+    /// Builds the persistent hierarchy executing a pre-computed, fully resolved
+    /// [`JoinPlan`] — the constructor the planning layer's one-shot dispatch
+    /// uses. The plan's partitioning and local-join parameters are pinned; its
+    /// strategy supplies the worker count.
+    pub fn build_with_plan(a: &Dataset, plan: JoinPlan) -> Self {
+        let config = StreamingConfig {
+            touch: plan.as_touch_config(),
+            threads: plan.threads(),
+            chunk_size: plan.chunk_size,
+            sort_threshold: plan.sort_threshold,
+        };
+        Self::build_with_plan_inner(a, config, plan, None)
+    }
+
+    fn build_with_plan_inner(
+        a: &Dataset,
+        config: StreamingConfig,
+        plan: JoinPlan,
+        planner: Option<JoinPlanner>,
+    ) -> Self {
         let threads = config.effective_threads();
         let mut base = RunReport::new(format!("TOUCH-S{threads}"), a.len(), 0);
         base.threads = threads;
         base.epochs = 0;
-        let (tree, sort_aux) = base.timer.time(Phase::Build, || {
-            par_build_tree(
-                a.objects(),
-                config.touch.partitions,
-                config.touch.fanout,
-                threads,
-                config.sort_threshold,
-            )
+        base.plan = Some(plan.summary());
+        let (mut tree, sort_aux) = base.timer.time(Phase::Build, || {
+            par_build_tree(a.objects(), plan.partitions, plan.fanout, threads, plan.sort_threshold)
         });
+        // A persistent tree re-joins the same nodes every epoch: memoise their
+        // grid geometry once so epochs stop re-deriving it (pure geometry — the
+        // cached and recomputed grids are identical).
+        tree.memoise_grids(&plan.params);
         base.memory_bytes = tree.memory_bytes() + sort_aux;
-        let min_cell = config.touch.min_local_cell_size_of(a);
         let cumulative = base.clone();
         StreamingTouchJoin {
             config,
             threads,
             tree,
-            min_cell,
+            plan,
+            planner,
+            tree_stats: DatasetStats::new(),
+            stream_stats: DatasetStats::new(),
             base,
             cumulative,
             epochs: 0,
@@ -163,16 +238,17 @@ impl StreamingTouchJoin {
             threads: self.threads,
         };
         self.tree.clear_assignment();
+        self.stream_stats.merge(&DatasetStats::from_objects(batch));
 
         let mut counters = Counters::new();
         // par_assign itself falls back to the sequential `TouchTree::assign` when
         // one worker (or one chunk) is all there is, so no dispatch is needed here.
         let assign_aux = report.timer.time(Phase::Assignment, || {
-            par_assign(&mut self.tree, batch, self.config.chunk_size, self.threads, &mut counters)
+            par_assign(&mut self.tree, batch, self.plan.chunk_size, self.threads, &mut counters)
         });
         report.assigned = self.tree.assigned_b_count();
 
-        let params = self.config.touch.local_join_params(self.min_cell);
+        let params = self.plan.params;
         let tree = &self.tree;
         let pool = &mut self.scratch;
         let join_aux = report.timer.time(Phase::Join, || {
@@ -208,11 +284,33 @@ impl StreamingTouchJoin {
     /// Starts a new B stream over the same tree: clears the current assignments and
     /// rewinds the epoch counter and cumulative report to their post-build state.
     /// The tree itself — and therefore the amortised build investment — is kept.
+    ///
+    /// A [planned](StreamingTouchJoin::build_planned) engine additionally
+    /// **re-plans the next stream** here: the local-join parameters (grid cell
+    /// floor, all-pairs cutoff) are re-derived from the tree statistics plus the
+    /// probe statistics accumulated over the finished stream, and the per-node
+    /// grid memoisation is refreshed for the new geometry. The tree structure
+    /// (partitions, fanout) stays as built. Explicitly configured engines keep
+    /// their pinned parameters forever, exactly as before the planning layer.
     pub fn reset(&mut self) {
         self.tree.clear_assignment();
+        if let Some(planner) = self.planner {
+            if !self.stream_stats.is_empty() {
+                let env = PlanEnv::sequential().with_threads(self.threads);
+                let replanned = planner
+                    .plan_streaming(&self.tree_stats, &self.stream_stats, &env)
+                    .with_execution(self.plan.chunk_size, self.plan.sort_threshold);
+                // Only the per-stream knobs may move: the hierarchy is built and
+                // its partitioning is no longer negotiable.
+                self.plan.params = replanned.params;
+                self.tree.memoise_grids(&self.plan.params);
+                self.base.plan = Some(self.plan.summary());
+            }
+        }
         self.cumulative = self.base.clone();
         self.epochs = 0;
         self.streams += 1;
+        self.stream_stats = DatasetStats::new();
     }
 
     /// Number of epochs pushed in the current stream.
@@ -242,10 +340,24 @@ impl StreamingTouchJoin {
         &self.tree
     }
 
-    /// The minimum local-join grid cell size derived from the tree dataset at build
-    /// time (see [`StreamingConfig`] for why it is fixed per tree, not per epoch).
+    /// The minimum local-join grid cell size of the current stream's plan. For an
+    /// explicitly configured engine this is derived from the tree dataset at
+    /// build time and never changes (see [`StreamingConfig`]); a
+    /// [planned](StreamingTouchJoin::build_planned) engine may refine it per
+    /// stream at [`reset`](StreamingTouchJoin::reset).
     pub fn min_cell(&self) -> f64 {
-        self.min_cell
+        self.plan.params.min_cell_size
+    }
+
+    /// The resolved plan the current stream executes.
+    pub fn plan(&self) -> &JoinPlan {
+        &self.plan
+    }
+
+    /// The probe statistics accumulated over the current stream's epochs
+    /// ([`DatasetStats::merge`] of every pushed batch).
+    pub fn stream_stats(&self) -> &DatasetStats {
+        &self.stream_stats
     }
 
     /// Wall-clock cost of building the tree — the investment the stream amortises.
@@ -272,12 +384,29 @@ impl StreamingTouchJoin {
 #[derive(Debug, Clone, Default)]
 pub struct OneShotStreaming {
     config: StreamingConfig,
+    plan: Option<JoinPlan>,
 }
 
 impl OneShotStreaming {
     /// Wraps `config` as a one-shot algorithm.
     pub fn new(config: StreamingConfig) -> Self {
-        OneShotStreaming { config }
+        OneShotStreaming { config, plan: None }
+    }
+
+    /// Wraps a pre-computed, fully resolved [`JoinPlan`] as a one-shot
+    /// algorithm: every run builds the tree with the plan's partitioning and
+    /// joins with its pinned local-join parameters
+    /// ([`StreamingTouchJoin::build_with_plan`]).
+    pub fn from_plan(plan: JoinPlan) -> Self {
+        OneShotStreaming {
+            config: StreamingConfig {
+                touch: plan.as_touch_config(),
+                threads: plan.threads(),
+                chunk_size: plan.chunk_size,
+                sort_threshold: plan.sort_threshold,
+            },
+            plan: Some(plan),
+        }
     }
 
     /// The streaming configuration every run builds with.
@@ -291,12 +420,28 @@ impl SpatialJoinAlgorithm for OneShotStreaming {
         format!("TOUCH-S{}", self.config.effective_threads())
     }
 
+    fn plan_for(&self, a: &Dataset, _b: &Dataset) -> Option<JoinPlan> {
+        Some(self.plan.unwrap_or_else(|| {
+            JoinPlan::from_streaming_tree(
+                &self.config.touch,
+                a,
+                self.config.effective_threads(),
+                self.config.chunk_size,
+                self.config.sort_threshold,
+            )
+        }))
+    }
+
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
-        let mut engine = StreamingTouchJoin::build(a, self.config);
+        let mut engine = match self.plan {
+            Some(plan) => StreamingTouchJoin::build_with_plan(a, plan),
+            None => StreamingTouchJoin::build(a, self.config),
+        };
         let _ = engine.push_batch(b.objects(), sink);
         let cumulative = engine.cumulative_report();
         report.threads = cumulative.threads;
         report.epochs = cumulative.epochs;
+        report.plan = cumulative.plan.clone();
         report.counters.merge(&cumulative.counters);
         report.timer.merge(&cumulative.timer);
         report.memory_bytes = report.memory_bytes.max(cumulative.memory_bytes);
@@ -522,6 +667,97 @@ mod tests {
         let report = engine.push_batch(b.objects(), &mut sink);
         assert_eq!(sink.count(), 2);
         assert_eq!(report.results(), 2);
+    }
+
+    #[test]
+    fn planned_engine_replans_per_stream_from_accumulated_stats() {
+        let a = lattice(5, 1.5, 1.0, 0.0);
+        let mut engine =
+            StreamingTouchJoin::build_planned(&a, streaming_cfg(1), JoinPlanner::default());
+        let initial_cell = engine.min_cell();
+        // Before any probe data, the cell floor comes from the tree alone:
+        // 2 × the mean side of the unit boxes.
+        assert!((initial_cell - 2.0).abs() < 1e-9, "got {initial_cell}");
+        assert!(engine.plan().partitions >= 1);
+        assert!(engine.tree().memoised_grid_count() > 0, "planned build memoises node grids");
+
+        // Stream 1: large probe objects (side 4) in two epochs.
+        let big = lattice(4, 3.0, 4.0, 0.2);
+        let mut sink = CountingSink::new();
+        for batch in big.objects().chunks(big.len() / 2) {
+            let _ = engine.push_batch(batch, &mut sink);
+        }
+        assert_eq!(engine.stream_stats().count(), big.len());
+        assert_eq!(engine.min_cell(), initial_cell, "parameters never move mid-stream");
+
+        // The reset re-plans: the accumulated large-object stats raise the floor.
+        engine.reset();
+        assert!(
+            engine.min_cell() > initial_cell,
+            "large probe objects must raise the next stream's cell floor \
+             ({} vs {initial_cell})",
+            engine.min_cell()
+        );
+        assert_eq!(engine.stream_stats().count(), 0, "stream stats rewind at reset");
+
+        // The re-planned stream still produces exactly the right answer.
+        let mut pairs = CollectingSink::new();
+        let _ = engine.push_batch(big.objects(), &mut pairs);
+        let mut brute = Vec::new();
+        for oa in a.iter() {
+            for ob in big.iter() {
+                if oa.mbr.intersects(&ob.mbr) {
+                    brute.push((oa.id, ob.id));
+                }
+            }
+        }
+        brute.sort_unstable();
+        assert_eq!(pairs.sorted_pairs(), brute);
+    }
+
+    #[test]
+    fn planned_engine_records_the_workers_that_actually_run() {
+        // A tree far below the planner's parallel-work bar, but an explicit
+        // 4-worker execution budget: the recorded plan must carry the workers
+        // that really run the epochs, not a planning-side down-rating.
+        let a = lattice(3, 2.0, 1.0, 0.0); // 27 objects
+        let engine =
+            StreamingTouchJoin::build_planned(&a, streaming_cfg(4), JoinPlanner::default());
+        assert_eq!(engine.threads(), 4);
+        assert_eq!(engine.plan().threads(), 4, "plan and execution must agree on workers");
+        let recorded = engine.cumulative_report().plan.expect("planned builds record a plan");
+        assert_eq!(recorded.threads, 4);
+        assert_eq!(recorded.strategy, "streaming(4)");
+    }
+
+    #[test]
+    fn explicitly_configured_engines_never_replan() {
+        let (a, b) = workloads();
+        let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let cell = engine.min_cell();
+        let mut sink = CountingSink::new();
+        let _ = engine.push_batch(b.objects(), &mut sink);
+        engine.reset();
+        assert_eq!(engine.min_cell(), cell, "explicit configs stay pinned across streams");
+    }
+
+    #[test]
+    fn build_with_plan_matches_the_equivalent_config() {
+        let (a, b) = workloads();
+        let cfg = streaming_cfg(1);
+        let plan =
+            JoinPlan::from_streaming_tree(&cfg.touch, &a, 1, cfg.chunk_size, cfg.sort_threshold);
+
+        let mut via_cfg = StreamingTouchJoin::build(&a, cfg);
+        let mut cfg_sink = CollectingSink::new();
+        let cfg_report = via_cfg.push_batch(b.objects(), &mut cfg_sink);
+
+        let mut via_plan = StreamingTouchJoin::build_with_plan(&a, plan);
+        let mut plan_sink = CollectingSink::new();
+        let plan_report = via_plan.push_batch(b.objects(), &mut plan_sink);
+
+        assert_eq!(plan_sink.sorted_pairs(), cfg_sink.sorted_pairs());
+        assert_eq!(plan_report.counters, cfg_report.counters);
     }
 
     #[test]

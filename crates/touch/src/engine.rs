@@ -13,7 +13,10 @@ use touch_baselines::{
     IndexedNestedLoopJoin, NestedLoopJoin, OctreeJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin,
     S3Join, SeededTreeJoin,
 };
-use touch_core::{PairSink, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
+use touch_core::{
+    DatasetStats, ExecutionStrategy, JoinPlan, JoinPlanner, PairSink, PlanEnv,
+    SpatialJoinAlgorithm, TouchConfig, TouchJoin,
+};
 use touch_geom::Dataset;
 use touch_metrics::RunReport;
 use touch_parallel::{ParallelConfig, ParallelTouchJoin};
@@ -100,8 +103,19 @@ impl Baseline {
 ///     .run(&mut sink);
 /// assert_eq!(report.result_pairs(), sink.count());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Engine {
+    /// **Automatic planning** (the default): collect [`DatasetStats`] for both
+    /// inputs, derive every TOUCH knob with the [`JoinPlanner`] cost model, and
+    /// dispatch to the sequential, parallel or streaming engine — whichever the
+    /// plan selects for this query on this machine ([`AutoEngine`]).
+    #[default]
+    Auto,
+    /// A pre-computed, fully resolved [`JoinPlan`] — executed verbatim by the
+    /// engine its strategy names. This is the explicit form of what
+    /// [`Engine::Auto`] does internally, and the hook the planner equivalence
+    /// suite uses to pin `Auto` against the engine it resolves to.
+    Planned(JoinPlan),
     /// The sequential TOUCH join ([`TouchJoin`]).
     Touch(TouchConfig),
     /// The multi-threaded TOUCH join ([`ParallelTouchJoin`]).
@@ -127,6 +141,8 @@ impl Engine {
     /// Instantiates the selected engine.
     pub fn build(&self) -> Box<dyn SpatialJoinAlgorithm> {
         match *self {
+            Engine::Auto => Box::new(AutoEngine::new()),
+            Engine::Planned(plan) => AutoEngine::resolve(plan),
             Engine::Touch(cfg) => Box::new(TouchJoin::new(cfg)),
             Engine::Parallel(cfg) => Box::new(ParallelTouchJoin::new(cfg)),
             Engine::Streaming(cfg) => Box::new(OneShotStreaming::new(cfg)),
@@ -140,8 +156,100 @@ impl SpatialJoinAlgorithm for Engine {
         self.build().name()
     }
 
+    fn plan_for(&self, a: &Dataset, b: &Dataset) -> Option<JoinPlan> {
+        self.build().plan_for(a, b)
+    }
+
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         self.build().join_into(a, b, sink, report)
+    }
+}
+
+/// The workspace-wide auto-planning engine behind [`Engine::Auto`].
+///
+/// Where `touch-core`'s [`touch_core::AutoJoin`] can only execute its plans
+/// sequentially (the parallel and streaming engines live downstream of it),
+/// this engine spans the whole workspace: it collects [`DatasetStats`] for both
+/// inputs (one cheap linear pass each, measured and recorded as
+/// `PlanSummary::stats_time` on the report), plans with the machine's available
+/// parallelism and the sink's pair budget, and dispatches to
+/// [`TouchJoin`], [`ParallelTouchJoin`] or [`OneShotStreaming`] — whichever the
+/// plan's strategy names. The executed plan is recorded on
+/// [`RunReport::plan`] and the resolved engine's name is appended to the
+/// report's algorithm label (e.g. `"TOUCH-AUTO → TOUCH-P4"`).
+///
+/// Because a [`JoinPlan`] pins every algorithmic decision, the dispatched run is
+/// bit-identical — pairs *and* counters — to running `Engine::Planned(plan)`
+/// (or the matching engine's `from_plan` constructor) directly; the planner
+/// equivalence suite locks this down at 1/2/4/8 threads.
+#[derive(Debug, Clone)]
+pub struct AutoEngine {
+    planner: JoinPlanner,
+    env: PlanEnv,
+}
+
+impl AutoEngine {
+    /// An auto engine planning with the default [`JoinPlanner`] and the
+    /// machine's detected parallelism.
+    pub fn new() -> Self {
+        AutoEngine { planner: JoinPlanner::default(), env: PlanEnv::detect() }
+    }
+
+    /// An auto engine planning for an explicit worker budget (used by the
+    /// equivalence suites to exercise every strategy deterministically).
+    pub fn with_threads(threads: usize) -> Self {
+        AutoEngine { planner: JoinPlanner::default(), env: PlanEnv::detect().with_threads(threads) }
+    }
+
+    /// An auto engine with a custom planner and environment.
+    pub fn with_planner(planner: JoinPlanner, env: PlanEnv) -> Self {
+        AutoEngine { planner, env }
+    }
+
+    /// The planner this engine consults.
+    pub fn planner(&self) -> &JoinPlanner {
+        &self.planner
+    }
+
+    /// Instantiates the engine a resolved plan's strategy names.
+    pub fn resolve(plan: JoinPlan) -> Box<dyn SpatialJoinAlgorithm> {
+        match plan.strategy {
+            ExecutionStrategy::Sequential => Box::new(TouchJoin::from_plan(plan)),
+            ExecutionStrategy::Parallel { .. } => Box::new(ParallelTouchJoin::from_plan(plan)),
+            ExecutionStrategy::Streaming { .. } => Box::new(OneShotStreaming::from_plan(plan)),
+        }
+    }
+}
+
+impl Default for AutoEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpatialJoinAlgorithm for AutoEngine {
+    fn name(&self) -> String {
+        "TOUCH-AUTO".to_string()
+    }
+
+    fn plan_for(&self, a: &Dataset, b: &Dataset) -> Option<JoinPlan> {
+        let (sa, sb) = (DatasetStats::from_dataset(a), DatasetStats::from_dataset(b));
+        Some(self.planner.plan(&sa, &sb, &self.env))
+    }
+
+    fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
+        let stats_start = std::time::Instant::now();
+        let (sa, sb) = (DatasetStats::from_dataset(a), DatasetStats::from_dataset(b));
+        let stats_time = stats_start.elapsed();
+        let mut env = self.env.with_pair_limit(sink.pair_limit());
+        env.epsilon = report.epsilon;
+        let plan = self.planner.plan(&sa, &sb, &env);
+        let engine = Self::resolve(plan);
+        report.algorithm = format!("TOUCH-AUTO → {}", engine.name());
+        engine.join_into(a, b, sink, report);
+        if let Some(summary) = &mut report.plan {
+            summary.stats_time = stats_time;
+        }
     }
 }
 

@@ -12,7 +12,9 @@
 //! * [`core`] — the TOUCH algorithm ([`TouchJoin`]) and the unified query API:
 //!   the [`JoinQuery`] builder, the [`Predicate`] enum and the [`PairSink`]
 //!   result-consumer trait with its standard implementations ([`CountingSink`],
-//!   [`CollectingSink`], [`CallbackSink`], [`FirstKSink`]),
+//!   [`CollectingSink`], [`CallbackSink`], [`FirstKSink`]) — plus the planning
+//!   layer: [`DatasetStats`], the [`JoinPlanner`] cost model and the
+//!   [`JoinPlan`] every engine executes,
 //! * [`parallel`] — the multi-threaded execution subsystem ([`ParallelTouchJoin`]),
 //!   deterministically equivalent to [`TouchJoin`] at every thread count,
 //! * [`streaming`] — the batched/streaming engine ([`StreamingTouchJoin`]): one
@@ -21,9 +23,11 @@
 //! * [`baselines`] — the competitor algorithms of the paper's evaluation,
 //! * [`metrics`] — counters, timers and [`RunReport`]s.
 //!
-//! On top of the re-exports the facade defines [`Engine`] and [`Baseline`]: the
+//! On top of the re-exports the facade defines [`Engine`] and [`Baseline`] — the
 //! closed selector enums that let one [`JoinQuery`] dispatch over every engine and
-//! baseline in the workspace.
+//! baseline in the workspace — and [`AutoEngine`], the workspace-wide automatic
+//! planner behind [`Engine::Auto`] (the default): statistics in, plan out,
+//! dispatched to whichever engine the plan's strategy names.
 //!
 //! ## Quickstart
 //!
@@ -47,7 +51,9 @@
 //!     })
 //!     .collect();
 //!
-//! // Find every pair within distance 1.0 of each other (runs TOUCH by default).
+//! // Find every pair within distance 1.0 of each other. No engine is named, so
+//! // the query plans automatically: dataset statistics are collected, every
+//! // TOUCH knob is derived from them, and the plan is recorded on the report.
 //! let mut sink = CollectingSink::new();
 //! let report = JoinQuery::new(&a, &b)
 //!     .predicate(Predicate::WithinDistance(1.0))
@@ -101,7 +107,7 @@
 
 mod engine;
 
-pub use engine::{Baseline, Engine};
+pub use engine::{AutoEngine, Baseline, Engine};
 
 pub use touch_baselines as baselines;
 pub use touch_core as core;
@@ -117,17 +123,15 @@ pub use touch_baselines::{
     IndexedNestedLoopJoin, NestedLoopJoin, OctreeJoin, PbsmJoin, PlaneSweepJoin, RTreeSyncJoin,
     S3Join, SeededTreeJoin,
 };
-#[allow(deprecated)]
-pub use touch_core::ResultSink;
 pub use touch_core::{
-    collect_join, count_join, distance_join, CallbackSink, CollectingSink, CountingSink,
-    FirstKSink, IntoEngine, JoinOrder, JoinQuery, LocalJoinParams, LocalJoinScratch,
-    LocalJoinStrategy, PairSink, Predicate, ScratchPool, ShardedSink, SinkShard,
-    SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
+    collect_join, count_join, distance_join, AutoJoin, CallbackSink, CollectingSink, CountingSink,
+    DatasetStats, ExecutionStrategy, FirstKSink, IntoEngine, JoinOrder, JoinPlan, JoinPlanner,
+    JoinQuery, LocalJoinParams, LocalJoinScratch, LocalJoinStrategy, PairSink, PlanEnv, Predicate,
+    ScratchPool, ShardedSink, SinkShard, SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
 };
 pub use touch_datagen::{NeuroscienceSpec, SyntheticDistribution, SyntheticSpec};
 pub use touch_geom::{Aabb, Cylinder, Dataset, ObjectId, Point3, SpatialObject};
-pub use touch_metrics::{Counters, Phase, RunReport};
+pub use touch_metrics::{Counters, Phase, PlanSummary, RunReport};
 pub use touch_parallel::{ParallelConfig, ParallelTouchJoin};
 pub use touch_streaming::{
     EpochReport, EpochSummary, OneShotStreaming, StreamingConfig, StreamingTouchJoin,

@@ -46,4 +46,21 @@ fn main() {
     assert!(report.counters.comparisons < (a.len() * b.len()) as u64);
     // Verify that name() matches what the experiment tables print.
     assert_eq!(touch.name(), "TOUCH");
+
+    // 5. Zero configuration: name no engine at all and the query plans itself —
+    //    dataset statistics are collected, every knob is derived, and the
+    //    executed plan (strategy + knobs) is recorded on the report.
+    let mut auto_sink = CollectingSink::new();
+    let auto_report =
+        JoinQuery::new(&a, &b).predicate(Predicate::WithinDistance(10.0)).run(&mut auto_sink);
+    let plan = auto_report.plan.as_ref().expect("auto runs record their plan");
+    println!(
+        "auto-planned:     {} ({} partitions, fanout {}, min cell {:.2}; stats in {:.2} ms)",
+        plan.strategy,
+        plan.partitions,
+        plan.fanout,
+        plan.min_cell_size,
+        plan.stats_time.as_secs_f64() * 1e3,
+    );
+    assert_eq!(auto_sink.sorted_pairs(), sink.sorted_pairs(), "planning never changes the answer");
 }

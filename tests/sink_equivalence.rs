@@ -1,8 +1,8 @@
 //! Cross-sink equivalence: every engine and baseline must deliver the **same pair
-//! multiset** into every [`PairSink`] implementation — counting, collecting,
-//! zero-materialisation callback and the deprecated `ResultSink` alias — and must
-//! honour the early-termination protocol of [`FirstKSink`] inside its local-join
-//! loops (satisfying the query-layer contract that a done sink stops the scan).
+//! multiset** into every [`PairSink`] implementation — counting, collecting and
+//! the zero-materialisation callback — and must honour the early-termination
+//! protocol of [`FirstKSink`] inside its local-join loops (satisfying the
+//! query-layer contract that a done sink stops the scan).
 
 use proptest::prelude::*;
 use touch::{
@@ -78,15 +78,7 @@ fn all_sinks_see_the_same_pairs_from_every_engine() {
             let count_report =
                 JoinQuery::new(&a, &b).within_distance(eps).engine(engine).run(&mut counting);
 
-            #[allow(deprecated)]
-            let legacy_pairs = {
-                let mut legacy = touch::ResultSink::collecting();
-                let _ = JoinQuery::new(&a, &b).within_distance(eps).engine(engine).run(&mut legacy);
-                legacy.sorted_pairs()
-            };
-
             assert_eq!(streamed, collected, "{name}: callback and collecting sinks diverged");
-            assert_eq!(legacy_pairs, collected, "{name}: deprecated ResultSink diverged");
             assert_eq!(forwarded, collected.len() as u64, "{name}: callback count diverged");
             assert_eq!(counting.count(), collected.len() as u64, "{name}: counting diverged");
             for report in [&collect_report, &callback_report, &count_report] {
