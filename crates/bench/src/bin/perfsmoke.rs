@@ -14,16 +14,26 @@
 //!
 //! ```text
 //! cargo run -p touch-bench --release --bin perfsmoke -- [--smoke] \
-//!     [--scale <f>] [--reps <n>] [--out <path>] [--gate <baseline.json>]
+//!     [--scale <f>] [--reps <n>] [--out <path>] [--gate <baseline.json>] \
+//!     [--trace <trace.json>]
 //! ```
 //!
 //! `--smoke` is the quick mode: a tiny scale and few repetitions, enough to
 //! prove the harness runs. `--gate <baseline>` is the CI mode: the run replays
 //! the committed baseline's scale and then **fails (exit 3) if any
 //! machine-independent counter regressed** — pairs must match exactly,
-//! comparisons / node tests / replicas must not exceed the baseline. Wall-clock
+//! comparisons / node tests / replicas must not exceed the baseline, and every
+//! violation names the counter plus its absolute and relative delta. Wall-clock
 //! throughput stays advisory (CI boxes are noisy); updating the committed
 //! `BENCH_core.json` is the deliberate act that moves the bar.
+//!
+//! Every cell additionally runs **one dedicated traced repetition** (outside
+//! the timed reps, so the recorded wall numbers stay untraced): the per-node
+//! candidate-count skew percentiles it yields are machine-independent and are
+//! recorded as `cand_p50`/`cand_p90`/`cand_p99` per cell and echoed in the
+//! advisory output. `--trace <path>` additionally writes the traced parallel
+//! run of the first (grid-heavy) workload as a Chrome `trace_events` JSON file
+//! (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
 
 use std::time::Instant;
 use touch::AutoEngine;
@@ -31,7 +41,7 @@ use touch_core::{CountingSink, JoinOrder, SpatialJoinAlgorithm, TouchConfig, Tou
 use touch_datagen::SyntheticDistribution;
 use touch_experiments::{workload, Context};
 use touch_geom::Dataset;
-use touch_metrics::{Phase, RunReport};
+use touch_metrics::{ExecTrace, Phase, RunReport, TraceSink, TraceSummary};
 use touch_parallel::{ParallelConfig, ParallelTouchJoin};
 use touch_streaming::{StreamingConfig, StreamingTouchJoin};
 
@@ -62,10 +72,13 @@ struct Cell {
     /// The compact plan string of planned runs (what the Auto row chose; the
     /// fixed engines record their translated configuration).
     plan: Option<String>,
+    /// The execution-trace summary of the dedicated traced repetition; its
+    /// candidate-count percentiles are the machine-independent skew record.
+    trace: Option<TraceSummary>,
 }
 
 impl Cell {
-    fn from_runs(engine: String, reports: &[RunReport]) -> Cell {
+    fn from_runs(engine: String, reports: &[RunReport], trace: Option<TraceSummary>) -> Cell {
         let best = reports
             .iter()
             .min_by(|p, q| p.total_time().partial_cmp(&q.total_time()).unwrap())
@@ -84,7 +97,21 @@ impl Cell {
             join_s,
             reps: reports.len(),
             plan: best.plan.as_ref().map(|p| p.compact()),
+            trace,
         }
+    }
+
+    /// The per-node candidate-count percentiles of the traced repetition:
+    /// `(p50, p90, p99)`. Deterministic for a pinned workload — the traced run
+    /// visits the same nodes and counts the same candidates every time.
+    fn skew(&self) -> Option<(u64, u64, u64)> {
+        self.trace.as_ref().map(|t| {
+            (
+                t.candidates.percentile(0.50),
+                t.candidates.percentile(0.90),
+                t.candidates.percentile(0.99),
+            )
+        })
     }
 
     fn to_json(&self) -> String {
@@ -94,12 +121,19 @@ impl Cell {
             Some(p) => format!(",\"plan\":{}", json_str(p)),
             None => String::new(),
         };
+        let skew = match self.skew() {
+            Some((p50, p90, p99)) => format!(
+                ",\"nodes\":{},\"cand_p50\":{p50},\"cand_p90\":{p90},\"cand_p99\":{p99}",
+                self.trace.as_ref().map(|t| t.candidates.count).unwrap_or(0),
+            ),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"engine\":{},\"threads\":{},\"epochs\":{},\"pairs\":{},",
                 "\"comparisons\":{},\"node_tests\":{},\"replicas\":{},",
                 "\"wall_s\":{:.6},\"join_s\":{:.6},",
-                "\"pairs_per_sec\":{:.1},\"join_pairs_per_sec\":{:.1},\"reps\":{}{}}}"
+                "\"pairs_per_sec\":{:.1},\"join_pairs_per_sec\":{:.1},\"reps\":{}{}{}}}"
             ),
             json_str(&self.engine),
             self.threads,
@@ -113,6 +147,7 @@ impl Cell {
             pps,
             jpps,
             self.reps,
+            skew,
             plan,
         )
     }
@@ -212,8 +247,14 @@ fn gate_violations(baseline: &[BaselineCell], current: &[(String, Vec<Cell>)]) -
         let mut check = |what: &str, now: u64, then: u64, exact: bool| {
             let bad = if exact { now != then } else { now > then };
             if bad {
+                let delta = now as i128 - then as i128;
+                let pct = if then > 0 {
+                    format!(", {:+.2}%", 100.0 * delta as f64 / then as f64)
+                } else {
+                    String::new()
+                };
                 violations.push(format!(
-                    "{}/{}: {what} regressed ({now} vs baseline {then})",
+                    "{}/{}: {what} regressed: {now} vs baseline {then} ({delta:+}{pct})",
                     base.workload, base.engine
                 ));
             }
@@ -290,6 +331,38 @@ fn run_streaming(w: &Workload, epochs: usize, reps: usize) -> Vec<RunReport> {
         .collect()
 }
 
+/// One dedicated traced repetition of a one-shot engine, outside the timed
+/// reps: returns the trace summary for the cell record plus the raw trace (the
+/// `--trace` export). Tracing is observational — the traced run produces the
+/// same pairs and counters as the timed ones — so only its skew record is kept.
+fn trace_one_shot(
+    algo: &dyn SpatialJoinAlgorithm,
+    w: &Workload,
+) -> (Option<TraceSummary>, ExecTrace) {
+    let trace = ExecTrace::new();
+    let mut sink = CountingSink::new();
+    let report = touch_core::JoinQuery::new(&w.a, &w.b)
+        .within_distance(w.eps)
+        .engine(algo)
+        .trace(&trace)
+        .run(&mut sink);
+    (report.trace, trace)
+}
+
+/// The streaming counterpart of [`trace_one_shot`]: one traced pass of the
+/// epoch loop that [`run_streaming`] times.
+fn trace_streaming(w: &Workload, epochs: usize) -> (Option<TraceSummary>, ExecTrace) {
+    let cfg = StreamingConfig { touch: w.cfg, ..StreamingConfig::default() };
+    let trace = ExecTrace::new();
+    let mut engine = StreamingTouchJoin::build_extended(&w.a, w.eps, cfg);
+    let mut sink = CountingSink::new();
+    let chunk = w.b.len().div_ceil(epochs).max(1);
+    for batch in w.b.objects().chunks(chunk) {
+        let _ = engine.push_batch_traced(batch, &mut sink, &trace);
+    }
+    (trace.summary(), trace)
+}
+
 /// Exits with the experiment binaries' bad-argument convention: one line on
 /// stderr, status 2.
 fn usage_error(message: impl std::fmt::Display) -> ! {
@@ -307,6 +380,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut mode = "full";
     let mut gate: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> String {
         match args.get(i) {
@@ -341,6 +415,10 @@ fn main() {
                 i += 1;
                 gate = Some(value(&args, i, "--gate"));
             }
+            "--trace" => {
+                i += 1;
+                trace_out = Some(value(&args, i, "--trace"));
+            }
             other => usage_error(format_args!("unknown flag {other}")),
         }
         i += 1;
@@ -372,6 +450,8 @@ fn main() {
     let started = Instant::now();
     let mut results: Vec<(String, Vec<Cell>)> = Vec::new();
     let mut wl_json = Vec::new();
+    // The Chrome trace export of the first (grid-heavy) workload's parallel run.
+    let mut chrome_json: Option<String> = None;
     for w in workloads(&ctx) {
         eprintln!(
             "[perfsmoke] workload {} (|A|={}, |B|={}, eps={})",
@@ -383,33 +463,45 @@ fn main() {
         let mut cells = Vec::new();
 
         let touch = TouchJoin::new(w.cfg);
-        cells.push(Cell::from_runs("touch".into(), &run_one_shot(&touch, &w, reps)));
+        let (summary, _) = trace_one_shot(&touch, &w);
+        cells.push(Cell::from_runs("touch".into(), &run_one_shot(&touch, &w, reps), summary));
 
         let par = ParallelTouchJoin::new(ParallelConfig {
             threads: 4,
             touch: w.cfg,
             ..ParallelConfig::default()
         });
-        cells.push(Cell::from_runs("parallel".into(), &run_one_shot(&par, &w, reps)));
+        let (summary, par_trace) = trace_one_shot(&par, &w);
+        cells.push(Cell::from_runs("parallel".into(), &run_one_shot(&par, &w, reps), summary));
+        if trace_out.is_some() && chrome_json.is_none() {
+            chrome_json = Some(par_trace.to_chrome_json());
+        }
 
-        cells.push(Cell::from_runs("streaming".into(), &run_streaming(&w, 4, reps)));
+        let (summary, _) = trace_streaming(&w, 4);
+        cells.push(Cell::from_runs("streaming".into(), &run_streaming(&w, 4, reps), summary));
 
         // The auto-planner at a pinned 4-thread budget (Engine::Auto proper would
         // detect the local core count, which would make the recorded plan — and
         // on tiny boxes the strategy — machine-dependent). The recorded plan
         // column shows what the planner chose for this workload.
         let auto = AutoEngine::with_threads(4);
-        cells.push(Cell::from_runs("auto".into(), &run_one_shot(&auto, &w, reps)));
+        let (summary, _) = trace_one_shot(&auto, &w);
+        cells.push(Cell::from_runs("auto".into(), &run_one_shot(&auto, &w, reps), summary));
 
         for c in &cells {
+            let skew = c
+                .skew()
+                .map(|(p50, p90, p99)| format!("  cand p50/p90/p99={p50}/{p90}/{p99}"))
+                .unwrap_or_default();
             eprintln!(
-                "[perfsmoke]   {:<10} pairs={} comparisons={} wall={:.4}s join={:.4}s ({:.0} pairs/s){}",
+                "[perfsmoke]   {:<10} pairs={} comparisons={} wall={:.4}s join={:.4}s ({:.0} pairs/s){}{}",
                 c.engine,
                 c.pairs,
                 c.comparisons,
                 c.wall_s,
                 c.join_s,
                 if c.wall_s > 0.0 { c.pairs as f64 / c.wall_s } else { 0.0 },
+                skew,
                 c.plan.as_deref().map(|p| format!("  plan={p}")).unwrap_or_default(),
             );
         }
@@ -433,6 +525,12 @@ fn main() {
     );
     std::fs::write(&out, &json).expect("write BENCH_core.json");
     eprintln!("[perfsmoke] wrote {out} in {:.1}s", started.elapsed().as_secs_f64());
+
+    if let Some(path) = &trace_out {
+        let chrome = chrome_json.expect("the first workload always runs the parallel engine");
+        std::fs::write(path, &chrome).expect("write Chrome trace");
+        eprintln!("[perfsmoke] wrote Chrome trace of grid_uniform/parallel to {path}");
+    }
 
     if let Some((path, baseline_cells)) = baseline {
         let violations = gate_violations(&baseline_cells, &results);

@@ -87,6 +87,6 @@ pub use sink::{
     SinkShard,
 };
 pub use stats::{DatasetStats, EXTENT_BUCKETS};
-pub use touch::{JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};
+pub use touch::{time_phase_traced, JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};
 pub use traits::{collect_join, count_join, distance_join, SpatialJoinAlgorithm};
 pub use tree::{LocalJoinKind, LocalJoinParams, TouchNode, TouchTree};

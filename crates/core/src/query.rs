@@ -34,7 +34,7 @@
 use crate::plan::{AutoJoin, JoinPlan};
 use crate::{PairSink, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
 use touch_geom::Dataset;
-use touch_metrics::RunReport;
+use touch_metrics::{RunReport, TraceSink};
 
 /// The join predicate of a [`JoinQuery`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -100,6 +100,8 @@ pub struct JoinQuery<'a> {
     /// Reused ε-extension buffer: the query layer's replacement for the old
     /// `Dataset::extended` clone inside `distance_join`.
     scratch: Option<Dataset>,
+    /// Trace sink the run reports execution spans to (`None` = untraced).
+    trace: Option<&'a dyn TraceSink>,
 }
 
 impl std::fmt::Debug for JoinQuery<'_> {
@@ -132,6 +134,7 @@ impl<'a> JoinQuery<'a> {
             predicate: Predicate::Intersects,
             engine: Box::new(AutoJoin::new()),
             scratch: None,
+            trace: None,
         }
     }
 
@@ -151,6 +154,23 @@ impl<'a> JoinQuery<'a> {
     /// selector such as the `touch` crate's `Engine` enum.
     pub fn engine(mut self, engine: impl IntoEngine<'a>) -> Self {
         self.engine = engine.into_engine();
+        self
+    }
+
+    /// Attaches an execution-trace sink: the engine reports spans (per-node
+    /// local joins, assignment chunks, steals, epochs) to it while running, and
+    /// the returned report carries the sink's [`TraceSummary`] (node-time and
+    /// candidate-count percentiles, worker utilization) in [`RunReport::trace`].
+    ///
+    /// Tracing is observational only: pairs and counters are bit-identical with
+    /// and without a trace attached (locked down by the trace-equivalence
+    /// suite). Pass a [`touch_metrics::ExecTrace`] to record; a query without
+    /// `.trace(…)` runs every hook against [`touch_metrics::NoTrace`], which
+    /// costs one predictable branch per hook.
+    ///
+    /// [`TraceSummary`]: touch_metrics::TraceSummary
+    pub fn trace(mut self, trace: &'a dyn TraceSink) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -215,7 +235,13 @@ impl<'a> JoinQuery<'a> {
             self.a
         };
 
-        self.engine.join_into(a_run, self.b, sink, &mut report);
+        match self.trace {
+            Some(trace) => {
+                self.engine.join_traced(a_run, self.b, sink, &mut report, trace);
+                report.trace = trace.summary();
+            }
+            None => self.engine.join_into(a_run, self.b, sink, &mut report),
+        }
         sink.finish();
         report
     }
@@ -320,6 +346,29 @@ mod tests {
         let report = JoinQuery::new(&a, &b).run(&mut sink);
         assert_eq!(sink.count(), report.result_pairs());
         assert_eq!(seen, report.result_pairs());
+    }
+
+    #[test]
+    fn traced_query_attaches_a_summary_and_changes_nothing() {
+        let a = row(32, 0.0);
+        let b = row(32, 0.5);
+        let mut plain_sink = CollectingSink::new();
+        let plain = JoinQuery::new(&a, &b).engine(TouchConfig::default()).run(&mut plain_sink);
+
+        let trace = touch_metrics::ExecTrace::new();
+        let mut traced_sink = CollectingSink::new();
+        let traced = JoinQuery::new(&a, &b)
+            .engine(TouchConfig::default())
+            .trace(&trace)
+            .run(&mut traced_sink);
+
+        assert_eq!(plain_sink.sorted_pairs(), traced_sink.sorted_pairs());
+        assert_eq!(plain.counters, traced.counters, "tracing must not perturb counters");
+        assert!(plain.trace.is_none());
+        let summary = traced.trace.as_ref().expect("traced runs carry a summary");
+        assert!(summary.node_time_us.count > 0, "per-node spans were recorded");
+        assert_eq!(summary.pairs_per_node.sum, traced.result_pairs());
+        assert!(!trace.is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::tree::LocalJoinKind;
 use crate::{deliver, LocalJoinScratch, PairSink, SpatialJoinAlgorithm, TouchTree};
 use serde::{Deserialize, Serialize};
 use touch_geom::Dataset;
-use touch_metrics::{MemoryUsage, Phase, RunReport};
+use touch_metrics::{MemoryUsage, NoTrace, Phase, RunReport, TraceEvent, TraceSink};
 
 /// Local-join strategy of the join phase (Section 5.2.2 and the ablation study).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -205,18 +205,55 @@ pub(crate) fn execute_sequential(
     sink: &mut dyn PairSink,
     report: &mut RunReport,
 ) {
+    execute_sequential_traced(plan, a, b, sink, report, &NoTrace);
+}
+
+/// Times `f` into `report`'s `phase` and, when `trace` is enabled, also records
+/// the phase as a [`TraceEvent::Phase`] span. Shared by the sequential and (via
+/// re-export) the parallel/streaming coordinators so phase spans line up with
+/// the reported phase times.
+pub fn time_phase_traced<T>(
+    report: &mut RunReport,
+    phase: Phase,
+    trace: &dyn TraceSink,
+    f: impl FnOnce() -> T,
+) -> T {
+    if !trace.is_enabled() {
+        return report.timer.time(phase, f);
+    }
+    let start_us = trace.now_us();
+    let out = report.timer.time(phase, f);
+    trace.record(TraceEvent::Phase {
+        phase,
+        start_us,
+        duration_us: trace.now_us().saturating_sub(start_us),
+    });
+    out
+}
+
+/// Traced form of [`execute_sequential`]: the identical join (the untraced
+/// entry point is this with a [`NoTrace`] sink) plus phase spans and per-node
+/// [`TraceEvent::NodeJoin`] spans attributed to worker 0.
+pub(crate) fn execute_sequential_traced(
+    plan: &JoinPlan,
+    a: &Dataset,
+    b: &Dataset,
+    sink: &mut dyn PairSink,
+    report: &mut RunReport,
+    trace: &dyn TraceSink,
+) {
     report.plan = Some(plan.summary());
     let build_on_a = plan.build_on_a;
     let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
 
     // Phase 1: build the hierarchy on the tree dataset (Algorithm 2).
-    let mut tree = report
-        .timer
-        .time(Phase::Build, || TouchTree::build(tree_ds.objects(), plan.partitions, plan.fanout));
+    let mut tree = time_phase_traced(report, Phase::Build, trace, || {
+        TouchTree::build(tree_ds.objects(), plan.partitions, plan.fanout)
+    });
 
     // Phase 2: assign the probe dataset to the hierarchy (Algorithm 3).
     let mut counters = std::mem::take(&mut report.counters);
-    report.timer.time(Phase::Assignment, || {
+    time_phase_traced(report, Phase::Assignment, trace, || {
         tree.assign(probe_ds.objects(), &mut counters);
     });
 
@@ -225,14 +262,21 @@ pub(crate) fn execute_sequential(
     // join, so the per-node grid directories and sweep buffers allocate once.
     let mut scratch = LocalJoinScratch::new();
     let mut results = 0u64;
-    let peak_local_aux = report.timer.time(Phase::Join, || {
-        tree.join_assigned(&plan.params, &mut scratch, &mut counters, &mut |tree_id, probe_id| {
-            if build_on_a {
-                deliver(sink, tree_id, probe_id, &mut results)
-            } else {
-                deliver(sink, probe_id, tree_id, &mut results)
-            }
-        })
+    let peak_local_aux = time_phase_traced(report, Phase::Join, trace, || {
+        tree.join_assigned_traced(
+            &plan.params,
+            &mut scratch,
+            &mut counters,
+            &mut |tree_id, probe_id| {
+                if build_on_a {
+                    deliver(sink, tree_id, probe_id, &mut results)
+                } else {
+                    deliver(sink, probe_id, tree_id, &mut results)
+                }
+            },
+            trace,
+            0,
+        )
     });
 
     counters.results += results;
@@ -251,6 +295,17 @@ impl SpatialJoinAlgorithm for TouchJoin {
 
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         execute_sequential(&self.resolve_plan(a, b), a, b, sink, report);
+    }
+
+    fn join_traced(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        execute_sequential_traced(&self.resolve_plan(a, b), a, b, sink, report, trace);
     }
 }
 

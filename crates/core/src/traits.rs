@@ -10,7 +10,7 @@
 use crate::plan::JoinPlan;
 use crate::{CollectingSink, CountingSink, JoinQuery, PairSink, Predicate};
 use touch_geom::{Dataset, ObjectId};
-use touch_metrics::RunReport;
+use touch_metrics::{RunReport, TraceSink};
 
 /// A two-way spatial intersection join over MBR datasets.
 ///
@@ -51,6 +51,27 @@ pub trait SpatialJoinAlgorithm {
     /// it. The engine must only *add* its measurements, never reset the report.
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport);
 
+    /// Traced form of [`SpatialJoinAlgorithm::join_into`]: identical join, but
+    /// the engine additionally reports execution spans (per-node local joins,
+    /// assignment chunks, steals, epochs) to `trace`.
+    ///
+    /// The contract is strict: **tracing must not influence the join** — pairs
+    /// and counters are bit-identical whether `trace` is a recording sink, a
+    /// disabled sink or this default. The default ignores `trace` entirely
+    /// (correct for baselines, which have no instrumented spans); the TOUCH
+    /// engines override it.
+    fn join_traced(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        let _ = trace;
+        self.join_into(a, b, sink, report);
+    }
+
     /// Convenience form of [`SpatialJoinAlgorithm::join_into`]: creates the report,
     /// runs the join and returns the completed record.
     fn join(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink) -> RunReport {
@@ -72,6 +93,17 @@ impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for &T {
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         (**self).join_into(a, b, sink, report)
     }
+
+    fn join_traced(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        (**self).join_traced(a, b, sink, report, trace)
+    }
 }
 
 impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for Box<T> {
@@ -85,6 +117,17 @@ impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for Box<T> {
 
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         (**self).join_into(a, b, sink, report)
+    }
+
+    fn join_traced(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        (**self).join_traced(a, b, sink, report, trace)
     }
 }
 

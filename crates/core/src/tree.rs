@@ -15,7 +15,7 @@ use crate::scratch::LocalJoinScratch;
 use std::ops::Range;
 use touch_geom::{Aabb, ObjectId, SpatialObject};
 use touch_index::{str_sort, UniformGrid};
-use touch_metrics::{vec_bytes, Counters, MemoryUsage};
+use touch_metrics::{vec_bytes, Counters, MemoryUsage, NoTrace, TraceEvent, TraceSink};
 
 /// Strategy used by the join phase to join one node's B-objects against the
 /// A-objects of its descendant leaves.
@@ -30,6 +30,17 @@ pub enum LocalJoinKind {
     /// Exhaustive pairwise comparison; the simplest correct local join, used as the
     /// ablation baseline.
     AllPairs,
+}
+
+impl LocalJoinKind {
+    /// Stable lowercase name, used by the trace layer to label per-node spans.
+    pub fn name(self) -> &'static str {
+        match self {
+            LocalJoinKind::Grid => "grid",
+            LocalJoinKind::PlaneSweep => "plane-sweep",
+            LocalJoinKind::AllPairs => "all-pairs",
+        }
+    }
 }
 
 /// The complete parameterisation of one local join ([`TouchTree::local_join_node`]).
@@ -55,6 +66,23 @@ pub struct LocalJoinParams {
     /// build time), never at the B count, so the decision is identical no matter
     /// how the B stream is batched.
     pub allpairs_max_a: usize,
+}
+
+impl LocalJoinParams {
+    /// The strategy a node with `a_count` subtree A-objects actually runs:
+    /// [`LocalJoinKind::Grid`] degrades to [`LocalJoinKind::AllPairs`] below the
+    /// `allpairs_max_a` cutoff (building a grid for a handful of A-objects costs
+    /// more than it prunes). This is the **single** place the cutoff is applied —
+    /// [`TouchTree::local_join_node`] executes it and the trace layer labels
+    /// spans with it, so the two can never diverge. The decision deliberately
+    /// never consults the B count (see the field docs above).
+    #[inline]
+    pub fn effective_kind(&self, a_count: usize) -> LocalJoinKind {
+        match self.kind {
+            LocalJoinKind::Grid if a_count <= self.allpairs_max_a => LocalJoinKind::AllPairs,
+            kind => kind,
+        }
+    }
 }
 
 /// One node of the TOUCH hierarchy.
@@ -527,6 +555,22 @@ impl TouchTree {
         counters: &mut Counters,
         emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
     ) -> usize {
+        self.join_assigned_traced(params, scratch, counters, emit, &NoTrace, 0)
+    }
+
+    /// Traced form of [`TouchTree::join_assigned`]: identical join, but each
+    /// node's local join runs through [`TouchTree::local_join_node_traced`]
+    /// attributed to `worker`. [`TouchTree::join_assigned`] is this with a
+    /// [`NoTrace`] sink.
+    pub fn join_assigned_traced(
+        &self,
+        params: &LocalJoinParams,
+        scratch: &mut LocalJoinScratch,
+        counters: &mut Counters,
+        emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
+        trace: &dyn TraceSink,
+        worker: usize,
+    ) -> usize {
         let mut work = std::mem::take(&mut scratch.work);
         self.nodes_with_assignments_into(&mut work);
         let mut stopped = false;
@@ -536,7 +580,15 @@ impl TouchTree {
                 stopped = !go_on;
                 go_on
             };
-            self.local_join_node(idx, params, scratch, counters, &mut watched);
+            self.local_join_node_traced(
+                idx,
+                params,
+                scratch,
+                counters,
+                &mut watched,
+                trace,
+                worker,
+            );
             if stopped {
                 break;
             }
@@ -562,7 +614,13 @@ impl TouchTree {
         let node = &self.nodes[index];
         let a_objs = self.subtree_a_objects(node);
         let b_objs = node.assigned_b();
-        match params.kind {
+        // The grid→all-pairs degradation for small nodes lives in
+        // `LocalJoinParams::effective_kind`, shared with the trace labelling.
+        // The cutoff must not consult the B count: the B side of a node may
+        // arrive split across epochs, and the per-node strategy has to be the
+        // same for every split so that counters stay exactly additive (see
+        // [`LocalJoinParams`]).
+        match params.effective_kind(a_objs.len()) {
             LocalJoinKind::AllPairs => {
                 kernels::all_pairs(a_objs, b_objs, counters, emit);
             }
@@ -571,20 +629,56 @@ impl TouchTree {
                 kernels::plane_sweep(a_scratch, b_scratch, counters, emit);
             }
             LocalJoinKind::Grid => {
-                // Nodes over a handful of A-objects do not repay building a grid;
-                // fall back to all-pairs. The cutoff must not consult the B count:
-                // the B side of a node may arrive split across epochs, and the
-                // per-node strategy has to be the same for every split so that
-                // counters stay exactly additive (see [`LocalJoinParams`]).
-                if a_objs.len() <= params.allpairs_max_a {
-                    kernels::all_pairs(a_objs, b_objs, counters, emit);
-                } else {
-                    let grid = self.node_grid(index, params);
-                    scratch.grid_join(&grid, a_objs, b_objs, counters, emit);
-                }
+                let grid = self.node_grid(index, params);
+                scratch.grid_join(&grid, a_objs, b_objs, counters, emit);
             }
         }
         scratch.memory_bytes()
+    }
+
+    /// Traced form of [`TouchTree::local_join_node`]: when `trace` is enabled,
+    /// wraps the local join in a [`TraceEvent::NodeJoin`] span carrying the
+    /// node's A/B counts, the effective strategy, the candidate comparisons
+    /// performed (counter delta) and the pairs emitted. With a disabled sink
+    /// this is one branch and then exactly `local_join_node` — recording can
+    /// never change pairs or counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn local_join_node_traced(
+        &self,
+        index: usize,
+        params: &LocalJoinParams,
+        scratch: &mut LocalJoinScratch,
+        counters: &mut Counters,
+        emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
+        trace: &dyn TraceSink,
+        worker: usize,
+    ) -> usize {
+        if !trace.is_enabled() {
+            return self.local_join_node(index, params, scratch, counters, emit);
+        }
+        let node = &self.nodes[index];
+        let a_count = node.a_count();
+        let b_count = node.assigned_b().len();
+        let strategy = params.effective_kind(a_count).name();
+        let comparisons_before = counters.comparisons;
+        let mut pairs = 0u64;
+        let start_us = trace.now_us();
+        let aux = self.local_join_node(index, params, scratch, counters, &mut |a, b| {
+            pairs += 1;
+            emit(a, b)
+        });
+        trace.record(TraceEvent::NodeJoin {
+            node: index,
+            worker,
+            a_count,
+            b_count,
+            strategy,
+            candidates: counters.comparisons - comparisons_before,
+            pairs,
+            start_us,
+            duration_us: trace.now_us().saturating_sub(start_us),
+        });
+        aux
     }
 
     /// The local-join grid geometry of the node at `index` (Algorithm 4): the

@@ -15,6 +15,9 @@ pub struct Context {
     pub output_dir: Option<PathBuf>,
     /// Print tables to stdout while running.
     pub verbose: bool,
+    /// Path an execution trace (Chrome `trace_events` JSON) is written to, for
+    /// binaries that support tracing (`None` = don't trace).
+    pub trace: Option<PathBuf>,
 }
 
 impl Context {
@@ -25,7 +28,14 @@ impl Context {
 
     /// A context with the default scale and no file output.
     pub fn new(scale: f64) -> Self {
-        Context { scale, seed_a: 20130622, seed_b: 20130627, output_dir: None, verbose: false }
+        Context {
+            scale,
+            seed_a: 20130622,
+            seed_b: 20130627,
+            output_dir: None,
+            verbose: false,
+            trace: None,
+        }
     }
 
     /// A quiet, tiny-scale context used by unit tests.
@@ -52,7 +62,8 @@ impl Context {
     }
 
     /// Parses a context from command-line arguments of the experiment binaries:
-    /// `--scale <f>`, `--out <dir>`, `--quiet`, `--seed-a <n>`, `--seed-b <n>`.
+    /// `--scale <f>`, `--out <dir>`, `--quiet`, `--seed-a <n>`, `--seed-b <n>`,
+    /// `--trace <path>`.
     pub fn from_args(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut ctx = Context::new(Self::DEFAULT_SCALE).with_verbose(true);
         let args: Vec<String> = args.collect();
@@ -79,6 +90,10 @@ impl Context {
                 "--seed-b" => {
                     ctx.seed_b =
                         take_value(i)?.parse().map_err(|e| format!("invalid --seed-b: {e}"))?;
+                    i += 2;
+                }
+                "--trace" => {
+                    ctx.trace = Some(PathBuf::from(take_value(i)?));
                     i += 2;
                 }
                 "--quiet" => {
@@ -115,15 +130,26 @@ mod tests {
     #[test]
     fn parses_arguments() {
         let ctx = Context::from_args(
-            ["--scale", "0.05", "--out", "/tmp/results", "--quiet", "--seed-a", "7"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale",
+                "0.05",
+                "--out",
+                "/tmp/results",
+                "--quiet",
+                "--seed-a",
+                "7",
+                "--trace",
+                "/tmp/trace.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .unwrap();
         assert_eq!(ctx.scale, 0.05);
         assert_eq!(ctx.output_dir, Some(PathBuf::from("/tmp/results")));
         assert!(!ctx.verbose);
         assert_eq!(ctx.seed_a, 7);
+        assert_eq!(ctx.trace, Some(PathBuf::from("/tmp/trace.json")));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::{workload, Context, ExperimentTable, Row};
 use touch_core::{CountingSink, JoinQuery, SpatialJoinAlgorithm, TouchJoin};
 use touch_datagen::SyntheticDistribution;
-use touch_metrics::RunReport;
+use touch_metrics::{ExecTrace, RunReport};
 use touch_parallel::ParallelTouchJoin;
 
 const PAPER_A: usize = 10_000;
@@ -74,6 +74,28 @@ pub fn run(ctx: &Context) -> ExperimentTable {
             vec![("workers", format!("{threads}")), ("speedup", format!("{speedup:.2}"))],
             report,
         ));
+    }
+
+    // `--trace <path>`: one extra traced run at the widest sweep step, written
+    // as a Chrome trace_events file (tracing is observational, so the timed
+    // rows above stay untraced).
+    if let Some(path) = &ctx.trace {
+        let threads = *THREAD_STEPS.last().expect("THREAD_STEPS is non-empty");
+        let trace = ExecTrace::new();
+        let _ = JoinQuery::new(&a, &b)
+            .within_distance(EPS)
+            .engine(ParallelTouchJoin::with_threads(threads))
+            .trace(&trace)
+            .run(&mut CountingSink::new());
+        match std::fs::write(path, trace.to_chrome_json()) {
+            Ok(()) => {
+                if ctx.verbose {
+                    println!("{}", trace.text_profile());
+                    println!("wrote Chrome trace ({threads} workers) to {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("cannot write trace to {}: {e}", path.display()),
+        }
     }
 
     table

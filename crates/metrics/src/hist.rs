@@ -1,0 +1,213 @@
+//! Fixed-bucket log2 histograms for skew summaries.
+//!
+//! The tracing layer aggregates per-node observations (local-join wall time,
+//! candidate counts, pairs per node) into [`Histogram`]s so a [`RunReport`]
+//! can surface p50/p90/p99 without retaining every span. The design mirrors
+//! the extent histograms of `touch-core`'s `DatasetStats`: a fixed number of
+//! power-of-two buckets and a **merge that is exact** — plain `u64` additions,
+//! so merging is associative and commutative and worker-sharded or
+//! epoch-split aggregation is bit-identical to one-shot aggregation.
+//!
+//! [`RunReport`]: crate::RunReport
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: bucket 0 holds the value 0, buckets `1..=64` hold
+/// `[2^(i-1), 2^i)`, so every `u64` maps to exactly one bucket.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram of `u64` observations.
+///
+/// Bucket 0 counts zeros; bucket `i ≥ 1` counts values in `[2^(i-1), 2^i)`.
+/// Alongside the buckets it tracks exact `count`, `sum`, `min` and `max`, so
+/// means are exact and percentiles are bucket-resolution (within 2× of the
+/// true value). [`Histogram::merge`] is a fieldwise `u64` sum (min/max via
+/// min/max), which makes it exact, associative and commutative — the same
+/// discipline as `DatasetStats::merge` in `touch-core`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Per-bucket observation counts (see [`HIST_BUCKETS`] for the layout).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total number of observations.
+    pub count: u64,
+    /// Exact sum of all observations (wrapping add on overflow).
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` while empty).
+    pub min: u64,
+    /// Largest observation (0 while empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket index `value` falls into: 0 for 0, else `1 + ilog2(value)`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            1 + value.ilog2() as usize
+        }
+    }
+
+    /// Inclusive upper edge of bucket `i`: 0 for bucket 0, else `2^i - 1`
+    /// (saturating at `u64::MAX` for the last bucket).
+    #[inline]
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Whether no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of the observations (0.0 while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) at bucket resolution: the inclusive
+    /// upper edge of the first bucket whose cumulative count reaches
+    /// `ceil(q × count)`, clamped to the exact observed `max` (and `min` from
+    /// below). Returns 0 while empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self`. Exact: plain `u64` additions per field, so
+    /// `merge` is associative and commutative and any sharding of the same
+    /// observations produces a bit-identical result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for i in 1..64 {
+            // every bucket's upper edge maps back into that bucket
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_upper(i)), i);
+        }
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_tracks_exact_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        for v in [0, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1011);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 1011.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_is_bucket_resolution_clamped_to_observed_range() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p100 is exact: clamped to max.
+        assert_eq!(h.percentile(1.0), 100);
+        // p50: rank 50 lands in bucket 6 ([32,64)), upper edge 63.
+        assert_eq!(h.percentile(0.5), 63);
+        // p0 clamps to min from below.
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_equals_one_shot() {
+        let values = [0u64, 3, 3, 9, 127, 128, 4096, u64::MAX];
+        let mut one_shot = Histogram::new();
+        for &v in &values {
+            one_shot.record(v);
+        }
+        let (mut a, mut b) = (Histogram::new(), Histogram::new());
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, one_shot);
+        assert_eq!(ba, one_shot, "merge is commutative");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let snapshot = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, snapshot);
+    }
+}

@@ -15,17 +15,24 @@
 //! * [`PhaseTimer`] / [`Phase`] — wall-clock phase breakdown,
 //! * [`MemoryUsage`] — analytic memory accounting trait + helpers,
 //! * [`RunReport`] — the complete record of one algorithm execution, the unit the
-//!   experiment harness aggregates into tables and figures.
+//!   experiment harness aggregates into tables and figures,
+//! * [`TraceSink`] / [`NoTrace`] / [`ExecTrace`] — optional execution tracing
+//!   (per-node spans, steal events, epoch spans) with [`Histogram`]-based skew
+//!   summaries ([`TraceSummary`]) and Chrome-trace / text-profile exporters.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod counters;
+mod hist;
 mod memory;
 mod report;
 mod timer;
+mod trace;
 
 pub use counters::Counters;
+pub use hist::{Histogram, HIST_BUCKETS};
 pub use memory::{vec_bytes, MemoryUsage};
-pub use report::{format_count, format_duration, PlanSummary, RunReport};
+pub use report::{csv_field, format_count, format_duration, json_str, PlanSummary, RunReport};
 pub use timer::{Phase, PhaseTimer};
+pub use trace::{ExecTrace, NoTrace, TraceEvent, TraceSink, TraceSummary, WorkerStats};

@@ -1,7 +1,8 @@
 //! Run reports: the complete record of one algorithm execution.
 
-use crate::{Counters, Phase, PhaseTimer};
+use crate::{Counters, Phase, PhaseTimer, TraceSummary};
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// The record of a planned join execution: which strategy ran and the derived
@@ -81,6 +82,9 @@ pub struct RunReport {
     /// baselines); the TOUCH engines record it whether the plan came from the
     /// planner (`Engine::Auto`) or from an explicit configuration.
     pub plan: Option<PlanSummary>,
+    /// Skew summary of the execution trace. `None` unless the run was traced
+    /// (see `TraceSink` — a disabled sink produces no summary by design).
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunReport {
@@ -97,6 +101,7 @@ impl RunReport {
             threads: 1,
             epochs: 1,
             plan: None,
+            trace: None,
         }
     }
 
@@ -141,10 +146,14 @@ impl RunReport {
     }
 
     /// One CSV row with the standard columns (see [`RunReport::csv_header`]).
+    ///
+    /// The free-form columns (`algorithm`, `plan`) are passed through
+    /// [`csv_field`], so labels containing commas, quotes or newlines are
+    /// quoted per RFC 4180 instead of silently corrupting the row.
     pub fn to_csv_row(&self) -> String {
         format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{:.6}",
-            self.algorithm,
+            csv_field(&self.algorithm),
             self.dataset_a,
             self.dataset_b,
             self.epsilon,
@@ -160,7 +169,7 @@ impl RunReport {
             self.timer.get(Phase::Assignment).as_secs_f64(),
             self.timer.get(Phase::Join).as_secs_f64(),
             self.total_time().as_secs_f64(),
-            self.plan.as_ref().map(|p| p.compact()).unwrap_or_else(|| "-".to_string()),
+            csv_field(&self.plan.as_ref().map(|p| p.compact()).unwrap_or_else(|| "-".to_string())),
             self.plan.as_ref().map(|p| p.stats_time.as_secs_f64()).unwrap_or(0.0),
         )
     }
@@ -169,6 +178,95 @@ impl RunReport {
     pub fn csv_header() -> &'static str {
         "algorithm,a,b,epsilon,threads,epochs,comparisons,node_tests,results,filtered,duplicates_suppressed,memory_bytes,build_s,assignment_s,join_s,total_s,plan,planning_s"
     }
+
+    /// Hand-rolled JSON rendering of the whole report (the vendored serde is
+    /// a no-op stub). Used by the trace exporters and the bench harness; the
+    /// layout is flat and additive-safe for key-lookup parsers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"algorithm\":{},\"a\":{},\"b\":{},\"epsilon\":{},\"threads\":{},\"epochs\":{}",
+            json_str(&self.algorithm),
+            self.dataset_a,
+            self.dataset_b,
+            self.epsilon,
+            self.threads,
+            self.epochs
+        );
+        let _ = write!(
+            out,
+            ",\"comparisons\":{},\"node_tests\":{},\"results\":{},\"filtered\":{},\"duplicates_suppressed\":{},\"replicas\":{},\"memory_bytes\":{}",
+            self.counters.comparisons,
+            self.counters.node_tests,
+            self.counters.results,
+            self.counters.filtered,
+            self.counters.duplicates_suppressed,
+            self.counters.replicas,
+            self.memory_bytes
+        );
+        let _ = write!(
+            out,
+            ",\"build_s\":{:.6},\"assignment_s\":{:.6},\"join_s\":{:.6},\"total_s\":{:.6}",
+            self.timer.get(Phase::Build).as_secs_f64(),
+            self.timer.get(Phase::Assignment).as_secs_f64(),
+            self.timer.get(Phase::Join).as_secs_f64(),
+            self.total_time().as_secs_f64()
+        );
+        match &self.plan {
+            Some(p) => {
+                let _ = write!(
+                    out,
+                    ",\"plan\":{},\"planning_s\":{:.6}",
+                    json_str(&p.compact()),
+                    p.stats_time.as_secs_f64()
+                );
+            }
+            None => out.push_str(",\"plan\":null,\"planning_s\":0.000000"),
+        }
+        match &self.trace {
+            Some(t) => {
+                let _ = write!(out, ",\"trace\":{}", t.to_json());
+            }
+            None => out.push_str(",\"trace\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes one CSV field per RFC 4180: returned unchanged unless it contains
+/// a comma, double quote, CR or LF, in which case it is wrapped in double
+/// quotes with embedded quotes doubled. Plain fields stay byte-identical, so
+/// existing CSV outputs don't change.
+pub fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\r', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders `s` as a JSON string literal (escaping backslash, quote and
+/// control characters).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a count with thousands separators (`1234567` → `"1,234,567"`).
@@ -285,6 +383,75 @@ mod tests {
             row.split(',').count(),
             "plan columns must keep header arity"
         );
+    }
+
+    #[test]
+    fn csv_field_quotes_only_when_needed() {
+        assert_eq!(csv_field("TOUCH"), "TOUCH");
+        assert_eq!(csv_field("parallel(4):p1024:f2:c500:ap8"), "parallel(4):p1024:f2:c500:ap8");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn csv_row_quotes_algorithm_labels_with_commas() {
+        let mut r = RunReport::new("NL,special", 1, 1);
+        assert!(r.to_csv_row().starts_with("\"NL,special\",1,1,"));
+        r.algorithm = "TOUCH".into();
+        assert!(r.to_csv_row().starts_with("TOUCH,1,1,"), "plain labels stay unquoted");
+    }
+
+    #[test]
+    fn json_str_escapes_specials() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("tab\there"), "\"tab\\there\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn to_json_is_flat_and_complete() {
+        let mut r = RunReport::new("TOUCH", 10, 20);
+        r.epsilon = 5.0;
+        r.counters.comparisons = 123;
+        r.counters.results = 7;
+        let json = r.to_json();
+        assert!(json.starts_with("{\"algorithm\":\"TOUCH\",\"a\":10,\"b\":20,\"epsilon\":5,"));
+        assert!(json.contains("\"comparisons\":123"));
+        assert!(json.contains("\"results\":7"));
+        assert!(json.contains("\"plan\":null"));
+        assert!(json.contains("\"trace\":null"));
+        assert!(json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn to_json_embeds_plan_and_trace() {
+        let mut r = RunReport::new("TOUCH", 10, 20);
+        r.plan = Some(PlanSummary {
+            strategy: "sequential".into(),
+            build_on_a: true,
+            partitions: 64,
+            fanout: 2,
+            cells_per_dim: 500,
+            min_cell_size: 1.0,
+            allpairs_max_a: 8,
+            threads: 1,
+            stats_time: Duration::from_millis(2),
+        });
+        r.trace = Some(TraceSummary {
+            node_time_us: crate::Histogram::new(),
+            candidates: crate::Histogram::new(),
+            pairs_per_node: crate::Histogram::new(),
+            workers: vec![],
+            epochs: 0,
+            steals: 0,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"plan\":\"sequential:p64:f2:c500:ap8\""));
+        assert!(json.contains("\"planning_s\":0.002000"));
+        assert!(json.contains("\"trace\":{\"node_time_us\":"));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The parallel TOUCH join: the three phases of Algorithm 1 executed on a thread
 //! pool, with results and counters sharded per worker and merged at the end.
 
-use crate::phases::{par_assign, par_build_tree, par_join_into};
+use crate::phases::{par_assign_traced, par_build_tree, par_join_into_traced};
 use crate::ParallelConfig;
-use touch_core::{ExecutionStrategy, JoinPlan, PairSink, ScratchPool, SpatialJoinAlgorithm};
+use touch_core::{
+    time_phase_traced, ExecutionStrategy, JoinPlan, PairSink, ScratchPool, SpatialJoinAlgorithm,
+};
 use touch_geom::Dataset;
-use touch_metrics::{MemoryUsage, Phase, RunReport};
+use touch_metrics::{MemoryUsage, NoTrace, Phase, RunReport, TraceSink};
 
 /// Multi-threaded TOUCH (implements [`SpatialJoinAlgorithm`]).
 ///
@@ -96,6 +98,20 @@ fn execute_parallel(
     sink: &mut dyn PairSink,
     report: &mut RunReport,
 ) {
+    execute_parallel_traced(plan, a, b, sink, report, &NoTrace);
+}
+
+/// Traced form of [`execute_parallel`]: the identical join (the untraced entry
+/// point is this with a [`touch_metrics::NoTrace`] sink) plus phase spans,
+/// per-chunk assignment spans, per-node join spans and steal events.
+fn execute_parallel_traced(
+    plan: &JoinPlan,
+    a: &Dataset,
+    b: &Dataset,
+    sink: &mut dyn PairSink,
+    report: &mut RunReport,
+    trace: &dyn TraceSink,
+) {
     report.plan = Some(plan.summary());
     let threads = plan.threads();
     report.threads = threads;
@@ -105,7 +121,7 @@ fn execute_parallel(
     // Phase 1: parallel STR sort, then hierarchy assembly (Algorithm 2). Each
     // phase is timed at its fork/join point, so the recorded duration is wall
     // clock — correct no matter how many workers ran inside.
-    let (mut tree, sort_aux) = report.timer.time(Phase::Build, || {
+    let (mut tree, sort_aux) = time_phase_traced(report, Phase::Build, trace, || {
         par_build_tree(
             tree_ds.objects(),
             plan.partitions,
@@ -117,15 +133,31 @@ fn execute_parallel(
 
     // Phase 2: chunked parallel assignment (Algorithm 3).
     let mut counters = std::mem::take(&mut report.counters);
-    let assign_aux = report.timer.time(Phase::Assignment, || {
-        par_assign(&mut tree, probe_ds.objects(), plan.chunk_size, threads, &mut counters)
+    let assign_aux = time_phase_traced(report, Phase::Assignment, trace, || {
+        par_assign_traced(
+            &mut tree,
+            probe_ds.objects(),
+            plan.chunk_size,
+            threads,
+            &mut counters,
+            trace,
+        )
     });
 
     // Phase 3: work-stealing local joins (Algorithm 4). Grid sizing is pinned by
     // the plan — the same resolved parameters the sequential engine executes.
     let mut pool = ScratchPool::new();
-    let aux_bytes = report.timer.time(Phase::Join, || {
-        par_join_into(&tree, &plan.params, threads, !build_on_a, sink, &mut pool, &mut counters)
+    let aux_bytes = time_phase_traced(report, Phase::Join, trace, || {
+        par_join_into_traced(
+            &tree,
+            &plan.params,
+            threads,
+            !build_on_a,
+            sink,
+            &mut pool,
+            &mut counters,
+            trace,
+        )
     });
 
     report.counters = counters;
@@ -151,6 +183,17 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
 
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         execute_parallel(&self.resolve_plan(a, b), a, b, sink, report);
+    }
+
+    fn join_traced(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        execute_parallel_traced(&self.resolve_plan(a, b), a, b, sink, report, trace);
     }
 }
 

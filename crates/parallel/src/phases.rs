@@ -17,7 +17,7 @@ use touch_core::{
     LocalJoinParams, LocalJoinScratch, PairSink, ScratchPool, ShardedSink, TouchTree,
 };
 use touch_geom::SpatialObject;
-use touch_metrics::Counters;
+use touch_metrics::{Counters, NoTrace, TraceEvent, TraceSink};
 
 /// Resolves a configured worker count: an explicit value is used as-is, `0`
 /// auto-detects the machine's available parallelism (falling back to 1). The single
@@ -67,6 +67,23 @@ pub fn par_assign(
     workers: usize,
     counters: &mut Counters,
 ) -> usize {
+    par_assign_traced(tree, probe, chunk_size, workers, counters, &NoTrace)
+}
+
+/// Traced form of [`par_assign`]: identical assignment (the untraced entry
+/// point is this with a [`NoTrace`] sink), plus one
+/// [`TraceEvent::AssignChunk`] span per claimed chunk — attributed to the
+/// worker that computed it — and a [`TraceEvent::Steal`] per cross-queue
+/// claim. The sequential fallback records the whole probe batch as a single
+/// chunk on worker 0.
+pub fn par_assign_traced(
+    tree: &mut TouchTree,
+    probe: &[SpatialObject],
+    chunk_size: usize,
+    workers: usize,
+    counters: &mut Counters,
+    trace: &dyn TraceSink,
+) -> usize {
     if probe.is_empty() {
         return 0;
     }
@@ -75,7 +92,17 @@ pub fn par_assign(
     // Never spawn more workers than there are chunks to claim.
     let workers = workers.min(chunk_count);
     if workers <= 1 {
+        let start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
         tree.assign(probe, counters);
+        if trace.is_enabled() {
+            trace.record(TraceEvent::AssignChunk {
+                chunk: 0,
+                worker: 0,
+                objects: probe.len(),
+                start_us,
+                duration_us: trace.now_us().saturating_sub(start_us),
+            });
+        }
         return 0;
     }
 
@@ -88,7 +115,17 @@ pub fn par_assign(
                 scope.spawn(move || {
                     let mut local = Counters::new();
                     let mut batches = Vec::new();
-                    while let Some(chunk) = queues.claim(w) {
+                    while let Some((chunk, stolen_from)) = queues.claim_tracked(w) {
+                        if trace.is_enabled() {
+                            if let Some(victim) = stolen_from {
+                                trace.record(TraceEvent::Steal {
+                                    worker: w,
+                                    victim,
+                                    at_us: trace.now_us(),
+                                });
+                            }
+                        }
+                        let start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
                         let lo = chunk * chunk_size;
                         let hi = (lo + chunk_size).min(probe.len());
                         let mut assigned = Vec::new();
@@ -97,6 +134,15 @@ pub fn par_assign(
                                 Some(node) => assigned.push((node, *obj)),
                                 None => local.record_filtered(),
                             }
+                        }
+                        if trace.is_enabled() {
+                            trace.record(TraceEvent::AssignChunk {
+                                chunk,
+                                worker: w,
+                                objects: hi - lo,
+                                start_us,
+                                duration_us: trace.now_us().saturating_sub(start_us),
+                            });
                         }
                         batches.push((chunk, assigned));
                     }
@@ -151,6 +197,24 @@ pub fn par_local_join(
     scratches: &mut [LocalJoinScratch],
     counters: &mut Counters,
 ) -> usize {
+    par_local_join_traced(tree, work, params, swap_pairs, sharded, scratches, counters, &NoTrace)
+}
+
+/// Traced form of [`par_local_join`]: identical join (the untraced entry point
+/// is this with a [`NoTrace`] sink), plus a [`TraceEvent::NodeJoin`] span per
+/// node — attributed to the worker that joined it — and a
+/// [`TraceEvent::Steal`] per cross-queue claim.
+#[allow(clippy::too_many_arguments)]
+pub fn par_local_join_traced(
+    tree: &TouchTree,
+    work: &mut [usize],
+    params: &LocalJoinParams,
+    swap_pairs: bool,
+    sharded: &mut ShardedSink,
+    scratches: &mut [LocalJoinScratch],
+    counters: &mut Counters,
+    trace: &dyn TraceSink,
+) -> usize {
     assert!(
         scratches.len() >= sharded.shard_count(),
         "need one scratch per worker: {} shards, {} scratches",
@@ -174,8 +238,17 @@ pub fn par_local_join(
                 scope.spawn(move || {
                     let mut local = Counters::new();
                     let mut peak_aux = 0usize;
-                    while let Some(idx) = queues.claim(w) {
-                        let aux = tree.local_join_node(
+                    while let Some((idx, stolen_from)) = queues.claim_tracked(w) {
+                        if trace.is_enabled() {
+                            if let Some(victim) = stolen_from {
+                                trace.record(TraceEvent::Steal {
+                                    worker: w,
+                                    victim,
+                                    at_us: trace.now_us(),
+                                });
+                            }
+                        }
+                        let aux = tree.local_join_node_traced(
                             idx,
                             params,
                             scratch,
@@ -188,6 +261,8 @@ pub fn par_local_join(
                                 }
                                 !shard.is_done()
                             },
+                            trace,
+                            w,
                         );
                         peak_aux = peak_aux.max(aux);
                         if shard.is_done() {
@@ -232,11 +307,28 @@ pub fn par_join_into(
     pool: &mut ScratchPool,
     counters: &mut Counters,
 ) -> usize {
+    par_join_into_traced(tree, params, threads, swap_pairs, sink, pool, counters, &NoTrace)
+}
+
+/// Traced form of [`par_join_into`]: identical join (the untraced entry point
+/// is this with a [`NoTrace`] sink) running the sharded local joins through
+/// [`par_local_join_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn par_join_into_traced(
+    tree: &TouchTree,
+    params: &LocalJoinParams,
+    threads: usize,
+    swap_pairs: bool,
+    sink: &mut dyn PairSink,
+    pool: &mut ScratchPool,
+    counters: &mut Counters,
+    trace: &dyn TraceSink,
+) -> usize {
     let mut work = pool.take_work();
     tree.nodes_with_assignments_into(&mut work);
     let workers = threads.min(work.len()).max(1);
     let mut sharded = ShardedSink::for_sink(sink, workers);
-    let aux_bytes = par_local_join(
+    let aux_bytes = par_local_join_traced(
         tree,
         &mut work,
         params,
@@ -244,6 +336,7 @@ pub fn par_join_into(
         &mut sharded,
         pool.worker_scratches(workers),
         counters,
+        trace,
     );
     pool.restore_work(work);
     // Credit only the pairs the sink actually received: a sink that became done

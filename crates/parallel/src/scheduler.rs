@@ -60,13 +60,25 @@ impl<T> StealQueues<T> {
     /// Panics if `worker` is out of range or a deque's lock is poisoned (a worker
     /// panicked; the join is failing anyway).
     pub fn claim(&self, worker: usize) -> Option<T> {
+        self.claim_tracked(worker).map(|(task, _)| task)
+    }
+
+    /// [`StealQueues::claim`] that additionally reports *where* the task came
+    /// from: `None` for the worker's own deque, `Some(victim)` for a steal.
+    /// This is what the execution-trace layer records as steal events; the
+    /// claiming discipline is identical to `claim` (which is this, with the
+    /// provenance dropped).
+    ///
+    /// # Panics
+    /// Same as [`StealQueues::claim`].
+    pub fn claim_tracked(&self, worker: usize) -> Option<(T, Option<usize>)> {
         if let Some(task) = self.queues[worker].lock().expect("queue poisoned").pop_front() {
-            return Some(task);
+            return Some((task, None));
         }
         for offset in 1..self.queues.len() {
             let victim = (worker + offset) % self.queues.len();
             if let Some(task) = self.queues[victim].lock().expect("queue poisoned").pop_front() {
-                return Some(task);
+                return Some((task, Some(victim)));
             }
         }
         None
@@ -113,6 +125,18 @@ mod tests {
         }
         assert_eq!(q.claim(1), Some(0), "steal must take the victim's largest task");
         assert_eq!(q.claim(0), Some(2), "owner continues with its next-largest");
+    }
+
+    #[test]
+    fn claim_tracked_reports_the_victim() {
+        let q = StealQueues::distribute(0..4, 2);
+        // Worker 0 owns 0,2 — own pops carry no victim.
+        assert_eq!(q.claim_tracked(0), Some((0, None)));
+        assert_eq!(q.claim_tracked(0), Some((2, None)));
+        // Its own deque is dry: the next claim is a steal from worker 1.
+        assert_eq!(q.claim_tracked(0), Some((1, Some(1))));
+        assert_eq!(q.claim_tracked(1), Some((3, None)));
+        assert_eq!(q.claim_tracked(1), None);
     }
 
     #[test]

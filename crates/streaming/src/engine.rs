@@ -7,8 +7,10 @@ use touch_core::{
     SpatialJoinAlgorithm, TouchConfig, TouchTree,
 };
 use touch_geom::{Dataset, SpatialObject};
-use touch_metrics::{Counters, MemoryUsage, Phase, RunReport};
-use touch_parallel::phases::{par_assign, par_build_tree, par_join_into, resolve_threads};
+use touch_metrics::{Counters, MemoryUsage, NoTrace, Phase, RunReport, TraceEvent, TraceSink};
+use touch_parallel::phases::{
+    par_assign_traced, par_build_tree, par_join_into_traced, resolve_threads,
+};
 
 /// Configuration of [`StreamingTouchJoin`].
 ///
@@ -228,6 +230,22 @@ impl StreamingTouchJoin {
     /// `sink` is any [`PairSink`]; an early-terminating sink
     /// ([`PairSink::is_done`]) stops the epoch's local joins.
     pub fn push_batch(&mut self, batch: &[SpatialObject], sink: &mut dyn PairSink) -> EpochReport {
+        self.push_batch_traced(batch, sink, &NoTrace)
+    }
+
+    /// [`StreamingTouchJoin::push_batch`] with an execution-trace sink attached.
+    ///
+    /// When the sink is enabled the whole epoch is wrapped in a
+    /// [`TraceEvent::Epoch`] span and the assignment and join phases record their
+    /// per-chunk / per-node spans (and steals) through the parallel machinery;
+    /// with [`NoTrace`] this *is* `push_batch` — one code path, so traced and
+    /// untraced epochs are bit-identical in pairs and counters.
+    pub fn push_batch_traced(
+        &mut self,
+        batch: &[SpatialObject],
+        sink: &mut dyn PairSink,
+        trace: &dyn TraceSink,
+    ) -> EpochReport {
         let mut report = EpochReport {
             epoch: self.epochs,
             batch_size: batch.len(),
@@ -237,14 +255,23 @@ impl StreamingTouchJoin {
             memory_bytes: 0,
             threads: self.threads,
         };
+        let epoch_start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
         self.tree.clear_assignment();
         self.stream_stats.merge(&DatasetStats::from_objects(batch));
 
         let mut counters = Counters::new();
-        // par_assign itself falls back to the sequential `TouchTree::assign` when
-        // one worker (or one chunk) is all there is, so no dispatch is needed here.
+        // par_assign_traced itself falls back to the sequential `TouchTree::assign`
+        // when one worker (or one chunk) is all there is, so no dispatch is needed
+        // here.
         let assign_aux = report.timer.time(Phase::Assignment, || {
-            par_assign(&mut self.tree, batch, self.plan.chunk_size, self.threads, &mut counters)
+            par_assign_traced(
+                &mut self.tree,
+                batch,
+                self.plan.chunk_size,
+                self.threads,
+                &mut counters,
+                trace,
+            )
         });
         report.assigned = self.tree.assigned_b_count();
 
@@ -254,22 +281,42 @@ impl StreamingTouchJoin {
         let join_aux = report.timer.time(Phase::Join, || {
             if self.threads <= 1 {
                 let mut results = 0u64;
-                let aux = tree.join_assigned(
+                let aux = tree.join_assigned_traced(
                     &params,
                     pool.primary(),
                     &mut counters,
                     &mut |a_id, b_id| deliver(sink, a_id, b_id, &mut results),
+                    trace,
+                    0,
                 );
                 counters.results += results;
                 aux
             } else {
-                // par_join_into adds the delivered pairs to `counters.results`.
-                par_join_into(tree, &params, self.threads, false, sink, pool, &mut counters)
+                // par_join_into_traced adds the delivered pairs to `counters.results`.
+                par_join_into_traced(
+                    tree,
+                    &params,
+                    self.threads,
+                    false,
+                    sink,
+                    pool,
+                    &mut counters,
+                    trace,
+                )
             }
         });
 
         report.counters = counters;
         report.memory_bytes = self.tree.memory_bytes() + assign_aux + join_aux;
+
+        if trace.is_enabled() {
+            trace.record(TraceEvent::Epoch {
+                epoch: report.epoch,
+                batch_size: report.batch_size,
+                start_us: epoch_start_us,
+                duration_us: trace.now_us().saturating_sub(epoch_start_us),
+            });
+        }
 
         self.cumulative.merge_epoch(
             report.batch_size,
@@ -433,11 +480,22 @@ impl SpatialJoinAlgorithm for OneShotStreaming {
     }
 
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
+        self.join_traced(a, b, sink, report, &NoTrace);
+    }
+
+    fn join_traced(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
         let mut engine = match self.plan {
             Some(plan) => StreamingTouchJoin::build_with_plan(a, plan),
             None => StreamingTouchJoin::build(a, self.config),
         };
-        let _ = engine.push_batch(b.objects(), sink);
+        let _ = engine.push_batch_traced(b.objects(), sink, trace);
         let cumulative = engine.cumulative_report();
         report.threads = cumulative.threads;
         report.epochs = cumulative.epochs;
@@ -573,6 +631,48 @@ mod tests {
             "the second stream must be indistinguishable from the first"
         );
         assert_eq!(engine.cumulative_report().counters, first_cumulative.counters);
+    }
+
+    #[test]
+    fn traced_epochs_record_spans_and_change_nothing() {
+        let (a, b) = workloads();
+        let (expected_pairs, _, baseline) = stream_in_epochs(&a, &b, 3, 2);
+
+        let trace = touch_metrics::ExecTrace::new();
+        let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(2));
+        let mut sink = CollectingSink::new();
+        let chunk = b.len().div_ceil(3).max(1);
+        let mut reports = Vec::new();
+        for batch in b.objects().chunks(chunk) {
+            reports.push(engine.push_batch_traced(batch, &mut sink, &trace));
+        }
+
+        // Tracing is observational: pairs and counters are bit-identical.
+        assert_eq!(sink.sorted_pairs(), expected_pairs);
+        assert_eq!(
+            baseline.iter().map(|r| r.summary()).collect::<Vec<_>>(),
+            reports.iter().map(|r| r.summary()).collect::<Vec<_>>(),
+        );
+
+        // Each epoch records exactly one Epoch span, in order.
+        let epochs: Vec<_> = trace
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                touch_metrics::TraceEvent::Epoch { epoch, batch_size, .. } => {
+                    Some((epoch, batch_size))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(epochs.len(), reports.len());
+        for (i, (epoch, batch_size)) in epochs.iter().enumerate() {
+            assert_eq!(*epoch, i);
+            assert_eq!(*batch_size, reports[i].batch_size);
+        }
+        let summary = trace.summary().expect("recording sink summarises");
+        assert_eq!(summary.epochs, reports.len());
+        assert_eq!(summary.pairs_per_node.sum, expected_pairs.len() as u64);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use touch_core::{
     SpatialJoinAlgorithm, TouchConfig, TouchJoin,
 };
 use touch_geom::Dataset;
-use touch_metrics::RunReport;
+use touch_metrics::{RunReport, TraceSink};
 use touch_parallel::{ParallelConfig, ParallelTouchJoin};
 use touch_streaming::{OneShotStreaming, StreamingConfig};
 
@@ -163,6 +163,17 @@ impl SpatialJoinAlgorithm for Engine {
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
         self.build().join_into(a, b, sink, report)
     }
+
+    fn join_traced(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        self.build().join_traced(a, b, sink, report, trace)
+    }
 }
 
 /// The workspace-wide auto-planning engine behind [`Engine::Auto`].
@@ -238,6 +249,17 @@ impl SpatialJoinAlgorithm for AutoEngine {
     }
 
     fn join_into(&self, a: &Dataset, b: &Dataset, sink: &mut dyn PairSink, report: &mut RunReport) {
+        self.join_traced(a, b, sink, report, &touch_metrics::NoTrace)
+    }
+
+    fn join_traced(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
         let stats_start = std::time::Instant::now();
         let (sa, sb) = (DatasetStats::from_dataset(a), DatasetStats::from_dataset(b));
         let stats_time = stats_start.elapsed();
@@ -246,7 +268,7 @@ impl SpatialJoinAlgorithm for AutoEngine {
         let plan = self.planner.plan(&sa, &sb, &env);
         let engine = Self::resolve(plan);
         report.algorithm = format!("TOUCH-AUTO → {}", engine.name());
-        engine.join_into(a, b, sink, report);
+        engine.join_traced(a, b, sink, report, trace);
         if let Some(summary) = &mut report.plan {
             summary.stats_time = stats_time;
         }

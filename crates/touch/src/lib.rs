@@ -131,7 +131,10 @@ pub use touch_core::{
 };
 pub use touch_datagen::{NeuroscienceSpec, SyntheticDistribution, SyntheticSpec};
 pub use touch_geom::{Aabb, Cylinder, Dataset, ObjectId, Point3, SpatialObject};
-pub use touch_metrics::{Counters, Phase, PlanSummary, RunReport};
+pub use touch_metrics::{
+    Counters, ExecTrace, Histogram, NoTrace, Phase, PlanSummary, RunReport, TraceEvent, TraceSink,
+    TraceSummary, WorkerStats,
+};
 pub use touch_parallel::{ParallelConfig, ParallelTouchJoin};
 pub use touch_streaming::{
     EpochReport, EpochSummary, OneShotStreaming, StreamingConfig, StreamingTouchJoin,
