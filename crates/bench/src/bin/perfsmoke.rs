@@ -1,8 +1,10 @@
 //! `perfsmoke` — the repo's recorded performance trajectory and regression gate.
 //!
 //! Runs the three TOUCH engines (sequential, parallel, streaming) **plus the
-//! auto-planner** (`Engine::Auto` at a pinned 4-thread budget) over pinned
-//! synthetic workloads and writes `BENCH_core.json` with **wall-time derived
+//! auto-planner** (`Engine::Auto` at a pinned 4-thread budget) **plus the
+//! serving layer** (`JoinServer` snapshot queries under a per-rep
+//! mutate/publish cycle) over pinned synthetic workloads and writes
+//! `BENCH_core.json` with **wall-time derived
 //! throughput** (pairs/sec, join-phase pairs/sec), the **machine-independent
 //! work counters** (comparisons, node tests, replicas) and — for planned runs —
 //! the **chosen plan** for every engine × workload cell. The counters are
@@ -41,8 +43,10 @@ use touch_core::{CountingSink, JoinOrder, SpatialJoinAlgorithm, TouchConfig, Tou
 use touch_datagen::SyntheticDistribution;
 use touch_experiments::{workload, Context};
 use touch_geom::Dataset;
+use touch_geom::{Aabb, Point3};
 use touch_metrics::{ExecTrace, Phase, RunReport, TraceSink, TraceSummary};
 use touch_parallel::{ParallelConfig, ParallelTouchJoin};
+use touch_serve::{JoinServer, ServeConfig};
 use touch_streaming::{StreamingConfig, StreamingTouchJoin};
 
 /// One pinned workload: its datasets plus the TOUCH configuration every engine runs
@@ -331,6 +335,56 @@ fn run_streaming(w: &Workload, epochs: usize, reps: usize) -> Vec<RunReport> {
         .collect()
 }
 
+/// Serving: one [`JoinServer`] over A, and per rep one full mutation cycle —
+/// insert a far-away dummy, publish the folded generation, run the **measured
+/// snapshot query** against it, then remove the dummy and publish again to
+/// restore the original tiling. The measured path therefore exercises real
+/// generation rotation every rep while the queried tree stays geometrically
+/// identical (the dummy sits outside the data extent and the fold appends it
+/// deterministically), so the recorded counters are machine-independent.
+/// Like the streaming engine, the server holds the **ε-extended** A
+/// ([`Dataset::extended`]), so its intersection queries answer the same
+/// within-distance predicate as the other rows.
+fn run_serve(w: &Workload, reps: usize) -> Vec<RunReport> {
+    let a = w.a.extended(w.eps);
+    let server = JoinServer::new(&a, ServeConfig { touch: w.cfg, ..ServeConfig::default() });
+    let mut reader = server.reader();
+    (0..reps)
+        .map(|_| {
+            let id = server.insert(serve_dummy(&a));
+            server.publish();
+            let mut sink = CountingSink::new();
+            let report = reader.query(w.b.objects(), &mut sink);
+            assert!(server.remove(id));
+            server.publish();
+            report
+        })
+        .collect()
+}
+
+/// A unit box strictly outside the dataset extent: folded in and out of the
+/// served generation without ever joining with anything.
+fn serve_dummy(a: &Dataset) -> Aabb {
+    let at = a.extent().expect("non-empty workload").max + Point3::splat(10.0);
+    Aabb::new(at, at + Point3::splat(1.0))
+}
+
+/// The serving counterpart of [`trace_one_shot`]: one traced mutation cycle
+/// (publish spans included) outside the timed reps.
+fn trace_serve(w: &Workload) -> (Option<TraceSummary>, ExecTrace) {
+    let trace = ExecTrace::new();
+    let a = w.a.extended(w.eps);
+    let server = JoinServer::new(&a, ServeConfig { touch: w.cfg, ..ServeConfig::default() });
+    let mut reader = server.reader();
+    let id = server.insert(serve_dummy(&a));
+    server.publish_traced(&trace);
+    let mut sink = CountingSink::new();
+    let _ = reader.query_traced(w.b.objects(), &mut sink, &trace);
+    assert!(server.remove(id));
+    server.publish_traced(&trace);
+    (trace.summary(), trace)
+}
+
 /// One dedicated traced repetition of a one-shot engine, outside the timed
 /// reps: returns the trace summary for the cell record plus the raw trace (the
 /// `--trace` export). Tracing is observational — the traced run produces the
@@ -479,6 +533,9 @@ fn main() {
 
         let (summary, _) = trace_streaming(&w, 4);
         cells.push(Cell::from_runs("streaming".into(), &run_streaming(&w, 4, reps), summary));
+
+        let (summary, _) = trace_serve(&w);
+        cells.push(Cell::from_runs("serve".into(), &run_serve(&w, reps), summary));
 
         // The auto-planner at a pinned 4-thread budget (Engine::Auto proper would
         // detect the local core count, which would make the recorded plan — and

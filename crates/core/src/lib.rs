@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod assignment;
 pub mod kernels;
 mod plan;
 mod query;
@@ -79,6 +80,7 @@ mod touch;
 mod traits;
 mod tree;
 
+pub use assignment::AssignmentBuffer;
 pub use plan::{AutoJoin, ExecutionStrategy, JoinPlan, JoinPlanner, PlanEnv};
 pub use query::{IntoEngine, JoinQuery, Predicate};
 pub use scratch::{LocalJoinScratch, ScratchPool};

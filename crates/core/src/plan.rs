@@ -319,6 +319,22 @@ impl JoinPlanner {
         ((tree_count.max(1) as f64).sqrt().round() as usize).clamp(16, 2048)
     }
 
+    /// The buffered-mutation count past which folding a delta into the next
+    /// serving generation stops paying off and the tree should be rebuilt from
+    /// scratch (a fresh STR sort).
+    ///
+    /// A delta fold splices the previous generation's tile order — correct for
+    /// any order ([`crate::TouchTree::from_tiled`]), but every fold degrades
+    /// tiling quality a little, and quality is what the assignment descent
+    /// prunes with. The rule: one target leaf's worth of objects
+    /// ([`JoinPlanner::target_leaf_size`]) or ⅛ of the live set, whichever is
+    /// larger. Small trees rebuild eagerly (a rebuild is cheap), large trees
+    /// tolerate proportionally more buffered churn before paying the
+    /// O(n log n) re-sort.
+    pub fn delta_rebuild_limit(&self, live: usize) -> usize {
+        Self::target_leaf_size(live).max(live / 8)
+    }
+
     /// Plans a one-shot (or epoch-hinted) join of `a` and `b`.
     ///
     /// `a` must be the statistics of the dataset the engine will actually see —

@@ -258,6 +258,21 @@ impl FirstKSink {
     pub fn into_pairs(self) -> Vec<(ObjectId, ObjectId)> {
         self.pairs
     }
+
+    /// Restores the full budget of `k` pairs, discarding everything accepted so
+    /// far (the capacity is kept).
+    ///
+    /// A `FirstKSink` is stateful across joins by design — its budget is
+    /// *consumed*, so reusing one sink for a second stream silently starts with
+    /// `k - count()` remaining (and a [`ShardedSink`] built from it derives an
+    /// already-spent shared budget from [`PairSink::pair_limit`]). Engines that
+    /// reset their own state between streams (`StreamingTouchJoin::reset`)
+    /// cannot reach into the caller's sink; call this alongside the engine
+    /// reset so stream 2 observes the same early-termination behaviour as
+    /// stream 1.
+    pub fn reset(&mut self) {
+        self.pairs.clear();
+    }
 }
 
 impl PairSink for FirstKSink {

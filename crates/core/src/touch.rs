@@ -145,7 +145,23 @@ impl TouchConfig {
     /// whenever the tree dataset's objects are at least as large on average as the
     /// probe dataset's.
     pub fn min_local_cell_size_of(&self, ds: &Dataset) -> f64 {
-        let avg = (0..3).map(|ax| ds.average_side(ax)).sum::<f64>() / 3.0;
+        self.min_local_cell_size_of_objects(ds.objects())
+    }
+
+    /// The bare-slice form of [`TouchConfig::min_local_cell_size_of`]: identical
+    /// arithmetic (same summation order, so the result is bit-identical to the
+    /// [`Dataset`] form over the same objects) for callers that hold object
+    /// slices rather than datasets — the serving layer resolves its per-query
+    /// grid floor from the frozen generation's A-objects and the probe batch
+    /// through this.
+    pub fn min_local_cell_size_of_objects(&self, objects: &[touch_geom::SpatialObject]) -> f64 {
+        let side = |axis: usize| {
+            if objects.is_empty() {
+                return 0.0;
+            }
+            objects.iter().map(|o| o.mbr.side(axis)).sum::<f64>() / objects.len() as f64
+        };
+        let avg = (0..3).map(side).sum::<f64>() / 3.0;
         avg * self.min_cell_factor
     }
 

@@ -398,6 +398,16 @@ impl TouchTree {
         self.assigned_b as usize
     }
 
+    /// The nodes currently holding at least one assigned B-object, in
+    /// first-assignment order (the raw touched-node bookkeeping;
+    /// [`TouchTree::nodes_with_assignments`] is the join-ready, sorted and
+    /// A-filtered view). Lets incremental callers — the sliding-window engine —
+    /// diff per-node list lengths in O(touched) instead of O(all nodes).
+    #[inline]
+    pub fn touched_nodes(&self) -> &[u32] {
+        &self.touched
+    }
+
     /// Stores one B-object at `node`, maintaining the assignment bookkeeping (the
     /// touched-node list and the running count). Every assignment path —
     /// [`TouchTree::assign`] and [`TouchTree::extend_assigned`] — funnels through
@@ -506,6 +516,43 @@ impl TouchTree {
         self.assigned_b = 0;
     }
 
+    /// Retracts assigned B-objects from the **front** of the listed nodes'
+    /// per-node lists: each `(node, count)` entry drops that node's `count`
+    /// oldest assignments. Assignments are stored in arrival order and epochs
+    /// arrive in order, so the front of every list is exactly what the oldest
+    /// epoch put there — this is the sliding-window eviction primitive: instead
+    /// of [`TouchTree::clear_assignment`] (drop *everything*), a windowed
+    /// stream retracts one expired epoch and keeps the rest.
+    ///
+    /// All assignment bookkeeping is maintained: the running count shrinks, and
+    /// nodes whose list becomes empty leave the touched list (a later
+    /// assignment re-adds them; a stale entry would otherwise be double-listed
+    /// and double-joined). Capacities are kept, like `clear_assignment`.
+    ///
+    /// # Panics
+    /// Panics if a node index is out of range or `count` exceeds what the node
+    /// currently holds — both indicate corrupted eviction records.
+    pub fn retract_assigned(&mut self, retractions: impl IntoIterator<Item = (usize, usize)>) {
+        let mut removed = 0u64;
+        let mut emptied = false;
+        for (node, count) in retractions {
+            let items = &mut self.nodes[node].b_items;
+            assert!(
+                count <= items.len(),
+                "retracting {count} B-objects from node {node} holding {}",
+                items.len()
+            );
+            items.drain(..count);
+            emptied |= items.is_empty();
+            removed += count as u64;
+        }
+        self.assigned_b -= removed;
+        if emptied {
+            let nodes = &self.nodes;
+            self.touched.retain(|&n| !nodes[n as usize].b_items.is_empty());
+        }
+    }
+
     /// Indices of the nodes the join phase has to visit: nodes holding at least one
     /// B-object over a non-empty A-subtree. These are the independent work units a
     /// parallel scheduler distributes; joining them in any order, each exactly once,
@@ -611,9 +658,35 @@ impl TouchTree {
         counters: &mut Counters,
         emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
     ) -> usize {
+        self.local_join_node_ext(
+            index,
+            self.nodes[index].assigned_b(),
+            params,
+            scratch,
+            counters,
+            emit,
+        )
+    }
+
+    /// The form of [`TouchTree::local_join_node`] that takes the node's
+    /// B-objects **externally** instead of reading the tree's own assignment
+    /// lists. This is the read-only join path of the serving layer: a frozen
+    /// `Arc`-held tree can be joined concurrently by many readers, each holding
+    /// its per-node B-lists in its own [`crate::AssignmentBuffer`]. With
+    /// `b_objs == node.assigned_b()` it is exactly `local_join_node` — the
+    /// strategy cutoff consults only the A side, so where the B-list lives
+    /// cannot change the computation.
+    pub fn local_join_node_ext(
+        &self,
+        index: usize,
+        b_objs: &[SpatialObject],
+        params: &LocalJoinParams,
+        scratch: &mut LocalJoinScratch,
+        counters: &mut Counters,
+        emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
+    ) -> usize {
         let node = &self.nodes[index];
         let a_objs = self.subtree_a_objects(node);
-        let b_objs = node.assigned_b();
         // The grid→all-pairs degradation for small nodes lives in
         // `LocalJoinParams::effective_kind`, shared with the trace labelling.
         // The cutoff must not consult the B count: the B side of a node may
@@ -653,20 +726,46 @@ impl TouchTree {
         trace: &dyn TraceSink,
         worker: usize,
     ) -> usize {
+        self.local_join_node_ext_traced(
+            index,
+            self.nodes[index].assigned_b(),
+            params,
+            scratch,
+            counters,
+            emit,
+            trace,
+            worker,
+        )
+    }
+
+    /// Traced form of [`TouchTree::local_join_node_ext`] (see
+    /// [`TouchTree::local_join_node_traced`] for the span contents).
+    #[allow(clippy::too_many_arguments)]
+    pub fn local_join_node_ext_traced(
+        &self,
+        index: usize,
+        b_objs: &[SpatialObject],
+        params: &LocalJoinParams,
+        scratch: &mut LocalJoinScratch,
+        counters: &mut Counters,
+        emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
+        trace: &dyn TraceSink,
+        worker: usize,
+    ) -> usize {
         if !trace.is_enabled() {
-            return self.local_join_node(index, params, scratch, counters, emit);
+            return self.local_join_node_ext(index, b_objs, params, scratch, counters, emit);
         }
-        let node = &self.nodes[index];
-        let a_count = node.a_count();
-        let b_count = node.assigned_b().len();
+        let a_count = self.nodes[index].a_count();
+        let b_count = b_objs.len();
         let strategy = params.effective_kind(a_count).name();
         let comparisons_before = counters.comparisons;
         let mut pairs = 0u64;
         let start_us = trace.now_us();
-        let aux = self.local_join_node(index, params, scratch, counters, &mut |a, b| {
-            pairs += 1;
-            emit(a, b)
-        });
+        let aux =
+            self.local_join_node_ext(index, b_objs, params, scratch, counters, &mut |a, b| {
+                pairs += 1;
+                emit(a, b)
+            });
         trace.record(TraceEvent::NodeJoin {
             node: index,
             worker,

@@ -101,11 +101,18 @@ impl Histogram {
     /// upper edge of the first bucket whose cumulative count reaches
     /// `ceil(q × count)`, clamped to the exact observed `max` (and `min` from
     /// below). Returns 0 while empty.
+    ///
+    /// Out-of-range `q` is clamped to `[0, 1]`, and a NaN `q` is defined to
+    /// behave like `q = 1.0` (it reads as "no valid quantile requested", and
+    /// the max is the only answer that cannot understate tail latency) —
+    /// `f64::clamp` would otherwise pass NaN straight through and silently
+    /// select the lowest bucket.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -177,6 +184,23 @@ mod tests {
         // p0 clamps to min from below.
         assert_eq!(h.percentile(0.0), 1);
         assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentile_defines_out_of_range_and_nan_queries() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Out-of-range q clamps to the nearest valid quantile.
+        assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+        assert_eq!(h.percentile(7.5), h.percentile(1.0));
+        assert_eq!(h.percentile(f64::NEG_INFINITY), h.percentile(0.0));
+        assert_eq!(h.percentile(f64::INFINITY), h.percentile(1.0));
+        // NaN behaves like q = 1.0 instead of silently picking the lowest bucket.
+        assert_eq!(h.percentile(f64::NAN), h.percentile(1.0));
+        assert_eq!(h.percentile(f64::NAN), 100);
+        assert_eq!(Histogram::new().percentile(f64::NAN), 0, "empty stays 0 for any q");
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub struct RunReport {
     /// Skew summary of the execution trace. `None` unless the run was traced
     /// (see `TraceSink` — a disabled sink produces no summary by design).
     pub trace: Option<TraceSummary>,
+    /// The serving-layer generation this run executed against. `None` outside
+    /// the serving layer; `touch-serve` stamps the generation number a snapshot
+    /// query ran on. JSON-only — the CSV columns stay unchanged.
+    pub generation: Option<u64>,
 }
 
 impl RunReport {
@@ -102,6 +106,7 @@ impl RunReport {
             epochs: 1,
             plan: None,
             trace: None,
+            generation: None,
         }
     }
 
@@ -229,6 +234,9 @@ impl RunReport {
                 let _ = write!(out, ",\"trace\":{}", t.to_json());
             }
             None => out.push_str(",\"trace\":null"),
+        }
+        if let Some(generation) = self.generation {
+            let _ = write!(out, ",\"generation\":{generation}");
         }
         out.push('}');
         out
@@ -447,11 +455,23 @@ mod tests {
             workers: vec![],
             epochs: 0,
             steals: 0,
+            generations: 0,
+            evictions: 0,
         });
         let json = r.to_json();
         assert!(json.contains("\"plan\":\"sequential:p64:f2:c500:ap8\""));
         assert!(json.contains("\"planning_s\":0.002000"));
         assert!(json.contains("\"trace\":{\"node_time_us\":"));
+    }
+
+    #[test]
+    fn to_json_stamps_the_serving_generation_only_when_present() {
+        let mut r = RunReport::new("TOUCH-SERVE", 10, 20);
+        assert!(!r.to_json().contains("\"generation\""), "absent outside the serving layer");
+        r.generation = Some(7);
+        assert!(r.to_json().contains("\"generation\":7"));
+        // And the CSV shape is unaffected either way.
+        assert_eq!(RunReport::csv_header().split(',').count(), r.to_csv_row().split(',').count());
     }
 
     #[test]

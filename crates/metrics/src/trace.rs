@@ -18,7 +18,7 @@ use crate::{Histogram, Phase};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// One traced occurrence. Spans carry `start_us`/`duration_us` microsecond
@@ -89,6 +89,30 @@ pub enum TraceEvent {
         /// Span length, µs.
         duration_us: u64,
     },
+    /// One serving-layer generation build (rebuild of the A-side tree folding
+    /// the pending delta, ending at the atomic publish).
+    Generation {
+        /// Generation number published (monotonic per server).
+        generation: u64,
+        /// Live A-objects in the published generation.
+        live: usize,
+        /// Buffered mutations folded into this generation.
+        delta: usize,
+        /// Start offset from the trace origin, µs.
+        start_us: u64,
+        /// Span length, µs.
+        duration_us: u64,
+    },
+    /// One sliding-window eviction: the oldest probe epoch leaves the window
+    /// (its per-node assignments are retracted instead of a full `reset()`).
+    Eviction {
+        /// Zero-based index of the evicted epoch within the stream.
+        epoch: usize,
+        /// Probe objects retracted.
+        objects: usize,
+        /// Instant offset from the trace origin, µs.
+        at_us: u64,
+    },
 }
 
 /// Receiver for execution trace events.
@@ -147,14 +171,22 @@ impl ExecTrace {
         ExecTrace { origin: Instant::now(), events: Mutex::new(Vec::new()) }
     }
 
+    /// Locks the event buffer, recovering from poisoning: a traced worker that
+    /// panics mid-`record` poisons the mutex, but the buffer only ever holds
+    /// complete `TraceEvent`s (each `push` is atomic with respect to the
+    /// guard), so the data is still sound and the trace must stay usable.
+    fn lock_events(&self) -> MutexGuard<'_, Vec<TraceEvent>> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Snapshot of the recorded events, in arrival order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().unwrap().clone()
+        self.lock_events().clone()
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        self.lock_events().len()
     }
 
     /// Whether nothing has been recorded yet.
@@ -166,14 +198,14 @@ impl ExecTrace {
     /// can be reused across runs without mixing their timelines.
     pub fn reset(&mut self) {
         self.origin = Instant::now();
-        self.events.get_mut().unwrap().clear();
+        self.events.get_mut().unwrap_or_else(PoisonError::into_inner).clear();
     }
 
     /// Renders the trace in Chrome `trace_events` JSON (the format
     /// `chrome://tracing` and Perfetto load). Spans become `"X"` complete
     /// events with the worker id as `tid`; steals become `"i"` instant events.
     pub fn to_chrome_json(&self) -> String {
-        let events = self.events.lock().unwrap();
+        let events = self.lock_events();
         let mut out = String::with_capacity(64 + events.len() * 96);
         out.push_str("{\"traceEvents\":[");
         for (i, ev) in events.iter().enumerate() {
@@ -228,6 +260,20 @@ impl ExecTrace {
                         start_us, duration_us, epoch, batch_size
                     );
                 }
+                TraceEvent::Generation { generation, live, delta, start_us, duration_us } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"generation\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":{},\"dur\":{},\"args\":{{\"generation\":{},\"live\":{},\"delta\":{}}}}}",
+                        start_us, duration_us, generation, live, delta
+                    );
+                }
+                TraceEvent::Eviction { epoch, objects, at_us } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"eviction\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":0,\"ts\":{},\"args\":{{\"epoch\":{},\"objects\":{}}}}}",
+                        at_us, epoch, objects
+                    );
+                }
             }
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
@@ -238,7 +284,7 @@ impl ExecTrace {
     /// percentiles and a per-worker utilization table.
     pub fn text_profile(&self) -> String {
         let s = self.summary_inner();
-        let events = self.events.lock().unwrap();
+        let events = self.lock_events();
         let mut out = String::new();
         let _ = writeln!(out, "== execution trace profile ==");
         let _ = writeln!(
@@ -281,13 +327,15 @@ impl ExecTrace {
     }
 
     fn summary_inner(&self) -> TraceSummary {
-        let events = self.events.lock().unwrap();
+        let events = self.lock_events();
         let mut node_time_us = Histogram::new();
         let mut candidates = Histogram::new();
         let mut pairs_per_node = Histogram::new();
         let mut workers: BTreeMap<usize, WorkerStats> = BTreeMap::new();
         let mut epochs = 0usize;
         let mut steals = 0u64;
+        let mut generations = 0usize;
+        let mut evictions = 0u64;
         for ev in events.iter() {
             match ev {
                 TraceEvent::NodeJoin { worker, candidates: c, pairs, duration_us, .. } => {
@@ -320,6 +368,8 @@ impl ExecTrace {
                         .steals += 1;
                 }
                 TraceEvent::Epoch { .. } => epochs += 1,
+                TraceEvent::Generation { .. } => generations += 1,
+                TraceEvent::Eviction { .. } => evictions += 1,
                 TraceEvent::Phase { .. } => {}
             }
         }
@@ -330,6 +380,8 @@ impl ExecTrace {
             workers: workers.into_values().collect(),
             epochs,
             steals,
+            generations,
+            evictions,
         }
     }
 }
@@ -340,7 +392,7 @@ impl TraceSink for ExecTrace {
     }
 
     fn record(&self, event: TraceEvent) {
-        self.events.lock().unwrap().push(event);
+        self.lock_events().push(event);
     }
 
     fn now_us(&self) -> u64 {
@@ -383,6 +435,10 @@ pub struct TraceSummary {
     pub epochs: usize,
     /// Total successful work-steals.
     pub steals: u64,
+    /// Serving generations published (0 outside the serving layer).
+    pub generations: usize,
+    /// Sliding-window epochs evicted (0 outside windowed runs).
+    pub evictions: u64,
 }
 
 impl TraceSummary {
@@ -413,13 +469,15 @@ impl TraceSummary {
         }
         workers.push(']');
         format!(
-            "{{\"node_time_us\":{},\"candidates\":{},\"pairs_per_node\":{},\"workers\":{},\"epochs\":{},\"steals\":{}}}",
+            "{{\"node_time_us\":{},\"candidates\":{},\"pairs_per_node\":{},\"workers\":{},\"epochs\":{},\"steals\":{},\"generations\":{},\"evictions\":{}}}",
             hist_json(&self.node_time_us),
             hist_json(&self.candidates),
             hist_json(&self.pairs_per_node),
             workers,
             self.epochs,
-            self.steals
+            self.steals,
+            self.generations,
+            self.evictions
         )
     }
 }
@@ -462,6 +520,14 @@ mod tests {
         });
         t.record(TraceEvent::Steal { worker: 1, victim: 0, at_us: 129 });
         t.record(TraceEvent::Epoch { epoch: 0, batch_size: 35, start_us: 100, duration_us: 90 });
+        t.record(TraceEvent::Generation {
+            generation: 2,
+            live: 1000,
+            delta: 64,
+            start_us: 200,
+            duration_us: 40,
+        });
+        t.record(TraceEvent::Eviction { epoch: 0, objects: 35, at_us: 250 });
         t
     }
 
@@ -482,6 +548,8 @@ mod tests {
         assert_eq!(s.pairs_per_node.sum, 5);
         assert_eq!(s.epochs, 1);
         assert_eq!(s.steals, 1);
+        assert_eq!(s.generations, 1);
+        assert_eq!(s.evictions, 1);
         assert_eq!(s.workers.len(), 2);
         assert_eq!(s.workers[0].worker, 0);
         assert_eq!(s.workers[0].nodes, 1);
@@ -495,7 +563,15 @@ mod tests {
         let json = sample_trace().to_chrome_json();
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with('}'));
-        for needle in ["\"build\"", "\"assign-chunk\"", "\"node-join\"", "\"steal\"", "\"epoch\""] {
+        for needle in [
+            "\"build\"",
+            "\"assign-chunk\"",
+            "\"node-join\"",
+            "\"steal\"",
+            "\"epoch\"",
+            "\"generation\"",
+            "\"eviction\"",
+        ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         // Crude structural check: braces and brackets balance.
@@ -528,8 +604,42 @@ mod tests {
         let s = TraceSink::summary(&sample_trace()).unwrap();
         let json = s.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        for key in ["node_time_us", "candidates", "pairs_per_node", "workers", "epochs", "steals"] {
+        for key in [
+            "node_time_us",
+            "candidates",
+            "pairs_per_node",
+            "workers",
+            "epochs",
+            "steals",
+            "generations",
+            "evictions",
+        ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
         }
+    }
+
+    #[test]
+    fn trace_survives_a_poisoning_worker_panic() {
+        let t = std::sync::Arc::new(sample_trace());
+        let before = t.len();
+        // A traced worker that panics while holding the event lock poisons the
+        // mutex; the trace must keep recording and exporting afterwards.
+        let t2 = std::sync::Arc::clone(&t);
+        let joined = std::thread::spawn(move || {
+            let _guard = t2.events.lock().unwrap();
+            panic!("worker dies mid-record");
+        })
+        .join();
+        assert!(joined.is_err(), "worker must have panicked");
+        assert!(t.events.is_poisoned(), "panic under the lock poisons the mutex");
+
+        t.record(TraceEvent::Steal { worker: 3, victim: 1, at_us: 999 });
+        assert_eq!(t.len(), before + 1, "record still works after poisoning");
+        assert!(t.to_chrome_json().contains("\"steal\""));
+        assert!(TraceSink::summary(&*t).is_some());
+        assert!(!t.text_profile().is_empty());
+        let mut owned = std::sync::Arc::try_unwrap(t).expect("sole owner");
+        owned.reset();
+        assert!(owned.is_empty(), "reset recovers a poisoned buffer too");
     }
 }

@@ -54,8 +54,10 @@
 mod config;
 mod join;
 pub mod phases;
+mod pool;
 pub mod scheduler;
 pub mod sort;
 
 pub use config::ParallelConfig;
 pub use join::ParallelTouchJoin;
+pub use pool::ReaderPool;

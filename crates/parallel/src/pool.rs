@@ -1,0 +1,195 @@
+//! A small, long-lived worker pool for **serving readers**.
+//!
+//! The work-stealing scheduler in [`crate::scheduler`] is built for one join's
+//! fork/join phases: scoped threads, descending-cost deques, a barrier at the
+//! end. A serving workload is the opposite shape — a fixed set of threads that
+//! outlives any single query, each picking up independent jobs (snapshot joins
+//! against `touch-serve` generations) as they arrive. [`ReaderPool`] is that
+//! second shape: N threads sharing one queue, submission through
+//! [`ReaderPool::execute`], shutdown by dropping the pool (the queue closes and
+//! every worker drains what is left, then exits).
+//!
+//! Jobs are plain `FnOnce() + Send` closures; results travel through whatever
+//! channel the caller captures in them. The pool deliberately has no result
+//! plumbing, no panic recovery and no stealing — it is the thin serving-side
+//! complement to the join-side machinery, not a replacement for it.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-width pool of long-lived worker threads draining one shared job
+/// queue — the serving-side complement to the join-side work-stealing
+/// scheduler, for jobs that outlive any single query (snapshot joins against
+/// `touch-serve` generations). Jobs are plain `FnOnce() + Send` closures;
+/// results travel through whatever channel the caller captures in them.
+///
+/// Dropping the pool is an orderly shutdown: the queue closes, every already
+/// submitted job still runs, and the drop blocks until all workers have
+/// exited. A job that panics poisons nothing — the panic unwinds its worker
+/// thread only, and the drop surfaces it as a second panic so tests cannot
+/// silently lose work (detached failure is not an option for equivalence
+/// suites).
+#[derive(Debug)]
+pub struct ReaderPool {
+    /// `Some` until drop: workers exit when every sender is gone.
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ReaderPool {
+    /// Spawns `threads` workers (at least one) around an empty queue.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("touch-reader-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the dequeue, never the job.
+                        let job = match receiver.lock() {
+                            Ok(guard) => guard.recv(),
+                            // A sibling panicked while holding the lock
+                            // mid-recv; the queue itself is untouched.
+                            Err(poisoned) => poisoned.into_inner().recv(),
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => return, // queue closed: pool is dropping
+                        }
+                    })
+                    .expect("spawning a reader thread")
+            })
+            .collect();
+        ReaderPool { sender: Some(sender), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one job; some idle worker will run it. Never blocks.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("the sender lives until drop")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Submits every job in `jobs` and blocks until **all of them** finished —
+    /// the fork/join convenience for tests and benchmarks. Jobs submitted by
+    /// other threads in the meantime are unaffected.
+    pub fn run_all(&self, jobs: Vec<Job>) {
+        let (done, finished) = channel();
+        let count = jobs.len();
+        for job in jobs {
+            let done = done.clone();
+            self.execute(move || {
+                job();
+                let _ = done.send(());
+            });
+        }
+        drop(done);
+        for _ in 0..count {
+            finished.recv().expect("a submitted job vanished");
+        }
+    }
+}
+
+impl Drop for ReaderPool {
+    fn drop(&mut self) {
+        // Closing the queue is the shutdown signal; then reap every worker.
+        drop(self.sender.take());
+        let mut failure = None;
+        for worker in self.workers.drain(..) {
+            if let Err(panic) = worker.join() {
+                failure = Some(panic);
+            }
+        }
+        if let Some(panic) = failure {
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_submitted_job_runs_exactly_once() {
+        let pool = ReaderPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // shutdown drains the queue
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn run_all_is_a_barrier() {
+        let pool = ReaderPool::new(3);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<super::Job> = (0..24)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as super::Job
+            })
+            .collect();
+        pool.run_all(jobs);
+        assert_eq!(hits.load(Ordering::Relaxed), 24, "run_all returned before its jobs");
+    }
+
+    #[test]
+    fn jobs_really_spread_over_multiple_threads() {
+        let pool = ReaderPool::new(2);
+        let (tx, rx) = channel();
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        for _ in 0..2 {
+            let tx = tx.clone();
+            let barrier = Arc::clone(&barrier);
+            pool.execute(move || {
+                // Meeting at a barrier is only possible on distinct threads.
+                barrier.wait();
+                let _ = tx.send(std::thread::current().id());
+            });
+        }
+        let first = rx.recv().unwrap();
+        let second = rx.recv().unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn zero_threads_rounds_up_to_one() {
+        let pool = ReaderPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(7usize).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "reader job panicked")]
+    fn a_panicking_job_is_surfaced_at_drop() {
+        let pool = ReaderPool::new(1);
+        pool.execute(|| panic!("reader job panicked"));
+        drop(pool);
+    }
+}

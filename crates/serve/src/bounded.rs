@@ -1,0 +1,234 @@
+//! Bounded-memory result sinks for long-running serving workloads.
+//!
+//! A server answering queries for hours cannot hand every query an unbounded
+//! [`CollectingSink`](touch_core::CollectingSink): one pathological query
+//! materialising a billion pairs takes the process down. A [`BoundedSink`]
+//! caps the buffered pairs at a fixed capacity and applies an
+//! [`OverflowPolicy`] when the cap is reached — **spill** the full buffer to a
+//! caller-supplied consumer and keep going (bounded memory, complete results),
+//! or **truncate** by early-terminating the join through the standard
+//! [`PairSink::is_done`] protocol (bounded memory *and* bounded work).
+
+use touch_core::PairSink;
+use touch_geom::ObjectId;
+
+/// The spill consumer of a flushing [`BoundedSink`]: receives each full buffer
+/// (and the final tail) exactly once, in arrival order.
+type SpillFn<'a> = Box<dyn FnMut(&[(ObjectId, ObjectId)]) + 'a>;
+
+/// What a [`BoundedSink`] does when its buffer reaches capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Hand the full buffer to the spill consumer and clear it; the join runs
+    /// to completion and every pair reaches the consumer exactly once
+    /// (remaining buffered pairs are spilled at [`PairSink::finish`]).
+    Flush,
+    /// Accept no pair beyond capacity: report done, so the engine stops the
+    /// join early — the serving-side twin of
+    /// [`FirstKSink`](touch_core::FirstKSink), phrased as a memory bound.
+    Truncate,
+}
+
+/// A [`PairSink`] whose buffered memory never exceeds a fixed number of pairs
+/// — **spill** complete results through a consumer at a fixed buffer size
+/// ([`BoundedSink::flushing`]) or **truncate** and stop the join early
+/// ([`BoundedSink::truncating`]).
+pub struct BoundedSink<'a> {
+    capacity: usize,
+    buffer: Vec<(ObjectId, ObjectId)>,
+    policy: OverflowPolicy,
+    spill: Option<SpillFn<'a>>,
+    /// Pairs handed to the spill consumer so far.
+    spilled: u64,
+}
+
+impl std::fmt::Debug for BoundedSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedSink")
+            .field("capacity", &self.capacity)
+            .field("buffered", &self.buffer.len())
+            .field("policy", &self.policy)
+            .field("spilled", &self.spilled)
+            .finish()
+    }
+}
+
+impl<'a> BoundedSink<'a> {
+    /// A spilling sink: holds at most `capacity` pairs (at least one) and
+    /// hands full buffers to `spill` — a writer, a compressor, a shipping
+    /// queue. Every accepted pair reaches `spill` exactly once, in arrival
+    /// order, once the query layer calls [`PairSink::finish`].
+    pub fn flushing(capacity: usize, spill: impl FnMut(&[(ObjectId, ObjectId)]) + 'a) -> Self {
+        let capacity = capacity.max(1);
+        BoundedSink {
+            capacity,
+            buffer: Vec::with_capacity(capacity),
+            policy: OverflowPolicy::Flush,
+            spill: Some(Box::new(spill)),
+            spilled: 0,
+        }
+    }
+
+    /// A truncating sink: keeps the first `capacity` pairs (at least one) and
+    /// early-terminates the join once they have arrived.
+    pub fn truncating(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedSink {
+            capacity,
+            buffer: Vec::with_capacity(capacity),
+            policy: OverflowPolicy::Truncate,
+            spill: None,
+            spilled: 0,
+        }
+    }
+
+    /// The buffer capacity in pairs — the memory bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Pairs currently buffered (≤ [`capacity`](BoundedSink::capacity)).
+    pub fn buffered(&self) -> &[(ObjectId, ObjectId)] {
+        &self.buffer
+    }
+
+    /// Pairs handed to the spill consumer so far (always 0 under
+    /// [`OverflowPolicy::Truncate`]).
+    pub fn spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Total pairs accepted: spilled + currently buffered.
+    pub fn total(&self) -> u64 {
+        self.spilled + self.buffer.len() as u64
+    }
+
+    /// Restores the sink for the next query: clears the buffer and the spill
+    /// tally (capacity and policy are kept). As with
+    /// [`FirstKSink::reset`](touch_core::FirstKSink::reset), a truncating
+    /// sink's budget is consumed — reset it alongside whatever engine state
+    /// the next query starts from.
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.spilled = 0;
+    }
+
+    fn spill_buffer(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        if let Some(spill) = self.spill.as_mut() {
+            spill(&self.buffer);
+        }
+        self.spilled += self.buffer.len() as u64;
+        self.buffer.clear();
+    }
+}
+
+impl PairSink for BoundedSink<'_> {
+    fn push(&mut self, a: ObjectId, b: ObjectId) {
+        if self.policy == OverflowPolicy::Truncate && self.buffer.len() >= self.capacity {
+            // Tolerated per the PairSink contract: done is permission to
+            // stop, not an obligation — drop the overflow.
+            return;
+        }
+        self.buffer.push((a, b));
+        if self.policy == OverflowPolicy::Flush && self.buffer.len() >= self.capacity {
+            self.spill_buffer();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.policy == OverflowPolicy::Truncate && self.buffer.len() >= self.capacity
+    }
+
+    fn pair_limit(&self) -> Option<u64> {
+        match self.policy {
+            OverflowPolicy::Flush => None,
+            OverflowPolicy::Truncate => {
+                Some((self.capacity - self.buffer.len().min(self.capacity)) as u64)
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.policy == OverflowPolicy::Flush {
+            self.spill_buffer();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(sink: &mut BoundedSink<'_>, n: u32) {
+        let mut results = 0u64;
+        for i in 0..n {
+            if !touch_core::deliver(sink, i, i + 100, &mut results) {
+                break;
+            }
+        }
+        sink.finish();
+    }
+
+    #[test]
+    fn flushing_never_buffers_past_capacity_and_loses_nothing() {
+        let mut seen: Vec<(ObjectId, ObjectId)> = Vec::new();
+        {
+            let mut sink = BoundedSink::flushing(4, |chunk| seen.extend_from_slice(chunk));
+            for i in 0..11u32 {
+                sink.push(i, i);
+                assert!(sink.buffered().len() <= 4, "buffer exceeded its bound");
+            }
+            assert_eq!(sink.spilled(), 8, "two full buffers spilled");
+            sink.finish();
+            assert_eq!(sink.total(), 11);
+            assert!(sink.buffered().is_empty(), "finish drains the tail");
+        }
+        assert_eq!(seen, (0..11u32).map(|i| (i, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn truncating_reports_done_at_capacity() {
+        let mut sink = BoundedSink::truncating(3);
+        assert_eq!(sink.pair_limit(), Some(3));
+        feed(&mut sink, 10);
+        assert!(sink.is_done());
+        assert_eq!(sink.pair_limit(), Some(0));
+        assert_eq!(sink.buffered(), &[(0, 100), (1, 101), (2, 102)]);
+        assert_eq!(sink.total(), 3);
+        // Late pushes (engines may overshoot slightly) are tolerated, not kept.
+        sink.push(99, 99);
+        assert_eq!(sink.total(), 3);
+    }
+
+    #[test]
+    fn reset_restores_the_budget_for_the_next_query() {
+        let mut sink = BoundedSink::truncating(2);
+        feed(&mut sink, 5);
+        assert!(sink.is_done());
+        sink.reset();
+        assert!(!sink.is_done());
+        assert_eq!(sink.pair_limit(), Some(2));
+        feed(&mut sink, 5);
+        assert_eq!(sink.buffered(), &[(0, 100), (1, 101)]);
+    }
+
+    #[test]
+    fn capacity_zero_rounds_up_to_one() {
+        let mut flushed = 0u64;
+        {
+            let mut sink = BoundedSink::flushing(0, |chunk| flushed += chunk.len() as u64);
+            assert_eq!(sink.capacity(), 1);
+            feed(&mut sink, 3);
+        }
+        assert_eq!(flushed, 3, "every pair spills through the one-slot buffer");
+        assert_eq!(BoundedSink::truncating(0).capacity(), 1);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::EpochReport;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use touch_core::{
     deliver, DatasetStats, JoinPlan, JoinPlanner, PairSink, PlanEnv, ScratchPool,
     SpatialJoinAlgorithm, TouchConfig, TouchTree,
@@ -106,6 +107,16 @@ pub struct StreamingTouchJoin {
     /// the work list — retained across epochs *and* streams, so a warmed-up engine
     /// allocates nothing in its join phase.
     scratch: ScratchPool,
+    /// Sliding-window bookkeeping ([`StreamingTouchJoin::push_windowed`]): one
+    /// record per live epoch, oldest first, each listing `(node, count)` — how
+    /// many of that epoch's objects every node received. Eviction replays the
+    /// oldest record through [`TouchTree::retract_assigned`] instead of
+    /// clearing, so the rest of the window stays assigned. Empty outside
+    /// window mode.
+    window_records: VecDeque<Vec<(u32, u32)>>,
+    /// Per-node assigned count over the current window (lazily sized to the
+    /// tree): the baseline the next epoch's record is diffed against.
+    window_len: Vec<u32>,
 }
 
 impl StreamingTouchJoin {
@@ -197,6 +208,8 @@ impl StreamingTouchJoin {
             epochs: 0,
             streams: 1,
             scratch: ScratchPool::new(),
+            window_records: VecDeque::new(),
+            window_len: Vec::new(),
         }
     }
 
@@ -256,6 +269,9 @@ impl StreamingTouchJoin {
             threads: self.threads,
         };
         let epoch_start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
+        // Leaving window mode: the window's assignments go with the clear, so
+        // its records must not survive to mis-describe a later eviction.
+        self.clear_window();
         self.tree.clear_assignment();
         self.stream_stats.merge(&DatasetStats::from_objects(batch));
 
@@ -328,6 +344,185 @@ impl StreamingTouchJoin {
         report
     }
 
+    /// Joins `batch` as the newest epoch of a **sliding window** holding the
+    /// last `window` epochs: epochs that fall out of the window are *evicted* —
+    /// their per-node assignments retracted through
+    /// [`TouchTree::retract_assigned`] — instead of the all-or-nothing
+    /// [`TouchTree::clear_assignment`] of [`push_batch`], and the local joins
+    /// then run over **everything still in the window**, not just `batch`.
+    ///
+    /// The epoch's join output (pairs into `sink`, join-phase counters,
+    /// [`EpochReport::assigned`]) is bit-identical to a fresh engine that
+    /// assigned exactly the surviving epochs in arrival order: eviction drains
+    /// each node's list from the front, and arrival order within an epoch is
+    /// preserved at every thread count, so the window's per-node B-lists are
+    /// literally the concatenation of the surviving epochs' contributions.
+    /// Assignment counters remain per-batch (only `batch` descends the tree).
+    ///
+    /// Mixing modes is safe: a `push_windowed` after [`push_batch`] discards the
+    /// stale non-window epoch, and a `push_batch` (or
+    /// [`reset`](StreamingTouchJoin::reset)) drops the window.
+    ///
+    /// [`push_batch`]: StreamingTouchJoin::push_batch
+    pub fn push_windowed(
+        &mut self,
+        batch: &[SpatialObject],
+        window: usize,
+        sink: &mut dyn PairSink,
+    ) -> EpochReport {
+        self.push_windowed_traced(batch, window, sink, &NoTrace)
+    }
+
+    /// [`StreamingTouchJoin::push_windowed`] with an execution-trace sink
+    /// attached: the epoch records its [`TraceEvent::Epoch`] span as usual, and
+    /// every evicted epoch records a [`TraceEvent::Eviction`] instant.
+    pub fn push_windowed_traced(
+        &mut self,
+        batch: &[SpatialObject],
+        window: usize,
+        sink: &mut dyn PairSink,
+        trace: &dyn TraceSink,
+    ) -> EpochReport {
+        assert!(window >= 1, "a sliding window holds at least one epoch");
+        // Entering window mode after a push_batch: that epoch's assignments are
+        // still in the tree (push_batch clears at the *start* of the next
+        // call) but have no window record, so they could never be evicted.
+        if self.window_records.is_empty() {
+            self.tree.clear_assignment();
+        }
+
+        let mut report = EpochReport {
+            epoch: self.epochs,
+            batch_size: batch.len(),
+            assigned: 0,
+            counters: Counters::new(),
+            timer: touch_metrics::PhaseTimer::new(),
+            memory_bytes: 0,
+            threads: self.threads,
+        };
+        let epoch_start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
+        self.stream_stats.merge(&DatasetStats::from_objects(batch));
+
+        // Evict the epochs this push slides out of the window, oldest first,
+        // before the new batch arrives (their objects sit at the front of
+        // every per-node list, exactly what retract_assigned drains).
+        while self.window_records.len() >= window {
+            let evicted_epoch = self.epochs - self.window_records.len();
+            let record = self.window_records.pop_front().expect("len checked above");
+            let mut objects = 0usize;
+            for &(node, count) in &record {
+                self.window_len[node as usize] -= count;
+                objects += count as usize;
+            }
+            self.tree.retract_assigned(record.iter().map(|&(n, c)| (n as usize, c as usize)));
+            if trace.is_enabled() {
+                trace.record(TraceEvent::Eviction {
+                    epoch: evicted_epoch,
+                    objects,
+                    at_us: trace.now_us(),
+                });
+            }
+        }
+
+        let mut counters = Counters::new();
+        let assign_aux = report.timer.time(Phase::Assignment, || {
+            par_assign_traced(
+                &mut self.tree,
+                batch,
+                self.plan.chunk_size,
+                self.threads,
+                &mut counters,
+                trace,
+            )
+        });
+        // Unlike push_batch, `assigned` covers the whole surviving window —
+        // that is what the join below runs over.
+        report.assigned = self.tree.assigned_b_count();
+
+        // Diff the per-node list lengths against the pre-push window to record
+        // what this epoch contributed — the ledger its own eviction replays.
+        if self.window_len.len() < self.tree.node_count() {
+            self.window_len.resize(self.tree.node_count(), 0);
+        }
+        let mut record = Vec::new();
+        for &node in self.tree.touched_nodes() {
+            let cur = self.tree.node(node as usize).assigned_b().len() as u32;
+            let prev = self.window_len[node as usize];
+            if cur > prev {
+                record.push((node, cur - prev));
+                self.window_len[node as usize] = cur;
+            }
+        }
+        self.window_records.push_back(record);
+
+        let params = self.plan.params;
+        let tree = &self.tree;
+        let pool = &mut self.scratch;
+        let join_aux = report.timer.time(Phase::Join, || {
+            if self.threads <= 1 {
+                let mut results = 0u64;
+                let aux = tree.join_assigned_traced(
+                    &params,
+                    pool.primary(),
+                    &mut counters,
+                    &mut |a_id, b_id| deliver(sink, a_id, b_id, &mut results),
+                    trace,
+                    0,
+                );
+                counters.results += results;
+                aux
+            } else {
+                par_join_into_traced(
+                    tree,
+                    &params,
+                    self.threads,
+                    false,
+                    sink,
+                    pool,
+                    &mut counters,
+                    trace,
+                )
+            }
+        });
+
+        report.counters = counters;
+        report.memory_bytes = self.tree.memory_bytes() + assign_aux + join_aux;
+
+        if trace.is_enabled() {
+            trace.record(TraceEvent::Epoch {
+                epoch: report.epoch,
+                batch_size: report.batch_size,
+                start_us: epoch_start_us,
+                duration_us: trace.now_us().saturating_sub(epoch_start_us),
+            });
+        }
+
+        self.cumulative.merge_epoch(
+            report.batch_size,
+            &report.counters,
+            &report.timer,
+            report.memory_bytes,
+        );
+        self.epochs += 1;
+        report
+    }
+
+    /// Number of epochs currently held by the sliding window (0 outside
+    /// [window mode](StreamingTouchJoin::push_windowed)).
+    pub fn window_epochs(&self) -> usize {
+        self.window_records.len()
+    }
+
+    /// Drops all sliding-window bookkeeping (the matching assignments are the
+    /// caller's to clear — every call site pairs this with
+    /// [`TouchTree::clear_assignment`]).
+    fn clear_window(&mut self) {
+        self.window_records.clear();
+        // Cleared, not zeroed: the lazy resize in push_windowed_traced refills
+        // with zeros.
+        self.window_len.clear();
+    }
+
     /// Starts a new B stream over the same tree: clears the current assignments and
     /// rewinds the epoch counter and cumulative report to their post-build state.
     /// The tree itself — and therefore the amortised build investment — is kept.
@@ -340,6 +535,7 @@ impl StreamingTouchJoin {
     /// (partitions, fanout) stays as built. Explicitly configured engines keep
     /// their pinned parameters forever, exactly as before the planning layer.
     pub fn reset(&mut self) {
+        self.clear_window();
         self.tree.clear_assignment();
         if let Some(planner) = self.planner {
             if !self.stream_stats.is_empty() {
@@ -875,5 +1071,189 @@ mod tests {
         assert_eq!(engine.streams(), 1);
         assert!(engine.min_cell() > 0.0);
         assert_eq!(engine.tree().a_len(), a.len());
+    }
+
+    /// Splits `b` into `n` equal-ish batches.
+    fn batches(b: &Dataset, n: usize) -> Vec<&[SpatialObject]> {
+        b.objects().chunks(b.len().div_ceil(n).max(1)).collect()
+    }
+
+    /// After any number of older epochs were evicted, the newest epoch of a
+    /// sliding window must be bit-identical — pairs, full per-epoch counters,
+    /// window size — to a fresh engine that only ever saw the surviving epochs.
+    #[test]
+    fn windowed_epoch_matches_a_fresh_engine_over_the_surviving_window() {
+        let (a, b) = workloads();
+        let parts = batches(&b, 5);
+        for threads in [1, 4] {
+            // Slide a window of 2 across all five batches...
+            let mut slid = StreamingTouchJoin::build(&a, streaming_cfg(threads));
+            let mut slid_pairs = CollectingSink::new();
+            let mut slid_report = None;
+            for batch in &parts {
+                slid_pairs = CollectingSink::new(); // newest epoch's output only
+                slid_report = Some(slid.push_windowed(batch, 2, &mut slid_pairs));
+            }
+            assert_eq!(slid.window_epochs(), 2);
+
+            // ...and replay just the last two batches on a fresh engine.
+            let mut fresh = StreamingTouchJoin::build(&a, streaming_cfg(threads));
+            let mut fresh_pairs = CollectingSink::new();
+            let _ = fresh.push_windowed(parts[3], 2, &mut fresh_pairs);
+            let mut fresh_pairs = CollectingSink::new();
+            let fresh_report = fresh.push_windowed(parts[4], 2, &mut fresh_pairs);
+
+            let slid_report = slid_report.unwrap();
+            assert_eq!(
+                slid_pairs.sorted_pairs(),
+                fresh_pairs.sorted_pairs(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                slid_report.counters, fresh_report.counters,
+                "threads = {threads}: eviction must leave no trace in the epoch's counters"
+            );
+            assert_eq!(slid_report.assigned, fresh_report.assigned);
+
+            // And the window's pairs are exactly the brute force over its
+            // logical contents.
+            let mut brute = Vec::new();
+            for oa in a.iter() {
+                for ob in parts[3].iter().chain(parts[4].iter()) {
+                    if oa.mbr.intersects(&ob.mbr) {
+                        brute.push((oa.id, ob.id));
+                    }
+                }
+            }
+            brute.sort_unstable();
+            assert_eq!(slid_pairs.sorted_pairs(), brute, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn window_evictions_retract_assignments_and_record_trace_instants() {
+        let (a, b) = workloads();
+        let parts = batches(&b, 4);
+        let trace = touch_metrics::ExecTrace::new();
+        let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let mut sink = CountingSink::new();
+        let mut window_assigned = Vec::new();
+        for batch in &parts {
+            let report = engine.push_windowed_traced(batch, 3, &mut sink, &trace);
+            window_assigned.push(report.assigned);
+        }
+        // Four pushes into a window of three: exactly one eviction, of epoch 0,
+        // and the window population reflects it.
+        assert_eq!(engine.window_epochs(), 3);
+        assert_eq!(engine.tree().assigned_b_count(), *window_assigned.last().unwrap());
+        let evictions: Vec<_> = trace
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Eviction { epoch, objects, .. } => Some((epoch, objects)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evictions.len(), 1);
+        assert_eq!(evictions[0].0, 0, "the oldest epoch leaves first");
+        assert_eq!(
+            evictions[0].1, window_assigned[0],
+            "the eviction retracts exactly what epoch 0 assigned"
+        );
+        assert_eq!(trace.summary().expect("recording sink").evictions, 1);
+
+        // A window of 1 degenerates to per-epoch joins: every push evicts.
+        let mut narrow = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let mut narrow_sink = CollectingSink::new();
+        for batch in &parts {
+            narrow_sink = CollectingSink::new();
+            let _ = narrow.push_windowed(batch, 1, &mut narrow_sink);
+        }
+        let mut fresh = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let mut fresh_sink = CollectingSink::new();
+        let _ = fresh.push_batch(parts[3], &mut fresh_sink);
+        assert_eq!(narrow_sink.sorted_pairs(), fresh_sink.sorted_pairs());
+    }
+
+    #[test]
+    fn window_and_batch_modes_do_not_leak_into_each_other() {
+        let (a, b) = workloads();
+        let parts = batches(&b, 3);
+
+        // push_batch then push_windowed: the batch epoch's assignments (still
+        // in the tree) must not join into the window.
+        let mut mixed = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let mut sink = CountingSink::new();
+        let _ = mixed.push_batch(parts[0], &mut sink);
+        let mut mixed_sink = CollectingSink::new();
+        let _ = mixed.push_windowed(parts[1], 4, &mut mixed_sink);
+        let mut fresh = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let mut fresh_sink = CollectingSink::new();
+        let _ = fresh.push_windowed(parts[1], 4, &mut fresh_sink);
+        assert_eq!(mixed_sink.sorted_pairs(), fresh_sink.sorted_pairs());
+
+        // push_windowed then push_batch: the window must be dropped wholesale.
+        let mut back = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let mut back_sink = CollectingSink::new();
+        let _ = back.push_windowed(parts[0], 4, &mut back_sink);
+        assert_eq!(back.window_epochs(), 1);
+        let mut batch_sink = CollectingSink::new();
+        let _ = back.push_batch(parts[2], &mut batch_sink);
+        assert_eq!(back.window_epochs(), 0, "push_batch ends window mode");
+        let mut fresh_sink = CollectingSink::new();
+        let _ =
+            StreamingTouchJoin::build(&a, streaming_cfg(1)).push_batch(parts[2], &mut fresh_sink);
+        assert_eq!(batch_sink.sorted_pairs(), fresh_sink.sorted_pairs());
+    }
+
+    #[test]
+    fn reset_clears_the_window() {
+        let (a, b) = workloads();
+        let parts = batches(&b, 3);
+        let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let mut sink = CountingSink::new();
+        for batch in &parts {
+            let _ = engine.push_windowed(batch, 3, &mut sink);
+        }
+        assert_eq!(engine.window_epochs(), 3);
+        engine.reset();
+        assert_eq!(engine.window_epochs(), 0);
+        assert_eq!(engine.tree().assigned_b_count(), 0);
+        // The next windowed stream starts from scratch.
+        let mut second = CollectingSink::new();
+        let _ = engine.push_windowed(parts[0], 3, &mut second);
+        let mut fresh_sink = CollectingSink::new();
+        let _ = StreamingTouchJoin::build(&a, streaming_cfg(1)).push_windowed(
+            parts[0],
+            3,
+            &mut fresh_sink,
+        );
+        assert_eq!(second.sorted_pairs(), fresh_sink.sorted_pairs());
+    }
+
+    /// The cross-stream leak behind `FirstKSink::reset`: the engine's `reset`
+    /// cannot reach into the caller's sink, so an early-terminating stream 2
+    /// only behaves like stream 1 if the sink's budget is restored too.
+    #[test]
+    fn first_k_streams_repeat_identically_when_the_sink_resets_with_the_engine() {
+        let (a, b) = workloads();
+        let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(1));
+        let mut sink = touch_core::FirstKSink::new(3);
+        let first = engine.push_batch(b.objects(), &mut sink);
+        assert_eq!(sink.count(), 3);
+        let stream1_pairs = sink.pairs().to_vec();
+
+        // Without the sink reset the budget is spent: stream 2 accepts nothing.
+        engine.reset();
+        let stale = engine.push_batch(b.objects(), &mut sink);
+        assert_eq!(sink.count(), 3, "a consumed budget admits no further pairs");
+        assert_eq!(stale.results(), 0);
+
+        // With it, stream 2 is indistinguishable from stream 1.
+        engine.reset();
+        sink.reset();
+        let second = engine.push_batch(b.objects(), &mut sink);
+        assert_eq!(sink.pairs(), stream1_pairs.as_slice());
+        assert_eq!(second.summary(), first.summary());
     }
 }

@@ -19,7 +19,12 @@
 //!   deterministically equivalent to [`TouchJoin`] at every thread count,
 //! * [`streaming`] — the batched/streaming engine ([`StreamingTouchJoin`]): one
 //!   persistent tree over A serving epoch after epoch of B, any epoch split exactly
-//!   reproducing the one-shot join,
+//!   reproducing the one-shot join — including sliding-window epochs that *evict*
+//!   the oldest batches instead of resetting,
+//! * [`serve`] — the concurrent serving layer ([`JoinServer`]): a mutable A-side
+//!   behind lock-free generation snapshots, queried by any number of
+//!   [`SnapshotReader`] threads while the writer buffers mutations and publishes
+//!   the next generation atomically,
 //! * [`baselines`] — the competitor algorithms of the paper's evaluation,
 //! * [`metrics`] — counters, timers and [`RunReport`]s.
 //!
@@ -116,6 +121,7 @@ pub use touch_geom as geom;
 pub use touch_index as index;
 pub use touch_metrics as metrics;
 pub use touch_parallel as parallel;
+pub use touch_serve as serve;
 pub use touch_streaming as streaming;
 
 // The most common types, re-exported at the top level for convenience.
@@ -124,10 +130,11 @@ pub use touch_baselines::{
     S3Join, SeededTreeJoin,
 };
 pub use touch_core::{
-    collect_join, count_join, distance_join, AutoJoin, CallbackSink, CollectingSink, CountingSink,
-    DatasetStats, ExecutionStrategy, FirstKSink, IntoEngine, JoinOrder, JoinPlan, JoinPlanner,
-    JoinQuery, LocalJoinParams, LocalJoinScratch, LocalJoinStrategy, PairSink, PlanEnv, Predicate,
-    ScratchPool, ShardedSink, SinkShard, SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
+    collect_join, count_join, distance_join, AssignmentBuffer, AutoJoin, CallbackSink,
+    CollectingSink, CountingSink, DatasetStats, ExecutionStrategy, FirstKSink, IntoEngine,
+    JoinOrder, JoinPlan, JoinPlanner, JoinQuery, LocalJoinParams, LocalJoinScratch,
+    LocalJoinStrategy, PairSink, PlanEnv, Predicate, ScratchPool, ShardedSink, SinkShard,
+    SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
 };
 pub use touch_datagen::{NeuroscienceSpec, SyntheticDistribution, SyntheticSpec};
 pub use touch_geom::{Aabb, Cylinder, Dataset, ObjectId, Point3, SpatialObject};
@@ -135,7 +142,10 @@ pub use touch_metrics::{
     Counters, ExecTrace, Histogram, NoTrace, Phase, PlanSummary, RunReport, TraceEvent, TraceSink,
     TraceSummary, WorkerStats,
 };
-pub use touch_parallel::{ParallelConfig, ParallelTouchJoin};
+pub use touch_parallel::{ParallelConfig, ParallelTouchJoin, ReaderPool};
+pub use touch_serve::{
+    BoundedSink, GenCell, Generation, JoinServer, OverflowPolicy, ServeConfig, SnapshotReader,
+};
 pub use touch_streaming::{
     EpochReport, EpochSummary, OneShotStreaming, StreamingConfig, StreamingTouchJoin,
 };
