@@ -3,7 +3,9 @@
 //! Runs the three TOUCH engines (sequential, parallel, streaming) **plus the
 //! auto-planner** (`Engine::Auto` at a pinned 4-thread budget) **plus the
 //! serving layer** (`JoinServer` snapshot queries under a per-rep
-//! mutate/publish cycle) over pinned synthetic workloads and writes
+//! mutate/publish cycle) **plus the tick loop** (`touch-sim` kernel mode, a
+//! pinned moving world self-joined for a fixed tick count) over pinned
+//! synthetic workloads and writes
 //! `BENCH_core.json` with **wall-time derived
 //! throughput** (pairs/sec, join-phase pairs/sec), the **machine-independent
 //! work counters** (comparisons, node tests, replicas) and — for planned runs —
@@ -38,7 +40,7 @@
 //! (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
 
 use std::time::Instant;
-use touch::AutoEngine;
+use touch::{AutoEngine, TickConfig, TickEngine, World};
 use touch_core::{CountingSink, JoinOrder, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
 use touch_datagen::SyntheticDistribution;
 use touch_experiments::{workload, Context};
@@ -362,6 +364,34 @@ fn run_serve(w: &Workload, reps: usize) -> Vec<RunReport> {
         .collect()
 }
 
+/// Ticks per tick-loop repetition: enough to reach the reuse steady state
+/// (tree buffer, scratch, plan) while keeping the smoke runtime small.
+const TICKS_PER_REP: usize = 8;
+
+/// Tick loop: a moving world of |A| entities (derived from the workload's seed)
+/// joined with itself every tick for [`TICKS_PER_REP`] ticks, kernel mode at a
+/// pinned 4-thread budget, counting only. The recorded counters are the ticks'
+/// cumulative work — deterministic for the pinned world, so the gate covers the
+/// simulation path like any one-shot engine; the wall clock is the whole run,
+/// making `pairs_per_sec` the loop's sustained pair throughput.
+fn run_tick(w: &Workload, ctx: &Context, reps: usize) -> Vec<RunReport> {
+    (0..reps)
+        .map(|_| {
+            let config = TickConfig::default().with_epsilon(w.eps).with_threads(4).counting_only();
+            let mut engine = TickEngine::new(World::random(w.a.len(), ctx.seed_a), config);
+            let started = Instant::now();
+            engine.run(TICKS_PER_REP);
+            let mut report = RunReport::new("tick", w.a.len(), w.a.len());
+            report.epsilon = w.eps;
+            report.threads = engine.plan().threads();
+            report.counters = *engine.counters();
+            report.timer.add(Phase::Join, started.elapsed());
+            report.ticks = Some(engine.summary().clone());
+            report
+        })
+        .collect()
+}
+
 /// A unit box strictly outside the dataset extent: folded in and out of the
 /// served generation without ever joining with anything.
 fn serve_dummy(a: &Dataset) -> Aabb {
@@ -544,6 +574,8 @@ fn main() {
         let auto = AutoEngine::with_threads(4);
         let (summary, _) = trace_one_shot(&auto, &w);
         cells.push(Cell::from_runs("auto".into(), &run_one_shot(&auto, &w, reps), summary));
+
+        cells.push(Cell::from_runs("tick".into(), &run_tick(&w, &ctx, reps), None));
 
         for c in &cells {
             let skew = c

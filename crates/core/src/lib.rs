@@ -85,8 +85,8 @@ pub use plan::{AutoJoin, ExecutionStrategy, JoinPlan, JoinPlanner, PlanEnv};
 pub use query::{IntoEngine, JoinQuery, Predicate};
 pub use scratch::{LocalJoinScratch, ScratchPool};
 pub use sink::{
-    deliver, CallbackSink, CollectingSink, CountingSink, FirstKSink, PairSink, ShardedSink,
-    SinkShard,
+    deliver, CallbackSink, CollectingSink, CountingSink, FirstKSink, PairSink, SelfPairSink,
+    ShardedSink, SinkShard,
 };
 pub use stats::{DatasetStats, EXTENT_BUCKETS};
 pub use touch::{time_phase_traced, JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};

@@ -343,7 +343,19 @@ impl JoinPlanner {
     pub fn plan(&self, a: &DatasetStats, b: &DatasetStats, env: &PlanEnv) -> JoinPlan {
         let build_on_a = a.count() <= b.count();
         let tree_count = if build_on_a { a.count() } else { b.count() };
-        self.plan_with_tree_side(a, b, env, build_on_a, tree_count)
+        let work = (a.count() + b.count()) as u64;
+        self.plan_with_tree_side(a, b, env, build_on_a, tree_count, work)
+    }
+
+    /// Plans a **self-join** of one dataset: the hierarchy is always on the
+    /// (single) input, every knob is derived from its statistics alone, and the
+    /// work estimate is halved relative to the naive `a ⋈ a` reading — a
+    /// self-join enumerates each unordered pair once, not both orientations.
+    ///
+    /// `a` must be the statistics of the dataset the engine will actually see —
+    /// for a distance self-join, the ε-extended view.
+    pub fn plan_self(&self, a: &DatasetStats, env: &PlanEnv) -> JoinPlan {
+        self.plan_with_tree_side(a, a, env, true, a.count(), a.count() as u64)
     }
 
     /// Plans a streaming join whose hierarchy is pinned to the tree dataset
@@ -357,7 +369,8 @@ impl JoinPlanner {
         probe: &DatasetStats,
         env: &PlanEnv,
     ) -> JoinPlan {
-        let plan = self.plan_with_tree_side(tree, probe, env, true, tree.count());
+        let work = (tree.count() + probe.count()) as u64;
+        let plan = self.plan_with_tree_side(tree, probe, env, true, tree.count(), work);
         let threads = match plan.strategy {
             ExecutionStrategy::Sequential => 1,
             s => s.threads(),
@@ -372,13 +385,13 @@ impl JoinPlanner {
         env: &PlanEnv,
         build_on_a: bool,
         tree_count: usize,
+        work: u64,
     ) -> JoinPlan {
         let target_leaf = Self::target_leaf_size(tree_count);
         let partitions = tree_count.div_ceil(target_leaf).clamp(1, 65_536);
         let fanout = if partitions > 4096 { 4 } else { 2 };
         let min_cell = self.min_cell_factor * a.mean_side_all_axes().max(b.mean_side_all_axes());
         let allpairs_max_a = (target_leaf / 16).clamp(8, 128);
-        let work = (a.count() + b.count()) as u64;
 
         let strategy = if env.pair_limit.is_some_and(|k| k <= self.early_stop_limit) {
             ExecutionStrategy::Sequential
@@ -480,6 +493,28 @@ impl SpatialJoinAlgorithm for AutoJoin {
         let env = PlanEnv::sequential().with_pair_limit(sink.pair_limit()).with_threads(1);
         let plan = self.planner.plan(&stats_a, &stats_b, &env);
         TouchJoin::from_plan(plan).join_into(a, b, sink, report);
+        if let Some(summary) = &mut report.plan {
+            summary.stats_time = stats_time;
+        }
+    }
+
+    fn plan_self_for(&self, a: &Dataset) -> Option<JoinPlan> {
+        Some(self.planner.plan_self(&DatasetStats::from_dataset(a), &PlanEnv::sequential()))
+    }
+
+    fn join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+    ) {
+        let stats_start = std::time::Instant::now();
+        let stats = DatasetStats::from_dataset(a);
+        let stats_time = stats_start.elapsed();
+        let env = PlanEnv::sequential().with_pair_limit(sink.pair_limit()).with_threads(1);
+        let plan = self.planner.plan_self(&stats, &env);
+        TouchJoin::from_plan(plan).join_self_into(a, base, sink, report);
         if let Some(summary) = &mut report.plan {
             summary.stats_time = stats_time;
         }
@@ -622,6 +657,34 @@ mod tests {
         assert_eq!(back.fanout, cfg.fanout);
         assert_eq!(back.grid_allpairs_max_a, cfg.grid_allpairs_max_a);
         assert_eq!(back.join_order, crate::JoinOrder::TreeOnB, "tree side is resolved");
+    }
+
+    #[test]
+    fn self_join_plans_cost_one_dataset_and_halve_the_work() {
+        let planner = JoinPlanner::default();
+        let a = stats(10_000, 1, 1.0);
+        let env = PlanEnv::sequential().with_threads(8);
+
+        let self_plan = planner.plan_self(&a, &env);
+        assert!(self_plan.build_on_a, "the hierarchy is always on the single input");
+        assert_eq!(self_plan.estimated_work, 10_000, "half the naive a ⋈ a estimate");
+        // 10k entities < parallel_min_work once the estimate is halved, so the
+        // self-join stays sequential where the naive reading would go parallel.
+        assert_eq!(self_plan.strategy, ExecutionStrategy::Sequential);
+        assert_eq!(planner.plan(&a, &a, &env).strategy, ExecutionStrategy::Parallel { threads: 8 });
+
+        // The knobs themselves match the two-dataset plan of a ⋈ a.
+        let pair_plan = planner.plan(&a, &a, &env);
+        assert_eq!(self_plan.partitions, pair_plan.partitions);
+        assert_eq!(self_plan.fanout, pair_plan.fanout);
+        assert_eq!(self_plan.params, pair_plan.params);
+
+        // Enough work → parallel, same as the two-dataset rule.
+        let big = stats(20_000, 2, 1.0);
+        assert_eq!(
+            planner.plan_self(&big, &env).strategy,
+            ExecutionStrategy::Parallel { threads: 8 }
+        );
     }
 
     #[test]

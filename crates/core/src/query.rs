@@ -102,6 +102,9 @@ pub struct JoinQuery<'a> {
     scratch: Option<Dataset>,
     /// Trace sink the run reports execution spans to (`None` = untraced).
     trace: Option<&'a dyn TraceSink>,
+    /// `true` for a [`JoinQuery::self_join`]: dispatch through the engine's
+    /// self-join entry points (identity pairs skipped, each unordered pair once).
+    self_mode: bool,
 }
 
 impl std::fmt::Debug for JoinQuery<'_> {
@@ -135,7 +138,21 @@ impl<'a> JoinQuery<'a> {
             engine: Box::new(AutoJoin::new()),
             scratch: None,
             trace: None,
+            self_mode: false,
         }
+    }
+
+    /// A **self-join** query over one dataset: reports every unordered pair
+    /// `(x, y)` with `x < y` whose members satisfy the predicate, exactly once —
+    /// identity pairs are never reported. This is the collision/sensor-detection
+    /// form (`A ⋈ A`): `JoinQuery::new(&a, &a)` would instead report identities
+    /// and both orientations of every pair.
+    ///
+    /// All builder methods apply as usual; a distance predicate extends one side
+    /// into the query's scratch buffer exactly like a two-dataset query (per-axis
+    /// AABB extension is symmetric, so one extended side finds every pair).
+    pub fn self_join(a: &'a Dataset) -> Self {
+        JoinQuery { self_mode: true, ..JoinQuery::new(a, a) }
     }
 
     /// Sets the join predicate.
@@ -196,7 +213,11 @@ impl<'a> JoinQuery<'a> {
         } else {
             self.a
         };
-        self.engine.plan_for(a_run, self.b)
+        if self.self_mode {
+            self.engine.plan_self_for(a_run)
+        } else {
+            self.engine.plan_for(a_run, self.b)
+        }
     }
 
     /// The name of the configured engine (the label runs will carry).
@@ -235,12 +256,17 @@ impl<'a> JoinQuery<'a> {
             self.a
         };
 
-        match self.trace {
-            Some(trace) => {
+        match (self.self_mode, self.trace) {
+            (false, Some(trace)) => {
                 self.engine.join_traced(a_run, self.b, sink, &mut report, trace);
                 report.trace = trace.summary();
             }
-            None => self.engine.join_into(a_run, self.b, sink, &mut report),
+            (false, None) => self.engine.join_into(a_run, self.b, sink, &mut report),
+            (true, Some(trace)) => {
+                self.engine.join_self_traced(a_run, self.b, sink, &mut report, trace);
+                report.trace = trace.summary();
+            }
+            (true, None) => self.engine.join_self_into(a_run, self.b, sink, &mut report),
         }
         sink.finish();
         report
@@ -369,6 +395,36 @@ mod tests {
         assert!(summary.node_time_us.count > 0, "per-node spans were recorded");
         assert_eq!(summary.pairs_per_node.sum, traced.result_pairs());
         assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn self_join_skips_identities_and_mirrors() {
+        // Boxes at 3i..3i+1: no two distinct boxes intersect, so a plain
+        // intersection self-join is empty while new(&a, &a) reports identities.
+        let a = row(10, 0.0);
+        let mut self_sink = CollectingSink::new();
+        let self_report = JoinQuery::self_join(&a).run(&mut self_sink);
+        assert_eq!(self_report.result_pairs(), 0);
+        let mut pair_sink = CollectingSink::new();
+        let pair_report = JoinQuery::new(&a, &a).run(&mut pair_sink);
+        assert_eq!(pair_report.result_pairs(), 10, "the two-dataset form keeps identities");
+
+        // With ε = 2.5 each box reaches its neighbours (gap 2.0): 9 unordered pairs.
+        let mut eps_sink = CollectingSink::new();
+        let eps_report = JoinQuery::self_join(&a).within_distance(2.5).run(&mut eps_sink);
+        assert_eq!(eps_report.result_pairs(), 9);
+        assert!(eps_sink.sorted_pairs().iter().all(|&(x, y)| x < y));
+        assert_eq!(eps_report.epsilon, 2.5);
+        assert_eq!((eps_report.dataset_a, eps_report.dataset_b), (10, 10));
+    }
+
+    #[test]
+    fn self_join_plans_through_the_self_planner() {
+        let a = row(32, 0.0);
+        let mut query = JoinQuery::self_join(&a);
+        let plan = query.plan().expect("the auto engine plans self-joins");
+        assert!(plan.build_on_a);
+        assert_eq!(plan.estimated_work, 32, "half the naive a ⋈ a estimate");
     }
 
     #[test]

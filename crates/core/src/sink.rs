@@ -293,6 +293,76 @@ impl PairSink for FirstKSink {
     }
 }
 
+/// A self-join filter adapter: forwards only pairs `(a, b)` with `a < b` to the
+/// wrapped sink, dropping identity pairs and one orientation of every mirrored
+/// duplicate.
+///
+/// This is the correctness backstop behind the default
+/// [`SpatialJoinAlgorithm::join_self_into`](crate::SpatialJoinAlgorithm::join_self_into):
+/// any engine that joins a dataset against itself emits each unordered pair
+/// twice (once per orientation) plus every identity pair, and wrapping its sink
+/// in a `SelfPairSink` reduces that stream to each unordered pair exactly once.
+/// The TOUCH engines do **not** rely on it — they apply the same index-order
+/// filter inside their local-join kernels, so shared pair budgets
+/// ([`PairSink::pair_limit`]) are spent on post-filter pairs only — but the
+/// baselines reach self-join correctness through this adapter alone.
+///
+/// The adapter always reports [`PairSink::wants_pairs`]` == true` (it must see
+/// identities to filter) and deliberately drops [`PairSink::add_count`] tallies:
+/// bulk counts are pre-filter and would double-count.
+pub struct SelfPairSink<'a> {
+    inner: &'a mut dyn PairSink,
+    delivered: u64,
+}
+
+impl std::fmt::Debug for SelfPairSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelfPairSink").field("delivered", &self.delivered).finish_non_exhaustive()
+    }
+}
+
+impl<'a> SelfPairSink<'a> {
+    /// Wraps `inner`, forwarding only pairs with `a < b`.
+    pub fn new(inner: &'a mut dyn PairSink) -> Self {
+        SelfPairSink { inner, delivered: 0 }
+    }
+
+    /// Number of pairs that passed the filter and reached the inner sink.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+impl PairSink for SelfPairSink<'_> {
+    #[inline]
+    fn push(&mut self, a: ObjectId, b: ObjectId) {
+        if a < b {
+            self.inner.push(a, b);
+            self.delivered += 1;
+        }
+    }
+
+    /// Always `true`: the filter needs pair identities even when the inner sink
+    /// only counts, otherwise merge paths would transfer unfiltered tallies.
+    fn wants_pairs(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    fn pair_limit(&self) -> Option<u64> {
+        self.inner.pair_limit()
+    }
+
+    /// Dropped by design: a bulk tally carries no identities, so it cannot be
+    /// filtered and would double-count mirrored pairs.
+    fn add_count(&mut self, _n: u64) {}
+}
+
 /// One shard of a [`ShardedSink`]: a private result collector owned by a single
 /// worker thread.
 ///
@@ -625,5 +695,33 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedSink::counting(0);
+    }
+
+    #[test]
+    fn self_pair_sink_keeps_only_strictly_ordered_pairs() {
+        let mut inner = CollectingSink::new();
+        let mut filter = SelfPairSink::new(&mut inner);
+        assert!(filter.wants_pairs(), "forced on so merges never bulk-transfer");
+        filter.push(1, 2); // kept
+        filter.push(2, 1); // mirrored duplicate — dropped
+        filter.push(3, 3); // identity — dropped
+        filter.add_count(100); // pre-filter tally — dropped
+        assert_eq!(filter.delivered(), 1);
+        assert_eq!(inner.pairs(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn self_pair_sink_delegates_termination_to_the_inner_sink() {
+        let mut inner = FirstKSink::new(2);
+        let mut filter = SelfPairSink::new(&mut inner);
+        assert_eq!(filter.pair_limit(), Some(2));
+        filter.push(0, 1);
+        filter.push(1, 0); // dropped — budget untouched
+        assert!(!filter.is_done());
+        filter.push(2, 5);
+        assert!(filter.is_done());
+        assert_eq!(filter.pair_limit(), Some(0));
+        assert_eq!(filter.delivered(), 2);
+        assert_eq!(inner.into_pairs(), vec![(0, 1), (2, 5)]);
     }
 }

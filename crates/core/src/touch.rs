@@ -300,6 +300,70 @@ pub(crate) fn execute_sequential_traced(
     report.memory_bytes = tree.memory_bytes() + peak_local_aux;
 }
 
+/// Untraced form of [`execute_sequential_self_traced`].
+pub(crate) fn execute_sequential_self(
+    plan: &JoinPlan,
+    a: &Dataset,
+    base: &Dataset,
+    sink: &mut dyn PairSink,
+    report: &mut RunReport,
+) {
+    execute_sequential_self_traced(plan, a, base, sink, report, &NoTrace);
+}
+
+/// Executes a resolved [`JoinPlan`] sequentially as a **self-join**: the same
+/// three phases as [`execute_sequential_traced`] over `a ⋈ base` (the possibly
+/// ε-extended view and the original dataset, with aligned ids), with the
+/// index-order filter applied inside the emit closure — identity pairs and
+/// mirrored duplicates are dropped *before* the sink sees them, so early
+/// termination budgets are spent on post-filter pairs only while the
+/// comparison/node-test counters stay identical to the raw `a ⋈ base` run.
+pub(crate) fn execute_sequential_self_traced(
+    plan: &JoinPlan,
+    a: &Dataset,
+    base: &Dataset,
+    sink: &mut dyn PairSink,
+    report: &mut RunReport,
+    trace: &dyn TraceSink,
+) {
+    report.plan = Some(plan.summary());
+    let build_on_a = plan.build_on_a;
+    let (tree_ds, probe_ds) = if build_on_a { (a, base) } else { (base, a) };
+
+    let mut tree = time_phase_traced(report, Phase::Build, trace, || {
+        TouchTree::build(tree_ds.objects(), plan.partitions, plan.fanout)
+    });
+
+    let mut counters = std::mem::take(&mut report.counters);
+    time_phase_traced(report, Phase::Assignment, trace, || {
+        tree.assign(probe_ds.objects(), &mut counters);
+    });
+
+    let mut scratch = LocalJoinScratch::new();
+    let mut results = 0u64;
+    let peak_local_aux = time_phase_traced(report, Phase::Join, trace, || {
+        tree.join_assigned_traced(
+            &plan.params,
+            &mut scratch,
+            &mut counters,
+            &mut |tree_id, probe_id| {
+                let (x, y) = if build_on_a { (tree_id, probe_id) } else { (probe_id, tree_id) };
+                if x < y {
+                    deliver(sink, x, y, &mut results)
+                } else {
+                    !sink.is_done()
+                }
+            },
+            trace,
+            0,
+        )
+    });
+
+    counters.results += results;
+    report.counters = counters;
+    report.memory_bytes = tree.memory_bytes() + peak_local_aux;
+}
+
 impl SpatialJoinAlgorithm for TouchJoin {
     fn name(&self) -> String {
         "TOUCH".to_string()
@@ -322,6 +386,31 @@ impl SpatialJoinAlgorithm for TouchJoin {
         trace: &dyn TraceSink,
     ) {
         execute_sequential_traced(&self.resolve_plan(a, b), a, b, sink, report, trace);
+    }
+
+    fn plan_self_for(&self, a: &Dataset) -> Option<JoinPlan> {
+        Some(self.resolve_plan(a, a))
+    }
+
+    fn join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+    ) {
+        execute_sequential_self(&self.resolve_plan(a, base), a, base, sink, report);
+    }
+
+    fn join_self_traced(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        execute_sequential_self_traced(&self.resolve_plan(a, base), a, base, sink, report, trace);
     }
 }
 
@@ -429,6 +518,18 @@ mod tests {
             assert_eq!(pairs, expected, "fanout {fanout} changed the result");
             assert_eq!(report.counters.filtered, 32, "far-away B objects must be filtered");
         }
+    }
+
+    #[test]
+    fn self_join_matches_brute_force_unordered_pairs() {
+        let a = lattice(5, 1.2, 1.5, 0.0); // side > spacing: every neighbour pair overlaps
+        let expected: Vec<(u32, u32)> =
+            brute_pairs(&a, &a).into_iter().filter(|&(x, y)| x < y).collect();
+        assert!(!expected.is_empty());
+        let mut sink = crate::CollectingSink::new();
+        let report = TouchJoin::default().join_self(&a, &mut sink);
+        assert_eq!(sink.sorted_pairs(), expected);
+        assert_eq!(report.result_pairs(), expected.len() as u64);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! kept for existing call sites — see `MIGRATION.md` at the workspace root.
 
 use crate::plan::JoinPlan;
-use crate::{CollectingSink, CountingSink, JoinQuery, PairSink, Predicate};
+use crate::{CollectingSink, CountingSink, JoinQuery, PairSink, Predicate, SelfPairSink};
 use touch_geom::{Dataset, ObjectId};
 use touch_metrics::{RunReport, TraceSink};
 
@@ -79,6 +79,66 @@ pub trait SpatialJoinAlgorithm {
         self.join_into(a, b, sink, &mut report);
         report
     }
+
+    /// The [`JoinPlan`] this engine would execute for a **self-join** of `a`, if
+    /// it is a planned engine. The default plans the self-join as `a ⋈ a`;
+    /// planner-backed engines override it to cost one dataset's statistics once
+    /// and halve the pair estimate.
+    fn plan_self_for(&self, a: &Dataset) -> Option<JoinPlan> {
+        self.plan_for(a, a)
+    }
+
+    /// Self-join of one dataset: pushes every **unordered** pair `(x, y)` with
+    /// `x < y` whose members intersect into `sink` exactly once — identity pairs
+    /// are skipped, and of each mirrored duplicate only the index-ordered
+    /// orientation survives.
+    ///
+    /// The two dataset arguments exist so the query layer can apply the ε
+    /// extension to one side: `a` is the (possibly extended) probe-side view and
+    /// `base` the original dataset, with identical, aligned object ids. For a
+    /// plain intersection self-join pass the same dataset twice. Extension of
+    /// one side is sufficient for a distance self-join because per-axis AABB
+    /// extension is symmetric: `ext(x) ∩ y ⟺ ext(y) ∩ x`.
+    ///
+    /// The default wraps `sink` in a [`SelfPairSink`] and runs the ordinary
+    /// [`SpatialJoinAlgorithm::join_into`] of `a ⋈ base` — correct for every
+    /// engine, at the cost of enumerating both orientations. The TOUCH engines
+    /// override it with an in-kernel index-order filter so the comparison work
+    /// and shared pair budgets are spent on post-filter pairs only.
+    fn join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+    ) {
+        let mut filter = SelfPairSink::new(sink);
+        self.join_into(a, base, &mut filter, report);
+        report.counters.results = filter.delivered();
+    }
+
+    /// Traced form of [`SpatialJoinAlgorithm::join_self_into`]; the same
+    /// tracing contract as [`SpatialJoinAlgorithm::join_traced`] applies.
+    fn join_self_traced(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        let mut filter = SelfPairSink::new(sink);
+        self.join_traced(a, base, &mut filter, report, trace);
+        report.counters.results = filter.delivered();
+    }
+
+    /// Convenience form of [`SpatialJoinAlgorithm::join_self_into`]: creates the
+    /// report, runs the self-join of `a` and returns the completed record.
+    fn join_self(&self, a: &Dataset, sink: &mut dyn PairSink) -> RunReport {
+        let mut report = RunReport::new(self.name(), a.len(), a.len());
+        self.join_self_into(a, a, sink, &mut report);
+        report
+    }
 }
 
 impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for &T {
@@ -104,6 +164,31 @@ impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for &T {
     ) {
         (**self).join_traced(a, b, sink, report, trace)
     }
+
+    fn plan_self_for(&self, a: &Dataset) -> Option<JoinPlan> {
+        (**self).plan_self_for(a)
+    }
+
+    fn join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+    ) {
+        (**self).join_self_into(a, base, sink, report)
+    }
+
+    fn join_self_traced(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        (**self).join_self_traced(a, base, sink, report, trace)
+    }
 }
 
 impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for Box<T> {
@@ -128,6 +213,31 @@ impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for Box<T> {
         trace: &dyn TraceSink,
     ) {
         (**self).join_traced(a, b, sink, report, trace)
+    }
+
+    fn plan_self_for(&self, a: &Dataset) -> Option<JoinPlan> {
+        (**self).plan_self_for(a)
+    }
+
+    fn join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+    ) {
+        (**self).join_self_into(a, base, sink, report)
+    }
+
+    fn join_self_traced(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        (**self).join_self_traced(a, base, sink, report, trace)
     }
 }
 
@@ -246,6 +356,18 @@ mod tests {
         assert_eq!(report.algorithm, "BruteForce");
         assert_eq!((report.dataset_a, report.dataset_b), (1, 1));
         assert_eq!(sink.pairs(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn default_self_join_filters_identities_and_mirrors() {
+        // Boxes 0 and 1 overlap; box 2 is far away. A⋈A enumerates 5 raw hits
+        // ((0,0),(0,1),(1,0),(1,1),(2,2)); the self-join keeps exactly (0,1).
+        let a = boxes(&[0.0, 0.5, 10.0]);
+        let mut sink = CollectingSink::new();
+        let report = BruteForce.join_self(&a, &mut sink);
+        assert_eq!(sink.pairs(), &[(0, 1)]);
+        assert_eq!(report.result_pairs(), 1, "results counter is post-filter");
+        assert_eq!((report.dataset_a, report.dataset_b), (3, 3));
     }
 
     #[test]

@@ -330,6 +330,17 @@ impl TouchTree {
         }
     }
 
+    /// Consumes the tree and returns its A-item buffer, capacity intact.
+    ///
+    /// This is the tick-loop reuse primitive: a simulation that rebuilds the
+    /// hierarchy every tick reclaims the sorted item buffer here, refills it
+    /// from the new positions and hands it back to [`TouchTree::from_tiled`],
+    /// so the dominant tree allocation is paid once, not once per tick.
+    #[inline]
+    pub fn into_items(self) -> Vec<SpatialObject> {
+        self.a_items
+    }
+
     /// Number of A-objects indexed by the tree.
     #[inline]
     pub fn a_len(&self) -> usize {

@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod moving;
 mod neuroscience;
 mod rng;
 mod synthetic;
 
+pub use moving::{MovingObjects, MovingObjectsSpec, VelocityDistribution};
 pub use neuroscience::{NeuroscienceDatasets, NeuroscienceSpec};
 pub use rng::SeededRng;
 pub use synthetic::{SpaceConfig, SyntheticDistribution, SyntheticSpec};

@@ -110,7 +110,7 @@ impl SyntheticSpec {
         ds
     }
 
-    fn sample_cluster_centres(&self, rng: &mut SeededRng) -> Vec<Point3> {
+    pub(crate) fn sample_cluster_centres(&self, rng: &mut SeededRng) -> Vec<Point3> {
         match self.distribution {
             SyntheticDistribution::Clustered { clusters, .. } => (0..clusters.max(1))
                 .map(|_| {
@@ -125,7 +125,7 @@ impl SyntheticSpec {
         }
     }
 
-    fn sample_centre(&self, rng: &mut SeededRng, cluster_centres: &[Point3]) -> Point3 {
+    pub(crate) fn sample_centre(&self, rng: &mut SeededRng, cluster_centres: &[Point3]) -> Point3 {
         let size = self.space.size;
         let clamp = |v: f64| v.clamp(0.0, size);
         match self.distribution {

@@ -1,0 +1,15 @@
+//! Runs the tick-loop simulation experiment (kernel sequential / kernel
+//! parallel / serve-backed integration of `touch-sim` over the same world).
+//! Usage:
+//! `cargo run -p touch-experiments --release --bin tick -- [--scale 0.01] [--out results]`
+
+fn main() {
+    let ctx = match touch_experiments::Context::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    touch_experiments::tick::run(&ctx).finish(&ctx);
+}

@@ -18,6 +18,7 @@
 //! | [`planner`] | beyond the paper: automatic planning (`Engine::Auto`) vs fixed configurations |
 //! | [`scaling`] | beyond the paper: `touch-parallel` thread scaling at 1/2/4/8 threads |
 //! | [`streaming`] | beyond the paper: `touch-streaming` epoch amortisation vs. per-batch rebuild |
+//! | [`tick`] | beyond the paper: `touch-sim` tick-loop simulation, kernel vs. serve integration |
 //!
 //! ## Scaling
 //!
@@ -52,6 +53,7 @@ pub mod streaming;
 mod suite;
 mod table;
 pub mod table1;
+pub mod tick;
 pub mod workload;
 
 pub use context::Context;
@@ -77,5 +79,6 @@ pub fn run_all(ctx: &Context) -> Vec<ExperimentTable> {
         planner::run(ctx),
         scaling::run(ctx),
         streaming::run(ctx),
+        tick::run(ctx),
     ]
 }

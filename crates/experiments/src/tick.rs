@@ -1,0 +1,89 @@
+//! Tick-loop simulation — beyond the paper: the motivating application closed
+//! into a loop.
+//!
+//! The paper motivates TOUCH with a simulation that re-runs the join every
+//! step (Section 1). This experiment measures exactly that regime with
+//! `touch-sim`: a moving-object world re-joined with itself (planned ε
+//! self-join) every tick, comparing three integration styles on the same
+//! world and seed —
+//!
+//! * **kernel / sequential** — [`TickEngine`] pinned to one thread,
+//! * **kernel / parallel** — [`TickEngine`] with auto-detected workers,
+//! * **serve** — [`ServeTickLoop`], republishing the world through the
+//!   concurrent serving layer every tick.
+//!
+//! Expectations: all three rows report the **same total pair count** (the
+//! simulation determinism contract — any divergence would compound tick over
+//! tick); the parallel row sustains the highest ticks/sec once the world is
+//! large enough to amortise fork/join; the serve row pays the serving layer's
+//! publish/snapshot overhead for its concurrency guarantees.
+
+use crate::{Context, ExperimentTable, Row};
+use touch::{ServeTickLoop, TickConfig, TickEngine, World};
+use touch_metrics::{RunReport, TickSummary};
+
+/// Entity count of the unscaled run (the ISSUE's lower target; scale beyond
+/// 1.0 for the multi-million-entity regime).
+pub const PAPER_ENTITIES: usize = 100_000;
+/// Ticks per row: enough for the latency histogram to have a tail.
+pub const TICKS: usize = 25;
+/// Collision distance (space units in the default 1000³ world).
+pub const EPS: f64 = 5.0;
+
+/// Runs the three integration styles over the identical world and seed.
+pub fn run(ctx: &Context) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "tick_loop",
+        "Tick loop (beyond the paper): moving-object self-join, kernel vs. serve",
+    );
+    let entities = ctx.scaled_count(PAPER_ENTITIES).max(50);
+
+    let kernel = |threads: usize| -> TickSummary {
+        let config = TickConfig::default().with_epsilon(EPS).with_threads(threads).counting_only();
+        let mut engine = TickEngine::new(World::random(entities, ctx.seed_a), config);
+        engine.run(TICKS);
+        engine.summary().clone()
+    };
+
+    let mut rows: Vec<(&str, TickSummary)> =
+        vec![("kernel/seq", kernel(1)), ("kernel/par", kernel(0))];
+    let mut serve = ServeTickLoop::new(
+        World::random(entities, ctx.seed_a),
+        TickConfig::default().with_epsilon(EPS),
+    );
+    serve.run(TICKS);
+    rows.push(("serve", serve.summary().clone()));
+
+    for (mode, summary) in rows.drain(..) {
+        let mut report = RunReport::new(format!("tick:{mode}"), entities, entities);
+        report.epsilon = EPS;
+        report.counters.results = summary.pairs;
+        let labels = vec![
+            ("mode", mode.to_string()),
+            ("ticks_per_sec", format!("{:.1}", summary.ticks_per_sec())),
+            ("p50_us", format!("{}", summary.p50_us())),
+            ("p99_us", format!("{}", summary.p99_us())),
+        ];
+        report.ticks = Some(summary);
+        table.push(Row::new(labels, report));
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_agree_on_the_pair_total() {
+        let table = run(&Context::for_tests());
+        let totals: Vec<u64> = table.rows.iter().map(|r| r.report.counters.results).collect();
+        assert_eq!(totals.len(), 3);
+        assert!(totals.windows(2).all(|w| w[0] == w[1]), "modes diverged: {totals:?}");
+        for row in &table.rows {
+            let ticks = row.report.ticks.as_ref().expect("tick rows carry a tick summary");
+            assert_eq!(ticks.ticks, TICKS);
+        }
+    }
+}

@@ -142,6 +142,18 @@ impl Dataset {
         out.extent = self.extent.map(|e| e.extended(eps));
     }
 
+    /// Removes every object while keeping the allocation, ready to be refilled
+    /// with [`Dataset::push_mbr`].
+    ///
+    /// This is the tick-loop refill primitive: a simulation that rebuilds its
+    /// dataset from fresh positions every tick clears and re-pushes into the
+    /// same buffer, so the per-tick steady state allocates nothing.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.objects.clear();
+        self.extent = None;
+    }
+
     /// Returns a dataset containing the first `n` objects (ids re-assigned densely).
     ///
     /// Used by the density-scaling experiment (Figure 15), which joins increasing
@@ -244,6 +256,18 @@ mod tests {
         assert!((ds.average_volume() - 1.0).abs() < 1e-12);
         assert!((ds.average_side(0) - 1.0).abs() < 1e-12);
         assert_eq!(Dataset::new().average_volume(), 0.0);
+    }
+
+    #[test]
+    fn clear_keeps_the_allocation() {
+        let mut ds = Dataset::from_mbrs([unit_box_at(0.0), unit_box_at(1.0)]);
+        let cap = ds.objects.capacity();
+        ds.clear();
+        assert!(ds.is_empty());
+        assert!(ds.extent().is_none());
+        assert_eq!(ds.objects.capacity(), cap);
+        assert_eq!(ds.push_mbr(unit_box_at(4.0)), 0, "ids restart from zero");
+        assert_eq!(ds.extent().unwrap(), unit_box_at(4.0));
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod counters;
 mod hist;
 mod memory;
 mod report;
+mod ticks;
 mod timer;
 mod trace;
 
@@ -34,5 +35,6 @@ pub use counters::Counters;
 pub use hist::{Histogram, HIST_BUCKETS};
 pub use memory::{vec_bytes, MemoryUsage};
 pub use report::{csv_field, format_count, format_duration, json_str, PlanSummary, RunReport};
+pub use ticks::TickSummary;
 pub use timer::{Phase, PhaseTimer};
 pub use trace::{ExecTrace, NoTrace, TraceEvent, TraceSink, TraceSummary, WorkerStats};

@@ -1,6 +1,6 @@
 //! Run reports: the complete record of one algorithm execution.
 
-use crate::{Counters, Phase, PhaseTimer, TraceSummary};
+use crate::{Counters, Phase, PhaseTimer, TickSummary, TraceSummary};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -89,6 +89,11 @@ pub struct RunReport {
     /// the serving layer; `touch-serve` stamps the generation number a snapshot
     /// query ran on. JSON-only — the CSV columns stay unchanged.
     pub generation: Option<u64>,
+    /// Tick-loop summary of a simulation run. `None` outside `touch-sim`; the
+    /// tick engine attaches the per-tick latency distribution and pair tallies
+    /// of the whole run. JSON-only — the CSV columns stay unchanged (the
+    /// summary has its own CSV table, [`TickSummary::to_csv_row`]).
+    pub ticks: Option<TickSummary>,
 }
 
 impl RunReport {
@@ -107,6 +112,7 @@ impl RunReport {
             plan: None,
             trace: None,
             generation: None,
+            ticks: None,
         }
     }
 
@@ -237,6 +243,9 @@ impl RunReport {
         }
         if let Some(generation) = self.generation {
             let _ = write!(out, ",\"generation\":{generation}");
+        }
+        if let Some(ticks) = &self.ticks {
+            let _ = write!(out, ",\"ticks\":{}", ticks.to_json());
         }
         out.push('}');
         out
@@ -470,6 +479,20 @@ mod tests {
         assert!(!r.to_json().contains("\"generation\""), "absent outside the serving layer");
         r.generation = Some(7);
         assert!(r.to_json().contains("\"generation\":7"));
+        // And the CSV shape is unaffected either way.
+        assert_eq!(RunReport::csv_header().split(',').count(), r.to_csv_row().split(',').count());
+    }
+
+    #[test]
+    fn to_json_embeds_the_tick_section_only_when_present() {
+        let mut r = RunReport::new("TOUCH-SIM", 10, 10);
+        assert!(!r.to_json().contains("\"ticks\""), "absent outside the simulation layer");
+        let mut ticks = TickSummary::new("TOUCH-P4", 10);
+        ticks.record(120, 3, false);
+        r.ticks = Some(ticks);
+        let json = r.to_json();
+        assert!(json.contains("\"ticks\":{\"engine\":\"TOUCH-P4\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
         // And the CSV shape is unaffected either way.
         assert_eq!(RunReport::csv_header().split(',').count(), r.to_csv_row().split(',').count());
     }

@@ -1,0 +1,213 @@
+//! Tick-loop summaries: the measurement record of a simulation run.
+//!
+//! A tick loop (see `touch-sim`) runs the same planned join once per simulation
+//! step; what matters is not one run's phase breakdown but the *distribution* of
+//! per-tick latencies — sustained throughput, median and tail. [`TickSummary`]
+//! aggregates a run into a [`Histogram`] of per-tick latencies (µs) plus exact
+//! counters, and renders as its own CSV table and as a JSON-only `ticks` section
+//! on [`RunReport`] (the report's CSV columns stay unchanged, like the serving
+//! layer's `generation` stamp).
+//!
+//! [`RunReport`]: crate::RunReport
+
+use crate::report::json_str;
+use crate::Histogram;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The aggregated record of a tick-loop run: per-tick latency distribution plus
+/// exact pair/re-plan tallies.
+///
+/// Latencies are recorded in whole microseconds (the histogram's bucket
+/// resolution is log2, so sub-µs precision would be noise anyway). All fields
+/// merge exactly — the histogram is `u64`-additive and the tallies are plain
+/// sums — so sharded or resumed runs aggregate bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TickSummary {
+    /// Label of the engine that ran the ticks (e.g. `"TOUCH-P4"`).
+    pub engine: String,
+    /// Number of entities in the simulated world.
+    pub entities: usize,
+    /// Number of ticks executed.
+    pub ticks: usize,
+    /// Per-tick wall-clock latency in microseconds.
+    pub latency_us: Histogram,
+    /// Total collision/sensor pairs emitted over all ticks.
+    pub pairs: u64,
+    /// Number of ticks that re-planned (statistics drift crossed the threshold).
+    pub replans: usize,
+}
+
+impl TickSummary {
+    /// An empty summary for `engine` over a world of `entities` entities.
+    pub fn new(engine: impl Into<String>, entities: usize) -> Self {
+        TickSummary {
+            engine: engine.into(),
+            entities,
+            ticks: 0,
+            latency_us: Histogram::new(),
+            pairs: 0,
+            replans: 0,
+        }
+    }
+
+    /// Records one completed tick.
+    pub fn record(&mut self, latency_us: u64, pairs: u64, replanned: bool) {
+        self.ticks += 1;
+        self.latency_us.record(latency_us);
+        self.pairs += pairs;
+        if replanned {
+            self.replans += 1;
+        }
+    }
+
+    /// Sustained throughput in ticks per second, derived from the exact latency
+    /// sum (0.0 before any tick completes).
+    pub fn ticks_per_sec(&self) -> f64 {
+        if self.latency_us.sum == 0 {
+            return 0.0;
+        }
+        self.ticks as f64 / (self.latency_us.sum as f64 / 1e6)
+    }
+
+    /// Median per-tick latency in µs (bucket resolution).
+    pub fn p50_us(&self) -> u64 {
+        self.latency_us.percentile(0.5)
+    }
+
+    /// 99th-percentile per-tick latency in µs (bucket resolution).
+    pub fn p99_us(&self) -> u64 {
+        self.latency_us.percentile(0.99)
+    }
+
+    /// Exact mean per-tick latency in µs.
+    pub fn mean_us(&self) -> f64 {
+        self.latency_us.mean()
+    }
+
+    /// Slowest tick in µs.
+    pub fn max_us(&self) -> u64 {
+        self.latency_us.max
+    }
+
+    /// The CSV header matching [`TickSummary::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "engine,entities,ticks,pairs,replans,ticks_per_sec,mean_us,p50_us,p99_us,max_us"
+    }
+
+    /// One CSV row of the summary.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.2},{:.1},{},{},{}",
+            crate::report::csv_field(&self.engine),
+            self.entities,
+            self.ticks,
+            self.pairs,
+            self.replans,
+            self.ticks_per_sec(),
+            self.mean_us(),
+            self.p50_us(),
+            self.p99_us(),
+            self.max_us(),
+        )
+    }
+
+    /// Flat JSON rendering (hand-rolled; the vendored serde is a no-op stub).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        let _ = write!(
+            out,
+            "{{\"engine\":{},\"entities\":{},\"ticks\":{},\"pairs\":{},\"replans\":{}",
+            json_str(&self.engine),
+            self.entities,
+            self.ticks,
+            self.pairs,
+            self.replans
+        );
+        let _ = write!(
+            out,
+            ",\"ticks_per_sec\":{:.2},\"mean_us\":{:.1},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            self.ticks_per_sec(),
+            self.mean_us(),
+            self.p50_us(),
+            self.p99_us(),
+            self.max_us()
+        );
+        out
+    }
+
+    /// Folds `other` into `self`. Exact for every field, so any sharding of the
+    /// same ticks aggregates bit-identically; the engine label and entity count
+    /// are expected to match and `self`'s are kept.
+    pub fn merge(&mut self, other: &TickSummary) {
+        self.ticks += other.ticks;
+        self.latency_us.merge(&other.latency_us);
+        self.pairs += other.pairs;
+        self.replans += other.replans;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_exact_tallies() {
+        let mut t = TickSummary::new("TOUCH-P4", 1000);
+        t.record(100, 5, false);
+        t.record(300, 7, true);
+        assert_eq!(t.ticks, 2);
+        assert_eq!(t.pairs, 12);
+        assert_eq!(t.replans, 1);
+        assert_eq!(t.max_us(), 300);
+        assert!((t.mean_us() - 200.0).abs() < 1e-12);
+        // 2 ticks over 400 µs of latency = 5000 ticks/sec.
+        assert!((t.ticks_per_sec() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_reports_zero_throughput() {
+        let t = TickSummary::new("TOUCH", 0);
+        assert_eq!(t.ticks_per_sec(), 0.0);
+        assert_eq!(t.p50_us(), 0);
+        assert_eq!(t.p99_us(), 0);
+    }
+
+    #[test]
+    fn csv_row_has_header_arity() {
+        let mut t = TickSummary::new("TOUCH-P2", 500);
+        t.record(50, 3, false);
+        assert_eq!(TickSummary::csv_header().split(',').count(), t.to_csv_row().split(',').count());
+        assert!(t.to_csv_row().starts_with("TOUCH-P2,500,1,3,0,"));
+    }
+
+    #[test]
+    fn json_is_flat_and_balanced() {
+        let mut t = TickSummary::new("TOUCH", 10);
+        t.record(64, 2, true);
+        let json = t.to_json();
+        assert!(json.starts_with("{\"engine\":\"TOUCH\",\"entities\":10,\"ticks\":1,"));
+        assert!(json.contains("\"replans\":1"));
+        assert!(json.contains("\"p99_us\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn merge_equals_one_shot() {
+        let ticks = [(100u64, 5u64, false), (200, 1, true), (400, 9, false), (800, 0, true)];
+        let mut one_shot = TickSummary::new("T", 7);
+        for &(lat, pairs, re) in &ticks {
+            one_shot.record(lat, pairs, re);
+        }
+        let (mut a, mut b) = (TickSummary::new("T", 7), TickSummary::new("T", 7));
+        for (i, &(lat, pairs, re)) in ticks.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(lat, pairs, re)
+            } else {
+                b.record(lat, pairs, re)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, one_shot);
+    }
+}

@@ -153,6 +153,7 @@ fn execute_parallel_traced(
             &plan.params,
             threads,
             !build_on_a,
+            false,
             sink,
             &mut pool,
             &mut counters,
@@ -165,6 +166,67 @@ fn execute_parallel_traced(
     // unlike the sequential join, the parallel one buffers sort scratch and
     // assignment batches, and hiding them would flatter TOUCH-P in the
     // experiments' memory comparison.
+    report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux + aux_bytes;
+}
+
+/// Self-join form of [`execute_parallel_traced`]: the identical three phases
+/// over `a ⋈ base` (the possibly ε-extended view and the original dataset,
+/// aligned ids) with the index-order filter pushed into the worker emit
+/// closures via [`par_join_into_traced`]'s `self_join` flag — shared pair
+/// budgets are spent on post-filter pairs only, and pairs, counters and the
+/// tree are bit-identical at every worker count.
+fn execute_parallel_self_traced(
+    plan: &JoinPlan,
+    a: &Dataset,
+    base: &Dataset,
+    sink: &mut dyn PairSink,
+    report: &mut RunReport,
+    trace: &dyn TraceSink,
+) {
+    report.plan = Some(plan.summary());
+    let threads = plan.threads();
+    report.threads = threads;
+    let build_on_a = plan.build_on_a;
+    let (tree_ds, probe_ds) = if build_on_a { (a, base) } else { (base, a) };
+
+    let (mut tree, sort_aux) = time_phase_traced(report, Phase::Build, trace, || {
+        par_build_tree(
+            tree_ds.objects(),
+            plan.partitions,
+            plan.fanout,
+            threads,
+            plan.sort_threshold,
+        )
+    });
+
+    let mut counters = std::mem::take(&mut report.counters);
+    let assign_aux = time_phase_traced(report, Phase::Assignment, trace, || {
+        par_assign_traced(
+            &mut tree,
+            probe_ds.objects(),
+            plan.chunk_size,
+            threads,
+            &mut counters,
+            trace,
+        )
+    });
+
+    let mut pool = ScratchPool::new();
+    let aux_bytes = time_phase_traced(report, Phase::Join, trace, || {
+        par_join_into_traced(
+            &tree,
+            &plan.params,
+            threads,
+            !build_on_a,
+            true,
+            sink,
+            &mut pool,
+            &mut counters,
+            trace,
+        )
+    });
+
+    report.counters = counters;
     report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux + aux_bytes;
 }
 
@@ -194,6 +256,31 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
         trace: &dyn TraceSink,
     ) {
         execute_parallel_traced(&self.resolve_plan(a, b), a, b, sink, report, trace);
+    }
+
+    fn plan_self_for(&self, a: &Dataset) -> Option<JoinPlan> {
+        Some(self.resolve_plan(a, a))
+    }
+
+    fn join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+    ) {
+        execute_parallel_self_traced(&self.resolve_plan(a, base), a, base, sink, report, &NoTrace);
+    }
+
+    fn join_self_traced(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        execute_parallel_self_traced(&self.resolve_plan(a, base), a, base, sink, report, trace);
     }
 }
 
@@ -323,6 +410,31 @@ mod tests {
             assert!(pairs.is_empty());
             // With an empty tree every probe object is filtered, like sequentially.
             assert_eq!(report.counters.filtered, b.len() as u64);
+        }
+    }
+
+    #[test]
+    fn self_join_matches_sequential_self_join_at_every_thread_count() {
+        let a = lattice(5, 1.2, 1.5, 0.0); // side > spacing: every neighbour pair overlaps
+        let touch_cfg = TouchConfig { partitions: 16, ..TouchConfig::default() };
+        let mut seq_sink = touch_core::CollectingSink::new();
+        let mut seq_report = RunReport::new("TOUCH", a.len(), a.len());
+        TouchJoin::new(touch_cfg).join_self_into(&a, &a, &mut seq_sink, &mut seq_report);
+        assert!(seq_report.result_pairs() > 0);
+        assert!(seq_sink.sorted_pairs().iter().all(|&(x, y)| x < y));
+
+        for threads in [1, 2, 8] {
+            let algo = ParallelTouchJoin::new(ParallelConfig {
+                threads,
+                chunk_size: 16,
+                sort_threshold: 32,
+                touch: touch_cfg,
+            });
+            let mut sink = touch_core::CollectingSink::new();
+            let mut report = RunReport::new(algo.name(), a.len(), a.len());
+            algo.join_self_into(&a, &a, &mut sink, &mut report);
+            assert_eq!(sink.sorted_pairs(), seq_sink.sorted_pairs(), "threads = {threads}");
+            assert_eq!(report.counters, seq_report.counters, "threads = {threads}");
         }
     }
 

@@ -179,25 +179,33 @@ pub fn par_assign_traced(
 /// remaining task first — LPT); the sort happens in place, so a caller-retained
 /// `work` buffer is reused without reallocating. Pairs are pushed as
 /// `(tree_id, probe_id)`, or flipped when `swap_pairs` is set (the caller built the
-/// tree on dataset B). Workers honour the sharded sink's early-termination
-/// protocol: once a shard reports done (its share of a [`PairSink::pair_limit`]
-/// budget is spent) the worker stops claiming nodes. Returns the auxiliary bytes
-/// charged to the join phase: the sum over workers of each worker's reserved
-/// scratch bytes (concurrent footprints coexist, unlike the sequential join which
-/// charges a single scratch).
+/// tree on dataset B). When `self_join` is set the two sides are the same dataset
+/// (aligned ids) and only pairs whose A-oriented ids satisfy `x < y` reach the
+/// shards — identity pairs and mirrored duplicates are dropped **before** the
+/// shared pair budget is spent, while the comparison/node-test counters stay
+/// identical to the raw two-dataset run. Workers honour the sharded sink's
+/// early-termination protocol: once a shard reports done (its share of a
+/// [`PairSink::pair_limit`] budget is spent) the worker stops claiming nodes.
+/// Returns the auxiliary bytes charged to the join phase: the sum over workers of
+/// each worker's reserved scratch bytes (concurrent footprints coexist, unlike
+/// the sequential join which charges a single scratch).
 ///
 /// # Panics
 /// Panics if `scratches` provides fewer scratches than `sharded` has shards.
+#[allow(clippy::too_many_arguments)]
 pub fn par_local_join(
     tree: &TouchTree,
     work: &mut [usize],
     params: &LocalJoinParams,
     swap_pairs: bool,
+    self_join: bool,
     sharded: &mut ShardedSink,
     scratches: &mut [LocalJoinScratch],
     counters: &mut Counters,
 ) -> usize {
-    par_local_join_traced(tree, work, params, swap_pairs, sharded, scratches, counters, &NoTrace)
+    par_local_join_traced(
+        tree, work, params, swap_pairs, self_join, sharded, scratches, counters, &NoTrace,
+    )
 }
 
 /// Traced form of [`par_local_join`]: identical join (the untraced entry point
@@ -210,6 +218,7 @@ pub fn par_local_join_traced(
     work: &mut [usize],
     params: &LocalJoinParams,
     swap_pairs: bool,
+    self_join: bool,
     sharded: &mut ShardedSink,
     scratches: &mut [LocalJoinScratch],
     counters: &mut Counters,
@@ -254,10 +263,13 @@ pub fn par_local_join_traced(
                             scratch,
                             &mut local,
                             &mut |tree_id, probe_id| {
-                                if swap_pairs {
-                                    shard.push(probe_id, tree_id);
+                                let (x, y) = if swap_pairs {
+                                    (probe_id, tree_id)
                                 } else {
-                                    shard.push(tree_id, probe_id);
+                                    (tree_id, probe_id)
+                                };
+                                if !self_join || x < y {
+                                    shard.push(x, y);
                                 }
                                 !shard.is_done()
                             },
@@ -298,16 +310,20 @@ pub fn par_local_join_traced(
 /// `pool` owns the per-worker scratches and the work-list buffer; a persistent
 /// engine passes the same pool every epoch, so the join phase stops allocating
 /// once the pool has warmed up. A one-shot join passes a fresh pool.
+#[allow(clippy::too_many_arguments)]
 pub fn par_join_into(
     tree: &TouchTree,
     params: &LocalJoinParams,
     threads: usize,
     swap_pairs: bool,
+    self_join: bool,
     sink: &mut dyn PairSink,
     pool: &mut ScratchPool,
     counters: &mut Counters,
 ) -> usize {
-    par_join_into_traced(tree, params, threads, swap_pairs, sink, pool, counters, &NoTrace)
+    par_join_into_traced(
+        tree, params, threads, swap_pairs, self_join, sink, pool, counters, &NoTrace,
+    )
 }
 
 /// Traced form of [`par_join_into`]: identical join (the untraced entry point
@@ -319,6 +335,7 @@ pub fn par_join_into_traced(
     params: &LocalJoinParams,
     threads: usize,
     swap_pairs: bool,
+    self_join: bool,
     sink: &mut dyn PairSink,
     pool: &mut ScratchPool,
     counters: &mut Counters,
@@ -333,6 +350,7 @@ pub fn par_join_into_traced(
         &mut work,
         params,
         swap_pairs,
+        self_join,
         &mut sharded,
         pool.worker_scratches(workers),
         counters,
@@ -437,6 +455,7 @@ mod tests {
                 &mut work,
                 &params,
                 false,
+                false,
                 &mut sharded,
                 pool.worker_scratches(workers),
                 &mut counters,
@@ -445,6 +464,45 @@ mod tests {
             sharded.merge_into(&mut sink);
             assert_eq!(sink.sorted_pairs(), expected, "workers = {workers}");
             assert_eq!(counters, seq_counters, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn self_join_flag_keeps_each_unordered_pair_once() {
+        let a = lattice(4, 1.2, 1.5, 0.0); // side > spacing: every neighbour pair overlaps
+        let mut tree = TouchTree::build(a.objects(), 8, 2);
+        let mut counters = Counters::new();
+        tree.assign(a.objects(), &mut counters);
+        let params = TouchConfig::default().local_join_params(0.5);
+
+        // Brute-force unordered reference.
+        let mut expected = Vec::new();
+        for oa in a.iter() {
+            for ob in a.iter() {
+                if oa.id < ob.id && oa.mbr.intersects(&ob.mbr) {
+                    expected.push((oa.id, ob.id));
+                }
+            }
+        }
+        expected.sort_unstable();
+        assert!(!expected.is_empty());
+
+        for workers in [1, 4] {
+            let mut sink = touch_core::CollectingSink::new();
+            let mut pool = ScratchPool::new();
+            let mut counters = Counters::new();
+            par_join_into(
+                &tree,
+                &params,
+                workers,
+                false,
+                true,
+                &mut sink,
+                &mut pool,
+                &mut counters,
+            );
+            assert_eq!(sink.sorted_pairs(), expected, "workers = {workers}");
+            assert_eq!(counters.results, expected.len() as u64, "workers = {workers}");
         }
     }
 }

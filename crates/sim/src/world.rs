@@ -1,0 +1,186 @@
+//! The simulated world: entity state plus the integration step.
+
+use touch_datagen::{MovingObjects, MovingObjectsSpec, SpaceConfig};
+use touch_geom::{Aabb, Dataset, Point3};
+
+/// A moving-object world: `n` entities with positions, velocities and collision
+/// radii, living in a cubic space whose walls they bounce off.
+///
+/// The world owns nothing but the entity state — the join machinery lives in
+/// [`crate::TickEngine`], which derives a fresh MBR [`Dataset`] from the
+/// positions every tick. Entity `i`'s dataset id is always `i`, so result pairs
+/// are entity-index pairs.
+///
+/// Everything is deterministic: [`World::random`] draws its initial state from
+/// the seeded `touch-datagen` streams, and [`World::step`] is pure f64
+/// arithmetic with no data-dependent ordering, so two worlds built from the
+/// same spec and seed stay bit-identical forever.
+#[derive(Debug, Clone, PartialEq)]
+pub struct World {
+    positions: Vec<Point3>,
+    velocities: Vec<Point3>,
+    radii: Vec<f64>,
+    space: SpaceConfig,
+}
+
+impl World {
+    /// Builds a world from a generated initial state and the space it lives in.
+    pub fn from_parts(objects: MovingObjects, space: SpaceConfig) -> Self {
+        World {
+            positions: objects.positions,
+            velocities: objects.velocities,
+            radii: objects.radii,
+            space,
+        }
+    }
+
+    /// Builds a world from a workload specification and a seed.
+    pub fn from_spec(spec: &MovingObjectsSpec, seed: u64) -> Self {
+        World::from_parts(spec.generate(seed), spec.space)
+    }
+
+    /// The default world: `count` entities, clustered spawn, uniform velocities
+    /// (see [`MovingObjectsSpec::new`]), deterministic in `seed`.
+    pub fn random(count: usize, seed: u64) -> Self {
+        World::from_spec(&MovingObjectsSpec::new(count), seed)
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the world has no entities.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Entity positions (index = entity id).
+    pub fn positions(&self) -> &[Point3] {
+        &self.positions
+    }
+
+    /// Entity velocities (index = entity id).
+    pub fn velocities(&self) -> &[Point3] {
+        &self.velocities
+    }
+
+    /// Entity collision radii (index = entity id).
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// The cubic space the entities bounce in.
+    pub fn space(&self) -> SpaceConfig {
+        self.space
+    }
+
+    /// Advances every entity by `dt`: explicit Euler integration with a
+    /// reflective bounce at the space walls.
+    ///
+    /// A coordinate that crosses a wall is mirrored back inside and the
+    /// corresponding velocity component flips sign; a final clamp keeps even
+    /// pathological velocities (`|v·dt| > size`) inside `[0, size]`, so the
+    /// world extent — and with it the planner's density statistics — stays
+    /// bounded.
+    pub fn step(&mut self, dt: f64) {
+        let size = self.space.size;
+        for (p, v) in self.positions.iter_mut().zip(self.velocities.iter_mut()) {
+            let (x, vx) = bounce(p.x, v.x, dt, size);
+            let (y, vy) = bounce(p.y, v.y, dt, size);
+            let (z, vz) = bounce(p.z, v.z, dt, size);
+            *p = Point3::new(x, y, z);
+            *v = Point3::new(vx, vy, vz);
+        }
+    }
+
+    /// Rewrites `out` with the current collision boxes: entity `i` becomes the
+    /// cube `position ± radius` with id `i`.
+    ///
+    /// Reuses `out`'s allocation ([`Dataset::clear`]), so the per-tick steady
+    /// state allocates nothing.
+    pub fn fill_dataset(&self, out: &mut Dataset) {
+        out.clear();
+        for (p, &r) in self.positions.iter().zip(self.radii.iter()) {
+            out.push_mbr(Aabb::new(*p - Point3::splat(r), *p + Point3::splat(r)));
+        }
+    }
+}
+
+/// One axis of the Euler step: advance, mirror at the walls, flip the velocity
+/// on a bounce, clamp as the backstop.
+#[inline]
+fn bounce(p: f64, v: f64, dt: f64, size: f64) -> (f64, f64) {
+    let mut p = p + v * dt;
+    let mut v = v;
+    if p < 0.0 {
+        p = -p;
+        v = -v;
+    }
+    if p > size {
+        p = 2.0 * size - p;
+        v = -v;
+    }
+    (p.clamp(0.0, size), v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_world_is_seed_stable() {
+        let a = World::random(100, 7);
+        let b = World::random(100, 7);
+        assert_eq!(a, b);
+        let c = World::random(100, 8);
+        assert_ne!(a.positions(), c.positions());
+    }
+
+    #[test]
+    fn step_keeps_entities_inside_the_space() {
+        let mut w = World::random(200, 42);
+        let size = w.space().size;
+        for _ in 0..50 {
+            w.step(10.0);
+        }
+        for p in w.positions() {
+            for axis in 0..3 {
+                let c = p.coord(axis);
+                assert!((0.0..=size).contains(&c), "coordinate {c} escaped [0, {size}]");
+            }
+        }
+    }
+
+    #[test]
+    fn bounce_reflects_and_flips_velocity() {
+        // Crossing the lower wall mirrors the overshoot back inside.
+        let (p, v) = bounce(1.0, -3.0, 1.0, 10.0);
+        assert_eq!((p, v), (2.0, 3.0));
+        // Crossing the upper wall likewise.
+        let (p, v) = bounce(9.0, 3.0, 1.0, 10.0);
+        assert_eq!((p, v), (8.0, -3.0));
+        // Interior motion is plain Euler.
+        let (p, v) = bounce(5.0, 1.5, 2.0, 10.0);
+        assert_eq!((p, v), (8.0, 1.5));
+    }
+
+    #[test]
+    fn fill_dataset_aligns_ids_with_entity_indices() {
+        let w = World::random(50, 3);
+        let mut ds = Dataset::new();
+        w.fill_dataset(&mut ds);
+        assert_eq!(ds.len(), 50);
+        for (i, obj) in ds.iter().enumerate() {
+            assert_eq!(obj.id as usize, i);
+            let p = w.positions()[i];
+            let r = w.radii()[i];
+            assert_eq!(obj.mbr.min, p - Point3::splat(r));
+            assert_eq!(obj.mbr.max, p + Point3::splat(r));
+        }
+        // Refilling reuses the allocation and replaces the contents.
+        let before = ds.objects().as_ptr();
+        w.fill_dataset(&mut ds);
+        assert_eq!(ds.objects().as_ptr(), before);
+    }
+}

@@ -259,6 +259,42 @@ impl StreamingTouchJoin {
         sink: &mut dyn PairSink,
         trace: &dyn TraceSink,
     ) -> EpochReport {
+        self.push_epoch(batch, sink, trace, false)
+    }
+
+    /// [`StreamingTouchJoin::push_batch`] for **self-joins**: the pushed batch is
+    /// (an ε-extension of) the very dataset the tree was built over, with the
+    /// object ids aligned, and the local joins keep only pairs with
+    /// `tree_id < probe_id` — each unordered pair exactly once, identities never.
+    /// The filter sits inside the kernels, so an early-terminating sink's budget
+    /// is spent on real self-join pairs only; comparison/node-test counters stay
+    /// pre-filter, exactly as in the one-shot engines' self-join paths.
+    pub fn push_batch_self(
+        &mut self,
+        batch: &[SpatialObject],
+        sink: &mut dyn PairSink,
+    ) -> EpochReport {
+        self.push_batch_self_traced(batch, sink, &NoTrace)
+    }
+
+    /// [`StreamingTouchJoin::push_batch_self`] with an execution-trace sink
+    /// attached.
+    pub fn push_batch_self_traced(
+        &mut self,
+        batch: &[SpatialObject],
+        sink: &mut dyn PairSink,
+        trace: &dyn TraceSink,
+    ) -> EpochReport {
+        self.push_epoch(batch, sink, trace, true)
+    }
+
+    fn push_epoch(
+        &mut self,
+        batch: &[SpatialObject],
+        sink: &mut dyn PairSink,
+        trace: &dyn TraceSink,
+        self_join: bool,
+    ) -> EpochReport {
         let mut report = EpochReport {
             epoch: self.epochs,
             batch_size: batch.len(),
@@ -301,7 +337,15 @@ impl StreamingTouchJoin {
                     &params,
                     pool.primary(),
                     &mut counters,
-                    &mut |a_id, b_id| deliver(sink, a_id, b_id, &mut results),
+                    &mut |a_id, b_id| {
+                        // The streaming tree is always on A with no swap, so the
+                        // self-join index-order filter applies directly.
+                        if !self_join || a_id < b_id {
+                            deliver(sink, a_id, b_id, &mut results)
+                        } else {
+                            !sink.is_done()
+                        }
+                    },
                     trace,
                     0,
                 );
@@ -314,6 +358,7 @@ impl StreamingTouchJoin {
                     &params,
                     self.threads,
                     false,
+                    self_join,
                     sink,
                     pool,
                     &mut counters,
@@ -476,6 +521,7 @@ impl StreamingTouchJoin {
                     tree,
                     &params,
                     self.threads,
+                    false,
                     false,
                     sink,
                     pool,
@@ -692,6 +738,39 @@ impl SpatialJoinAlgorithm for OneShotStreaming {
             None => StreamingTouchJoin::build(a, self.config),
         };
         let _ = engine.push_batch_traced(b.objects(), sink, trace);
+        Self::merge_cumulative(&engine, report);
+    }
+
+    fn join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+    ) {
+        self.join_self_traced(a, base, sink, report, &NoTrace);
+    }
+
+    fn join_self_traced(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        let mut engine = match self.plan {
+            Some(plan) => StreamingTouchJoin::build_with_plan(a, plan),
+            None => StreamingTouchJoin::build(a, self.config),
+        };
+        let _ = engine.push_batch_self_traced(base.objects(), sink, trace);
+        Self::merge_cumulative(&engine, report);
+    }
+}
+
+impl OneShotStreaming {
+    /// Folds a finished engine's cumulative record into a one-shot report.
+    fn merge_cumulative(engine: &StreamingTouchJoin, report: &mut RunReport) {
         let cumulative = engine.cumulative_report();
         report.threads = cumulative.threads;
         report.epochs = cumulative.epochs;
@@ -952,6 +1031,37 @@ mod tests {
             assert_eq!(report.epochs, 1);
             assert_eq!(report.threads, threads);
             assert!(report.memory_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn self_join_epochs_keep_each_unordered_pair_once() {
+        let a = lattice(5, 1.2, 1.5, 0.0); // side > spacing: every neighbour pair overlaps
+        let mut brute = Vec::new();
+        for oa in a.iter() {
+            for ob in a.iter() {
+                if oa.id < ob.id && oa.mbr.intersects(&ob.mbr) {
+                    brute.push((oa.id, ob.id));
+                }
+            }
+        }
+        brute.sort_unstable();
+        assert!(!brute.is_empty());
+
+        for threads in [1, 4] {
+            // Direct epoch push against a tree over the same dataset...
+            let mut engine = StreamingTouchJoin::build(&a, streaming_cfg(threads));
+            let mut sink = CollectingSink::new();
+            let report = engine.push_batch_self(a.objects(), &mut sink);
+            assert_eq!(sink.sorted_pairs(), brute, "threads = {threads}");
+            assert_eq!(report.results(), brute.len() as u64);
+
+            // ...and the one-shot adapter through the trait's self-join entry.
+            let adapter = OneShotStreaming::new(streaming_cfg(threads));
+            let mut adapter_sink = CollectingSink::new();
+            let adapter_report = adapter.join_self(&a, &mut adapter_sink);
+            assert_eq!(adapter_sink.sorted_pairs(), brute, "threads = {threads}");
+            assert_eq!(adapter_report.result_pairs(), brute.len() as u64);
         }
     }
 

@@ -174,6 +174,31 @@ impl SpatialJoinAlgorithm for Engine {
     ) {
         self.build().join_traced(a, b, sink, report, trace)
     }
+
+    fn plan_self_for(&self, a: &Dataset) -> Option<JoinPlan> {
+        self.build().plan_self_for(a)
+    }
+
+    fn join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+    ) {
+        self.build().join_self_into(a, base, sink, report)
+    }
+
+    fn join_self_traced(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        self.build().join_self_traced(a, base, sink, report, trace)
+    }
 }
 
 /// The workspace-wide auto-planning engine behind [`Engine::Auto`].
@@ -269,6 +294,47 @@ impl SpatialJoinAlgorithm for AutoEngine {
         let engine = Self::resolve(plan);
         report.algorithm = format!("TOUCH-AUTO → {}", engine.name());
         engine.join_traced(a, b, sink, report, trace);
+        if let Some(summary) = &mut report.plan {
+            summary.stats_time = stats_time;
+        }
+    }
+
+    fn plan_self_for(&self, a: &Dataset) -> Option<JoinPlan> {
+        let sa = DatasetStats::from_dataset(a);
+        Some(self.planner.plan_self(&sa, &self.env))
+    }
+
+    fn join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+    ) {
+        self.join_self_traced(a, base, sink, report, &touch_metrics::NoTrace)
+    }
+
+    fn join_self_traced(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        trace: &dyn TraceSink,
+    ) {
+        // Self-joins are costed on the single input's statistics (work estimate
+        // halved — see `JoinPlanner::plan_self`); the dispatched engine then runs
+        // its in-kernel index-order filter, so pairs and counters stay identical
+        // to the explicitly selected engine at every width.
+        let stats_start = std::time::Instant::now();
+        let sa = DatasetStats::from_dataset(a);
+        let stats_time = stats_start.elapsed();
+        let mut env = self.env.with_pair_limit(sink.pair_limit());
+        env.epsilon = report.epsilon;
+        let plan = self.planner.plan_self(&sa, &env);
+        let engine = Self::resolve(plan);
+        report.algorithm = format!("TOUCH-AUTO → {}", engine.name());
+        engine.join_self_traced(a, base, sink, report, trace);
         if let Some(summary) = &mut report.plan {
             summary.stats_time = stats_time;
         }

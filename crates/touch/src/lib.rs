@@ -25,6 +25,10 @@
 //!   behind lock-free generation snapshots, queried by any number of
 //!   [`SnapshotReader`] threads while the writer buffers mutations and publishes
 //!   the next generation atomically,
+//! * [`sim`] — the tick-loop simulation layer ([`TickEngine`]): a moving-object
+//!   [`World`] re-joined with itself (a planned ε self-join) every tick, with
+//!   plan, tree memory and scratch reused across ticks — optionally republished
+//!   through the serving layer each tick ([`ServeTickLoop`]),
 //! * [`baselines`] — the competitor algorithms of the paper's evaluation,
 //! * [`metrics`] — counters, timers and [`RunReport`]s.
 //!
@@ -122,6 +126,7 @@ pub use touch_index as index;
 pub use touch_metrics as metrics;
 pub use touch_parallel as parallel;
 pub use touch_serve as serve;
+pub use touch_sim as sim;
 pub use touch_streaming as streaming;
 
 // The most common types, re-exported at the top level for convenience.
@@ -136,16 +141,19 @@ pub use touch_core::{
     LocalJoinStrategy, PairSink, PlanEnv, Predicate, ScratchPool, ShardedSink, SinkShard,
     SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
 };
-pub use touch_datagen::{NeuroscienceSpec, SyntheticDistribution, SyntheticSpec};
+pub use touch_datagen::{
+    MovingObjectsSpec, NeuroscienceSpec, SyntheticDistribution, SyntheticSpec, VelocityDistribution,
+};
 pub use touch_geom::{Aabb, Cylinder, Dataset, ObjectId, Point3, SpatialObject};
 pub use touch_metrics::{
-    Counters, ExecTrace, Histogram, NoTrace, Phase, PlanSummary, RunReport, TraceEvent, TraceSink,
-    TraceSummary, WorkerStats,
+    Counters, ExecTrace, Histogram, NoTrace, Phase, PlanSummary, RunReport, TickSummary,
+    TraceEvent, TraceSink, TraceSummary, WorkerStats,
 };
 pub use touch_parallel::{ParallelConfig, ParallelTouchJoin, ReaderPool};
 pub use touch_serve::{
     BoundedSink, GenCell, Generation, JoinServer, OverflowPolicy, ServeConfig, SnapshotReader,
 };
+pub use touch_sim::{ServeTickLoop, TickConfig, TickEngine, TickRecord, TickReport, World};
 pub use touch_streaming::{
     EpochReport, EpochSummary, OneShotStreaming, StreamingConfig, StreamingTouchJoin,
 };

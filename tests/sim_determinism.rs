@@ -1,0 +1,80 @@
+//! Simulation determinism: an N-tick run is **bit-identical** — per-tick pair
+//! lists and final world state — across thread counts, re-planning cadences,
+//! and the kernel-mode vs. serve-backed integration styles. This is the
+//! workspace determinism contract lifted to a moving world: if any engine or
+//! width disagreed on a single tick's pairs, the simulations would diverge
+//! physically from that tick on, so equality after N ticks is a much stronger
+//! statement than one-shot equality.
+
+use touch::{ObjectId, ServeTickLoop, TickConfig, TickEngine, World};
+
+const ENTITIES: usize = 400;
+const SEED: u64 = 20260808;
+const TICKS: usize = 12;
+const EPS: f64 = 30.0;
+
+/// Runs a kernel-mode tick loop and returns each tick's sorted pair list.
+fn kernel_run(config: TickConfig) -> (Vec<Vec<(ObjectId, ObjectId)>>, World) {
+    let mut engine = TickEngine::new(World::random(ENTITIES, SEED), config);
+    let pairs = (0..TICKS)
+        .map(|_| {
+            engine.tick();
+            engine.pairs().to_vec()
+        })
+        .collect();
+    (pairs, engine.world().clone())
+}
+
+#[test]
+fn thread_count_never_changes_a_tick() {
+    let config = TickConfig::default().with_epsilon(EPS);
+    let (baseline, base_world) = kernel_run(config);
+    assert!(baseline.iter().any(|t| !t.is_empty()), "degenerate run: no pairs in any tick");
+    for threads in [2, 4, 8] {
+        let (pairs, world) = kernel_run(config.with_threads(threads));
+        assert_eq!(pairs, baseline, "{threads} threads");
+        assert_eq!(world, base_world, "{threads} threads");
+    }
+}
+
+#[test]
+fn replanning_cadence_never_changes_a_tick() {
+    let config = TickConfig::default().with_epsilon(EPS);
+    let (baseline, _) = kernel_run(config);
+    // Re-plan every tick and never re-plan: the plan may differ, the pairs must not.
+    for drift in [0.0, f64::INFINITY] {
+        let mut cfg = config;
+        cfg.replan_drift = drift;
+        let (pairs, _) = kernel_run(cfg);
+        assert_eq!(pairs, baseline, "replan_drift = {drift}");
+    }
+}
+
+#[test]
+fn serve_backed_loop_replays_the_kernel_run() {
+    let config = TickConfig::default().with_epsilon(EPS);
+    let mut kernel = TickEngine::new(World::random(ENTITIES, SEED), config);
+    let mut serve = ServeTickLoop::new(World::random(ENTITIES, SEED), config);
+    let g0 = serve.generation();
+    for tick in 0..TICKS {
+        let kr = kernel.tick();
+        let sr = serve.tick();
+        assert_eq!(kernel.pairs(), serve.pairs(), "tick {tick}");
+        assert_eq!(kr.pairs, sr.pairs, "tick {tick}");
+    }
+    assert_eq!(kernel.world(), serve.world());
+    assert_eq!(serve.generation(), g0 + TICKS as u64, "one published generation per tick");
+}
+
+#[test]
+fn counting_mode_replays_the_collected_totals() {
+    let config = TickConfig::default().with_epsilon(EPS);
+    let (baseline, _) = kernel_run(config);
+    let mut counting =
+        TickEngine::new(World::random(ENTITIES, SEED), config.counting_only().with_threads(4));
+    for (tick, expected) in baseline.iter().enumerate() {
+        let record = counting.tick();
+        assert_eq!(record.pairs as usize, expected.len(), "tick {tick}");
+    }
+    assert_eq!(counting.summary().pairs, baseline.iter().map(|t| t.len() as u64).sum::<u64>());
+}
