@@ -46,6 +46,7 @@ impl SeededTreeJoin {
             return Vec::new();
         }
         // Walk levels from the root downwards until one is wide enough.
+        #[allow(clippy::expect_used)] // is_empty() returned above
         let mut level_nodes: Vec<usize> = vec![tree.root_index().expect("non-empty tree")];
         loop {
             let wide_enough = level_nodes.len() >= self.min_seeds;

@@ -16,8 +16,9 @@
 //! [`TouchTree::join_assigned`] over the same batch (pinned by the tests
 //! below and by the serving equivalence suite).
 
+use crate::control::{CancelCause, CancelToken, ExecControl};
 use crate::scratch::LocalJoinScratch;
-use crate::tree::{LocalJoinParams, TouchTree};
+use crate::tree::{LocalJoinParams, TouchTree, ASSIGN_CANCEL_CHUNK};
 use touch_geom::{ObjectId, SpatialObject};
 use touch_metrics::{vec_bytes, Counters, MemoryUsage, NoTrace, TraceSink};
 
@@ -78,6 +79,27 @@ impl AssignmentBuffer {
         }
     }
 
+    /// Cancellable [`AssignmentBuffer::assign`]: polls `cancel` once per
+    /// [`ASSIGN_CANCEL_CHUNK`]-object chunk and stops assigning when it trips,
+    /// returning the cause. Everything assigned before the trip stays in the
+    /// buffer and is counted, so a cancelled query's partial counters are an
+    /// honest account; an untriggered token is bit-identical to `assign`.
+    pub fn assign_ctl(
+        &mut self,
+        tree: &TouchTree,
+        batch: &[SpatialObject],
+        counters: &mut Counters,
+        cancel: &CancelToken,
+    ) -> Option<CancelCause> {
+        for chunk in batch.chunks(ASSIGN_CANCEL_CHUNK) {
+            if let Some(cause) = cancel.triggered() {
+                return Some(cause);
+            }
+            self.assign(tree, chunk, counters);
+        }
+        None
+    }
+
     /// Drops every assignment, keeping the per-node capacities (O(touched)).
     pub fn clear(&mut self) {
         for &node in &self.touched {
@@ -115,10 +137,44 @@ impl AssignmentBuffer {
         trace: &dyn TraceSink,
         worker: usize,
     ) -> usize {
+        let (bytes, cause) = self.join_ctl(
+            tree,
+            params,
+            scratch,
+            counters,
+            emit,
+            ExecControl::with_trace(trace),
+            worker,
+        );
+        debug_assert!(cause.is_none(), "never-triggering token cannot cancel");
+        bytes
+    }
+
+    /// Cancellable [`AssignmentBuffer::join_traced`]: polls `ctl.cancel` before
+    /// every per-node local join and abandons the remaining work list when it
+    /// trips, returning the cause alongside the scratch bytes. Pairs already
+    /// emitted and their counters stand; an untriggered token is bit-identical
+    /// to the traced path (which is this, with a never-triggering token).
+    #[allow(clippy::too_many_arguments)]
+    pub fn join_ctl(
+        &self,
+        tree: &TouchTree,
+        params: &LocalJoinParams,
+        scratch: &mut LocalJoinScratch,
+        counters: &mut Counters,
+        emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
+        ctl: ExecControl<'_>,
+        worker: usize,
+    ) -> (usize, Option<CancelCause>) {
         let mut work = std::mem::take(&mut scratch.work);
         self.work_into(tree, &mut work);
         let mut stopped = false;
+        let mut cause = None;
         for &idx in &work {
+            if let Some(c) = ctl.cancel.triggered() {
+                cause = Some(c);
+                break;
+            }
             let mut watched = |a: ObjectId, b: ObjectId| {
                 let go_on = emit(a, b);
                 stopped = !go_on;
@@ -131,7 +187,7 @@ impl AssignmentBuffer {
                 scratch,
                 counters,
                 &mut watched,
-                trace,
+                ctl.trace,
                 worker,
             );
             if stopped {
@@ -139,7 +195,7 @@ impl AssignmentBuffer {
             }
         }
         scratch.work = work;
-        scratch.memory_bytes()
+        (scratch.memory_bytes(), cause)
     }
 
     /// Refills `work` with the nodes the join phase has to visit — assigned

@@ -1,0 +1,405 @@
+//! Execution control: the fallible-join vocabulary ([`JoinError`]), cooperative
+//! cancellation with deadlines ([`CancelToken`]) and panic isolation helpers.
+//!
+//! The design mirrors the trace layer's "one code path, zero cost when off"
+//! contract: every engine's innards take an [`ExecControl`] — a cancel token
+//! plus a trace sink — and the infallible entry points pass
+//! [`CancelToken::never`], whose check compiles down to one relaxed atomic
+//! load that is never taken. A run with an untriggered token is bit-identical
+//! (pairs *and* counters) to a run without any token at all, which the
+//! perfsmoke counter gate locks down.
+//!
+//! Cancellation is **cooperative**: engines poll the token at chunk granularity
+//! (per tree node in the join phase, per assignment chunk, per epoch/tick) and
+//! wind down in an orderly way, returning the partial
+//! [`RunReport`](touch_metrics::RunReport) stamped with a
+//! [`Completion`](touch_metrics::Completion) status. Hard failures — a panicked
+//! worker, invalid geometry, an exhausted resource budget — surface as
+//! [`JoinError`]s instead.
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+use touch_metrics::{Completion, NoTrace, Phase, TraceSink};
+
+/// Why a fallible join entry point failed.
+///
+/// Cooperative cut-offs (cancellation, deadlines) normally do **not** produce
+/// an error from report-returning entry points — `JoinQuery::try_run` returns
+/// the partial report with [`Completion`](touch_metrics::Completion) stamped.
+/// The `Cancelled` / `DeadlineExceeded` variants are returned by operations
+/// with nothing partial to hand back (a serving-layer publish, a simulation
+/// tick) when they are cut off mid-flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// An input dataset failed validation (NaN coordinates, inverted MBR).
+    InvalidInput {
+        /// What was wrong, including the offending object id.
+        detail: String,
+    },
+    /// The operation observed a cancelled [`CancelToken`] and has no partial
+    /// result to return.
+    Cancelled,
+    /// The operation observed an elapsed deadline and has no partial result to
+    /// return.
+    DeadlineExceeded,
+    /// A worker panicked mid-run; the panic was contained and the process kept
+    /// running. The sink and report may reflect partial work.
+    WorkerPanicked {
+        /// Phase the worker was executing.
+        phase: Phase,
+        /// Logical worker index (0 for the coordinator / sequential engines).
+        worker: usize,
+        /// The panic payload's message.
+        detail: String,
+    },
+    /// A resource budget (e.g. a bounded sink's memory cap) was exhausted.
+    ResourceExhausted {
+        /// Which budget, and at what size.
+        detail: String,
+    },
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+            JoinError::Cancelled => write!(f, "cancelled"),
+            JoinError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            JoinError::WorkerPanicked { phase, worker, detail } => {
+                write!(f, "{} worker {worker} panicked: {detail}", phase.name())
+            }
+            JoinError::ResourceExhausted { detail } => write!(f, "resource exhausted: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Which trigger cut a run short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The token's deadline elapsed.
+    DeadlineExceeded,
+}
+
+impl CancelCause {
+    /// The [`Completion`] status a report cut short by this cause carries.
+    pub fn completion(self) -> Completion {
+        match self {
+            CancelCause::Cancelled => Completion::Cancelled,
+            CancelCause::DeadlineExceeded => Completion::DeadlineExceeded,
+        }
+    }
+
+    /// The [`JoinError`] for operations with no partial result to return.
+    pub fn into_error(self) -> JoinError {
+        match self {
+            CancelCause::Cancelled => JoinError::Cancelled,
+            CancelCause::DeadlineExceeded => JoinError::DeadlineExceeded,
+        }
+    }
+}
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+/// A shared cancellation flag with an optional deadline.
+///
+/// Engines poll [`triggered`](CancelToken::triggered) at chunk granularity;
+/// any thread (or the token's own deadline) can trip it. The first cause to
+/// trip wins and is sticky — later checks keep reporting it. Share a token
+/// across threads by reference (the engines run on scoped threads) or wrap it
+/// in an `Arc` for detached callers.
+///
+/// ```
+/// use touch_core::CancelToken;
+/// let token = CancelToken::new();
+/// assert!(token.triggered().is_none());
+/// token.cancel();
+/// assert!(token.triggered().is_some());
+/// ```
+#[derive(Debug)]
+pub struct CancelToken {
+    /// `LIVE` / `CANCELLED` / `DEADLINE`. Relaxed ordering everywhere: the
+    /// flag carries no associated data, cooperative checks only need eventual
+    /// visibility.
+    state: AtomicU8,
+    deadline: Option<Instant>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The shared never-triggering token behind [`CancelToken::never`].
+static NEVER: CancelToken = CancelToken::new();
+
+impl CancelToken {
+    /// A live token with no deadline.
+    pub const fn new() -> Self {
+        CancelToken { state: AtomicU8::new(LIVE), deadline: None }
+    }
+
+    /// A live token that trips `DeadlineExceeded` once `budget` has elapsed
+    /// (measured from now).
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken { state: AtomicU8::new(LIVE), deadline: Some(Instant::now() + budget) }
+    }
+
+    /// The token the infallible entry points run with: never cancelled, no
+    /// deadline, so every check is one relaxed load of an always-`LIVE` flag.
+    /// [`cancel`](CancelToken::cancel) on this token is a no-op.
+    pub fn never() -> &'static CancelToken {
+        &NEVER
+    }
+
+    /// Trips the token with [`CancelCause::Cancelled`]. Idempotent; loses
+    /// against a cause that already tripped. No-op on [`CancelToken::never`].
+    pub fn cancel(&self) {
+        if std::ptr::eq(self, &NEVER) {
+            return;
+        }
+        let _ = self.state.compare_exchange(LIVE, CANCELLED, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The cause that tripped this token, or `None` while it is live. Checks
+    /// the deadline lazily: a token past its deadline trips on first poll.
+    #[inline]
+    pub fn triggered(&self) -> Option<CancelCause> {
+        match self.state.load(Ordering::Relaxed) {
+            LIVE => {
+                let deadline = self.deadline?;
+                if Instant::now() < deadline {
+                    return None;
+                }
+                // Trip the sticky cause; lose gracefully against a concurrent
+                // cancel() and report whatever won.
+                let _ = self.state.compare_exchange(
+                    LIVE,
+                    DEADLINE,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                match self.state.load(Ordering::Relaxed) {
+                    CANCELLED => Some(CancelCause::Cancelled),
+                    _ => Some(CancelCause::DeadlineExceeded),
+                }
+            }
+            CANCELLED => Some(CancelCause::Cancelled),
+            _ => Some(CancelCause::DeadlineExceeded),
+        }
+    }
+
+    /// `Err` with the tripped cause's [`JoinError`], `Ok(())` while live.
+    #[inline]
+    pub fn check(&self) -> Result<(), JoinError> {
+        match self.triggered() {
+            None => Ok(()),
+            Some(cause) => Err(cause.into_error()),
+        }
+    }
+
+    /// The [`Completion`] status a run observing this token right now carries.
+    pub fn completion(&self) -> Completion {
+        self.triggered().map_or(Completion::Complete, CancelCause::completion)
+    }
+}
+
+/// The trace sink the infallible entry points run with.
+static NO_TRACE: NoTrace = NoTrace;
+
+/// Everything an engine's inner loops need to cooperate with the outside
+/// world: a cancellation token and a trace sink. `Copy`, two pointers wide —
+/// threading it through call chains costs nothing.
+///
+/// The infallible / untraced entry points use [`ExecControl::infallible`],
+/// whose token never trips and whose sink is disabled, keeping one shared code
+/// path per engine (the PR-6 tracing pattern).
+#[derive(Clone, Copy)]
+pub struct ExecControl<'a> {
+    /// Cancellation token polled at chunk granularity.
+    pub cancel: &'a CancelToken,
+    /// Trace sink execution spans are reported to.
+    pub trace: &'a dyn TraceSink,
+}
+
+impl fmt::Debug for ExecControl<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecControl")
+            .field("cancel", &self.cancel)
+            .field("trace_enabled", &self.trace.is_enabled())
+            .finish()
+    }
+}
+
+impl<'a> ExecControl<'a> {
+    /// A control block with the given token and a disabled trace sink.
+    pub fn with_cancel(cancel: &'a CancelToken) -> Self {
+        ExecControl { cancel, trace: &NO_TRACE }
+    }
+
+    /// A control block with the given trace sink and a never-triggering token.
+    pub fn with_trace(trace: &'a dyn TraceSink) -> Self {
+        ExecControl { cancel: CancelToken::never(), trace }
+    }
+
+    /// The control block of the infallible, untraced entry points: a token
+    /// that never trips and a disabled sink.
+    pub fn infallible() -> ExecControl<'static> {
+        ExecControl { cancel: CancelToken::never(), trace: &NO_TRACE }
+    }
+}
+
+/// Runs `f`, converting a panic into [`JoinError::WorkerPanicked`] attributed
+/// to `phase` / `worker`. This is the containment boundary the engines wrap
+/// around coordinator phases and parallel worker jobs.
+pub fn catch_phase<R>(phase: Phase, worker: usize, f: impl FnOnce() -> R) -> Result<R, JoinError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| JoinError::WorkerPanicked {
+        phase,
+        worker,
+        detail: panic_message(payload.as_ref()),
+    })
+}
+
+/// Extracts the human-readable message from a panic payload (`&str` and
+/// `String` payloads cover `panic!`/`expect`/`assert!`; anything else renders
+/// as an opaque marker).
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_stays_live_and_ignores_cancel() {
+        let never = CancelToken::never();
+        assert!(never.triggered().is_none());
+        never.cancel();
+        assert!(never.triggered().is_none(), "the shared never token cannot be tripped");
+        assert!(never.check().is_ok());
+        assert_eq!(never.completion(), Completion::Complete);
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_idempotent() {
+        let token = CancelToken::new();
+        assert_eq!(token.completion(), Completion::Complete);
+        token.cancel();
+        token.cancel();
+        assert_eq!(token.triggered(), Some(CancelCause::Cancelled));
+        assert_eq!(token.check(), Err(JoinError::Cancelled));
+        assert_eq!(token.completion(), Completion::Cancelled);
+    }
+
+    #[test]
+    fn deadline_trips_lazily_and_sticks() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(token.triggered(), Some(CancelCause::DeadlineExceeded));
+        // An explicit cancel after the deadline tripped does not flip the cause.
+        token.cancel();
+        assert_eq!(token.triggered(), Some(CancelCause::DeadlineExceeded));
+        assert_eq!(token.completion(), Completion::DeadlineExceeded);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(token.triggered().is_none());
+        assert!(token.check().is_ok());
+    }
+
+    #[test]
+    fn cancel_wins_over_an_untripped_deadline() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        token.cancel();
+        assert_eq!(token.triggered(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn token_is_shareable_across_scoped_threads() {
+        let token = CancelToken::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| token.cancel());
+        });
+        assert_eq!(token.triggered(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn catch_phase_attributes_the_panic() {
+        let err = catch_phase(Phase::Assignment, 3, || -> () { panic!("boom {}", 7) })
+            .expect_err("must catch");
+        match &err {
+            JoinError::WorkerPanicked { phase, worker, detail } => {
+                assert_eq!(*phase, Phase::Assignment);
+                assert_eq!(*worker, 3);
+                assert_eq!(detail, "boom 7");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains("assignment worker 3 panicked"), "{rendered}");
+        assert!(rendered.contains("boom 7"), "display must embed the original detail");
+    }
+
+    #[test]
+    fn catch_phase_passes_values_through() {
+        let ok = catch_phase(Phase::Join, 0, || 42).expect("no panic");
+        assert_eq!(ok, 42);
+    }
+
+    #[test]
+    fn panic_message_handles_static_and_owned_strings() {
+        let static_payload = catch_unwind(|| panic!("static message")).unwrap_err();
+        assert_eq!(panic_message(static_payload.as_ref()), "static message");
+        let owned_payload = catch_unwind(|| panic!("{}", String::from("owned"))).unwrap_err();
+        assert_eq!(panic_message(owned_payload.as_ref()), "owned");
+        let opaque = catch_unwind(|| std::panic::panic_any(17u32)).unwrap_err();
+        assert_eq!(panic_message(opaque.as_ref()), "<non-string panic payload>");
+    }
+
+    #[test]
+    fn join_error_display_covers_every_variant() {
+        assert_eq!(
+            JoinError::InvalidInput { detail: "object 3: NaN".into() }.to_string(),
+            "invalid input: object 3: NaN"
+        );
+        assert_eq!(JoinError::Cancelled.to_string(), "cancelled");
+        assert_eq!(JoinError::DeadlineExceeded.to_string(), "deadline exceeded");
+        assert_eq!(
+            JoinError::ResourceExhausted { detail: "pair budget 10".into() }.to_string(),
+            "resource exhausted: pair budget 10"
+        );
+    }
+
+    #[test]
+    fn exec_control_constructors_wire_the_expected_parts() {
+        let ctl = ExecControl::infallible();
+        assert!(ctl.cancel.triggered().is_none());
+        assert!(!ctl.trace.is_enabled());
+        let token = CancelToken::new();
+        let with_cancel = ExecControl::with_cancel(&token);
+        assert!(std::ptr::eq(with_cancel.cancel, &token));
+        let trace = touch_metrics::ExecTrace::new();
+        let with_trace = ExecControl::with_trace(&trace);
+        assert!(with_trace.trace.is_enabled());
+        let copied = with_trace;
+        assert!(copied.trace.is_enabled(), "ExecControl is Copy");
+    }
+}

@@ -70,6 +70,7 @@
 #![warn(rust_2018_idioms)]
 
 mod assignment;
+mod control;
 pub mod kernels;
 mod plan;
 mod query;
@@ -81,6 +82,7 @@ mod traits;
 mod tree;
 
 pub use assignment::AssignmentBuffer;
+pub use control::{catch_phase, panic_message, CancelCause, CancelToken, ExecControl, JoinError};
 pub use plan::{AutoJoin, ExecutionStrategy, JoinPlan, JoinPlanner, PlanEnv};
 pub use query::{IntoEngine, JoinQuery, Predicate};
 pub use scratch::{LocalJoinScratch, ScratchPool};
@@ -91,4 +93,4 @@ pub use sink::{
 pub use stats::{DatasetStats, EXTENT_BUCKETS};
 pub use touch::{time_phase_traced, JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};
 pub use traits::{collect_join, count_join, distance_join, SpatialJoinAlgorithm};
-pub use tree::{LocalJoinKind, LocalJoinParams, TouchNode, TouchTree};
+pub use tree::{LocalJoinKind, LocalJoinParams, TouchNode, TouchTree, ASSIGN_CANCEL_CHUNK};

@@ -50,6 +50,7 @@
 //!   available and the input is large enough ([`JoinPlanner::parallel_min_work`])
 //!   for the fork/join overhead to pay off.
 
+use crate::control::{ExecControl, JoinError};
 use crate::stats::DatasetStats;
 use crate::{LocalJoinParams, PairSink, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
 use serde::{Deserialize, Serialize};
@@ -518,6 +519,55 @@ impl SpatialJoinAlgorithm for AutoJoin {
         if let Some(summary) = &mut report.plan {
             summary.stats_time = stats_time;
         }
+    }
+
+    fn try_join_into(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        // Check before the stats pass so a pre-cancelled run skips even planning.
+        if let Some(cause) = ctl.cancel.triggered() {
+            report.completion = cause.completion();
+            return Ok(());
+        }
+        let stats_start = std::time::Instant::now();
+        let (stats_a, stats_b) = (DatasetStats::from_dataset(a), DatasetStats::from_dataset(b));
+        let stats_time = stats_start.elapsed();
+        let env = PlanEnv::sequential().with_pair_limit(sink.pair_limit()).with_threads(1);
+        let plan = self.planner.plan(&stats_a, &stats_b, &env);
+        TouchJoin::from_plan(plan).try_join_into(a, b, sink, report, ctl)?;
+        if let Some(summary) = &mut report.plan {
+            summary.stats_time = stats_time;
+        }
+        Ok(())
+    }
+
+    fn try_join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        if let Some(cause) = ctl.cancel.triggered() {
+            report.completion = cause.completion();
+            return Ok(());
+        }
+        let stats_start = std::time::Instant::now();
+        let stats = DatasetStats::from_dataset(a);
+        let stats_time = stats_start.elapsed();
+        let env = PlanEnv::sequential().with_pair_limit(sink.pair_limit()).with_threads(1);
+        let plan = self.planner.plan_self(&stats, &env);
+        TouchJoin::from_plan(plan).try_join_self_into(a, base, sink, report, ctl)?;
+        if let Some(summary) = &mut report.plan {
+            summary.stats_time = stats_time;
+        }
+        Ok(())
     }
 }
 

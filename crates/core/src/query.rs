@@ -31,10 +31,14 @@
 //! report identity (label, sizes, `epsilon` — set *before* the engine runs) and
 //! the sink lifecycle ([`crate::PairSink::finish`] after the join).
 
+use crate::control::{CancelToken, ExecControl, JoinError};
 use crate::plan::{AutoJoin, JoinPlan};
 use crate::{PairSink, SpatialJoinAlgorithm, TouchConfig, TouchJoin};
-use touch_geom::Dataset;
-use touch_metrics::{RunReport, TraceSink};
+use touch_geom::{Dataset, ValidationPolicy};
+use touch_metrics::{NoTrace, RunReport, TraceSink};
+
+/// The disabled trace sink a query without `.trace(…)` runs against.
+static NO_TRACE: NoTrace = NoTrace;
 
 /// The join predicate of a [`JoinQuery`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -102,6 +106,14 @@ pub struct JoinQuery<'a> {
     scratch: Option<Dataset>,
     /// Trace sink the run reports execution spans to (`None` = untraced).
     trace: Option<&'a dyn TraceSink>,
+    /// Cancel token [`JoinQuery::try_run`] polls (`None` = never cancelled).
+    cancel: Option<&'a CancelToken>,
+    /// How [`JoinQuery::try_run`] treats invalid geometry (non-finite or
+    /// inverted MBRs) in its inputs.
+    validation: ValidationPolicy,
+    /// Reused buffers for [`ValidationPolicy::SkipInvalid`]: the compacted
+    /// (A, B) datasets, allocated on first use like the ε `scratch`.
+    valid_scratch: Option<(Dataset, Dataset)>,
     /// `true` for a [`JoinQuery::self_join`]: dispatch through the engine's
     /// self-join entry points (identity pairs skipped, each unordered pair once).
     self_mode: bool,
@@ -138,6 +150,9 @@ impl<'a> JoinQuery<'a> {
             engine: Box::new(AutoJoin::new()),
             scratch: None,
             trace: None,
+            cancel: None,
+            validation: ValidationPolicy::default(),
+            valid_scratch: None,
             self_mode: false,
         }
     }
@@ -188,6 +203,37 @@ impl<'a> JoinQuery<'a> {
     /// [`TraceSummary`]: touch_metrics::TraceSummary
     pub fn trace(mut self, trace: &'a dyn TraceSink) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a [`CancelToken`] the run polls cooperatively (between phases
+    /// and at chunk/node granularity inside the TOUCH engines).
+    ///
+    /// Only [`JoinQuery::try_run`] honours it: a token tripped by
+    /// [`CancelToken::cancel`] or by its deadline
+    /// ([`CancelToken::with_deadline`]) stops the run in an orderly way and
+    /// yields `Ok` with a **partial** report whose
+    /// [`completion`](RunReport::completion) says how the run ended. An
+    /// untriggered token changes nothing: pairs and counters are bit-identical
+    /// to an un-cancellable run (locked down by the cancellation-equivalence
+    /// suite and the perfsmoke counter gate).
+    pub fn cancel(mut self, cancel: &'a CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Sets how [`JoinQuery::try_run`] treats invalid geometry — objects whose
+    /// MBR has a non-finite coordinate or an inverted extent (`min > max`).
+    ///
+    /// [`ValidationPolicy::Reject`] (the default) fails the run with
+    /// [`JoinError::InvalidInput`] naming the first offender;
+    /// [`ValidationPolicy::SkipInvalid`] compacts the inputs into internal
+    /// scratch datasets (invalid objects dropped, survivors **re-identified
+    /// densely** in order) and records the drop count in
+    /// [`RunReport::invalid_skipped`]. The policy applies to [`JoinQuery::run`]
+    /// too (it is a thin wrapper over `try_run`), where a rejection panics.
+    pub fn validation(mut self, policy: ValidationPolicy) -> Self {
+        self.validation = policy;
         self
     }
 
@@ -245,31 +291,94 @@ impl<'a> JoinQuery<'a> {
     pub fn run(&mut self, sink: &mut dyn PairSink) -> RunReport {
         let eps = self.predicate.epsilon();
         debug_assert!(eps >= 0.0, "distance-join ε must be non-negative, got {eps}");
+        self.try_run(sink).unwrap_or_else(|e| panic!("join failed: {e}"))
+    }
+
+    /// Fallible form of [`JoinQuery::run`]: the identical join (`run` is this
+    /// plus a panic on `Err`), with input validation, cooperative cancellation
+    /// and panic containment.
+    ///
+    /// On top of `run`'s responsibilities (ε-translation, report identity,
+    /// orientation, sink lifecycle) this entry point:
+    ///
+    /// * **validates the inputs** per [`JoinQuery::validation`] — a non-finite
+    ///   or negative ε, or (under [`ValidationPolicy::Reject`]) an invalid MBR,
+    ///   yields [`JoinError::InvalidInput`] before any phase runs; under
+    ///   [`ValidationPolicy::SkipInvalid`] offenders are dropped and counted in
+    ///   [`RunReport::invalid_skipped`],
+    /// * **polls the attached [`CancelToken`]** ([`JoinQuery::cancel`]): a
+    ///   tripped token ends the run in an orderly way with `Ok` and a partial
+    ///   report stamped via [`RunReport::completion`] — cancellation is not an
+    ///   error when there is a report to return,
+    /// * **contains engine panics**, surfacing them as
+    ///   [`JoinError::WorkerPanicked`] with the phase and worker attributed.
+    ///
+    /// [`PairSink::finish`] runs exactly once on every orderly exit (complete
+    /// or cancelled); after `Err` the sink's contents are unspecified and
+    /// `finish` is **not** invoked.
+    pub fn try_run(&mut self, sink: &mut dyn PairSink) -> Result<RunReport, JoinError> {
+        let eps = self.predicate.epsilon();
+        if !eps.is_finite() || eps < 0.0 {
+            return Err(JoinError::InvalidInput {
+                detail: format!("distance-join ε must be finite and non-negative, got {eps}"),
+            });
+        }
         let mut report = RunReport::new(self.engine.name(), self.a.len(), self.b.len());
         report.epsilon = eps;
 
-        let a_run: &Dataset = if eps > 0.0 {
-            let scratch = self.scratch.get_or_insert_with(Dataset::new);
-            self.a.extend_into(eps, scratch);
-            scratch
-        } else {
-            self.a
+        // Validation resolves the (possibly compacted) base datasets first; the
+        // ε extension then runs over the compacted A so dropped objects never
+        // reach the engine.
+        let same_input = std::ptr::eq(self.a, self.b);
+        let (a_base, b_run): (&Dataset, &Dataset) = match self.validation {
+            ValidationPolicy::Reject => {
+                self.a
+                    .validate()
+                    .map_err(|e| JoinError::InvalidInput { detail: format!("dataset A: {e}") })?;
+                if !same_input {
+                    self.b.validate().map_err(|e| JoinError::InvalidInput {
+                        detail: format!("dataset B: {e}"),
+                    })?;
+                }
+                (self.a, self.b)
+            }
+            ValidationPolicy::SkipInvalid => {
+                let (fa, fb) = self.valid_scratch.get_or_insert_with(Default::default);
+                let mut skipped = self.a.retain_valid_into(fa);
+                if same_input {
+                    fb.clone_from(fa);
+                } else {
+                    skipped += self.b.retain_valid_into(fb);
+                }
+                report.invalid_skipped = skipped;
+                report.dataset_a = fa.len();
+                report.dataset_b = fb.len();
+                (fa, fb)
+            }
         };
 
-        match (self.self_mode, self.trace) {
-            (false, Some(trace)) => {
-                self.engine.join_traced(a_run, self.b, sink, &mut report, trace);
-                report.trace = trace.summary();
-            }
-            (false, None) => self.engine.join_into(a_run, self.b, sink, &mut report),
-            (true, Some(trace)) => {
-                self.engine.join_self_traced(a_run, self.b, sink, &mut report, trace);
-                report.trace = trace.summary();
-            }
-            (true, None) => self.engine.join_self_into(a_run, self.b, sink, &mut report),
+        let a_run: &Dataset = if eps > 0.0 {
+            let scratch = self.scratch.get_or_insert_with(Dataset::new);
+            a_base.extend_into(eps, scratch);
+            scratch
+        } else {
+            a_base
+        };
+
+        let ctl = ExecControl {
+            cancel: self.cancel.unwrap_or_else(|| CancelToken::never()),
+            trace: self.trace.unwrap_or(&NO_TRACE),
+        };
+        if self.self_mode {
+            self.engine.try_join_self_into(a_run, b_run, sink, &mut report, ctl)?;
+        } else {
+            self.engine.try_join_into(a_run, b_run, sink, &mut report, ctl)?;
+        }
+        if let Some(trace) = self.trace {
+            report.trace = trace.summary();
         }
         sink.finish();
-        report
+        Ok(report)
     }
 }
 

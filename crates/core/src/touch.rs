@@ -1,6 +1,7 @@
 //! The TOUCH join algorithm: configuration and the [`SpatialJoinAlgorithm`]
 //! implementation tying the three phases together (Algorithm 1).
 
+use crate::control::{catch_phase, ExecControl, JoinError};
 use crate::plan::JoinPlan;
 use crate::tree::LocalJoinKind;
 use crate::{deliver, LocalJoinScratch, PairSink, SpatialJoinAlgorithm, TouchTree};
@@ -250,6 +251,11 @@ pub fn time_phase_traced<T>(
 /// Traced form of [`execute_sequential`]: the identical join (the untraced
 /// entry point is this with a [`NoTrace`] sink) plus phase spans and per-node
 /// [`TraceEvent::NodeJoin`] spans attributed to worker 0.
+///
+/// # Panics
+/// Re-raises a contained phase panic with the attributed
+/// [`JoinError::WorkerPanicked`] rendering (the original panic message is
+/// embedded). Use [`execute_sequential_ctl`] to handle it as an error.
 pub(crate) fn execute_sequential_traced(
     plan: &JoinPlan,
     a: &Dataset,
@@ -258,46 +264,158 @@ pub(crate) fn execute_sequential_traced(
     report: &mut RunReport,
     trace: &dyn TraceSink,
 ) {
+    execute_sequential_ctl(plan, a, b, sink, report, ExecControl::with_trace(trace))
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// The one sequential execution path: [`execute_sequential_traced`] is this
+/// with a never-triggering token, [`execute_sequential`] additionally with a
+/// disabled trace sink.
+///
+/// Cooperation contract:
+///
+/// * the cancel token is polled between phases, per assignment chunk and per
+///   join node; a tripped token stops the run in an orderly way and returns
+///   `Ok` with the partial report stamped
+///   ([`Completion`](touch_metrics::Completion)),
+/// * each phase runs inside [`catch_phase`], so a panic surfaces as
+///   `Err(`[`JoinError::WorkerPanicked`]`)` (phase attributed, worker 0) with
+///   the report covering the work completed before the panic,
+/// * with an untriggered token the run is bit-identical — pairs *and* counters
+///   — to the pre-fault-tolerance code path (locked by the equivalence suites
+///   and the perfsmoke counter gate).
+pub(crate) fn execute_sequential_ctl(
+    plan: &JoinPlan,
+    a: &Dataset,
+    b: &Dataset,
+    sink: &mut dyn PairSink,
+    report: &mut RunReport,
+    ctl: ExecControl<'_>,
+) -> Result<(), JoinError> {
     report.plan = Some(plan.summary());
     let build_on_a = plan.build_on_a;
     let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
+    let mut results = 0u64;
+    let mut emit = |tree_id, probe_id| {
+        if build_on_a {
+            deliver(sink, tree_id, probe_id, &mut results)
+        } else {
+            deliver(sink, probe_id, tree_id, &mut results)
+        }
+    };
+    execute_phases_ctl(plan, tree_ds, probe_ds, &mut emit, report, ctl)?;
+    report.counters.results += results;
+    Ok(())
+}
+
+/// Self-join form of [`execute_sequential_ctl`]: the same three phases over
+/// `a ⋈ base` (the possibly ε-extended view and the original dataset, with
+/// aligned ids), with the index-order filter applied inside the emit closure —
+/// identity pairs and mirrored duplicates are dropped *before* the sink sees
+/// them, so early termination budgets are spent on post-filter pairs only
+/// while the comparison/node-test counters stay identical to the raw
+/// `a ⋈ base` run.
+pub(crate) fn execute_sequential_self_ctl(
+    plan: &JoinPlan,
+    a: &Dataset,
+    base: &Dataset,
+    sink: &mut dyn PairSink,
+    report: &mut RunReport,
+    ctl: ExecControl<'_>,
+) -> Result<(), JoinError> {
+    report.plan = Some(plan.summary());
+    let build_on_a = plan.build_on_a;
+    let (tree_ds, probe_ds) = if build_on_a { (a, base) } else { (base, a) };
+    let mut results = 0u64;
+    let mut emit = |tree_id, probe_id| {
+        let (x, y) = if build_on_a { (tree_id, probe_id) } else { (probe_id, tree_id) };
+        if x < y {
+            deliver(sink, x, y, &mut results)
+        } else {
+            !sink.is_done()
+        }
+    };
+    execute_phases_ctl(plan, tree_ds, probe_ds, &mut emit, report, ctl)?;
+    report.counters.results += results;
+    Ok(())
+}
+
+/// The shared three-phase body of [`execute_sequential_ctl`] and
+/// [`execute_sequential_self_ctl`] — build, assign, join over an emit closure
+/// that already encodes orientation (and, for self-joins, the index-order
+/// filter). Counters are accumulated locally and folded back into the report
+/// on **every** exit path, so a cancelled or panicked run still reports the
+/// work it did.
+fn execute_phases_ctl(
+    plan: &JoinPlan,
+    tree_ds: &Dataset,
+    probe_ds: &Dataset,
+    emit: &mut impl FnMut(touch_geom::ObjectId, touch_geom::ObjectId) -> bool,
+    report: &mut RunReport,
+    ctl: ExecControl<'_>,
+) -> Result<(), JoinError> {
+    if let Some(cause) = ctl.cancel.triggered() {
+        report.completion = cause.completion();
+        return Ok(());
+    }
 
     // Phase 1: build the hierarchy on the tree dataset (Algorithm 2).
-    let mut tree = time_phase_traced(report, Phase::Build, trace, || {
-        TouchTree::build(tree_ds.objects(), plan.partitions, plan.fanout)
-    });
+    let mut tree = catch_phase(Phase::Build, 0, || {
+        time_phase_traced(report, Phase::Build, ctl.trace, || {
+            TouchTree::build(tree_ds.objects(), plan.partitions, plan.fanout)
+        })
+    })?;
+    if let Some(cause) = ctl.cancel.triggered() {
+        report.memory_bytes = tree.memory_bytes();
+        report.completion = cause.completion();
+        return Ok(());
+    }
 
     // Phase 2: assign the probe dataset to the hierarchy (Algorithm 3).
     let mut counters = std::mem::take(&mut report.counters);
-    time_phase_traced(report, Phase::Assignment, trace, || {
-        tree.assign(probe_ds.objects(), &mut counters);
+    let assigned = catch_phase(Phase::Assignment, 0, || {
+        time_phase_traced(report, Phase::Assignment, ctl.trace, || {
+            tree.assign_ctl(probe_ds.objects(), &mut counters, ctl.cancel)
+        })
     });
+    let cut_short = match assigned {
+        Ok(cut_short) => cut_short,
+        Err(e) => {
+            report.counters = counters;
+            return Err(e);
+        }
+    };
+    if let Some(cause) = cut_short {
+        report.counters = counters;
+        report.memory_bytes = tree.memory_bytes();
+        report.completion = cause.completion();
+        return Ok(());
+    }
 
     // Phase 3: local joins (Algorithm 4), honouring the sink's early
     // termination after every delivered pair. The scratch lives for the whole
     // join, so the per-node grid directories and sweep buffers allocate once.
     let mut scratch = LocalJoinScratch::new();
-    let mut results = 0u64;
-    let peak_local_aux = time_phase_traced(report, Phase::Join, trace, || {
-        tree.join_assigned_traced(
-            &plan.params,
-            &mut scratch,
-            &mut counters,
-            &mut |tree_id, probe_id| {
-                if build_on_a {
-                    deliver(sink, tree_id, probe_id, &mut results)
-                } else {
-                    deliver(sink, probe_id, tree_id, &mut results)
-                }
-            },
-            trace,
-            0,
-        )
+    let joined = catch_phase(Phase::Join, 0, || {
+        time_phase_traced(report, Phase::Join, ctl.trace, || {
+            tree.join_assigned_ctl(&plan.params, &mut scratch, &mut counters, emit, ctl, 0)
+        })
     });
-
-    counters.results += results;
-    report.counters = counters;
-    report.memory_bytes = tree.memory_bytes() + peak_local_aux;
+    match joined {
+        Ok((peak_local_aux, cause)) => {
+            report.counters = counters;
+            report.memory_bytes = tree.memory_bytes() + peak_local_aux;
+            if let Some(cause) = cause {
+                report.completion = cause.completion();
+            }
+            Ok(())
+        }
+        Err(e) => {
+            report.counters = counters;
+            report.memory_bytes = tree.memory_bytes() + scratch.memory_bytes();
+            Err(e)
+        }
+    }
 }
 
 /// Untraced form of [`execute_sequential_self_traced`].
@@ -326,42 +444,8 @@ pub(crate) fn execute_sequential_self_traced(
     report: &mut RunReport,
     trace: &dyn TraceSink,
 ) {
-    report.plan = Some(plan.summary());
-    let build_on_a = plan.build_on_a;
-    let (tree_ds, probe_ds) = if build_on_a { (a, base) } else { (base, a) };
-
-    let mut tree = time_phase_traced(report, Phase::Build, trace, || {
-        TouchTree::build(tree_ds.objects(), plan.partitions, plan.fanout)
-    });
-
-    let mut counters = std::mem::take(&mut report.counters);
-    time_phase_traced(report, Phase::Assignment, trace, || {
-        tree.assign(probe_ds.objects(), &mut counters);
-    });
-
-    let mut scratch = LocalJoinScratch::new();
-    let mut results = 0u64;
-    let peak_local_aux = time_phase_traced(report, Phase::Join, trace, || {
-        tree.join_assigned_traced(
-            &plan.params,
-            &mut scratch,
-            &mut counters,
-            &mut |tree_id, probe_id| {
-                let (x, y) = if build_on_a { (tree_id, probe_id) } else { (probe_id, tree_id) };
-                if x < y {
-                    deliver(sink, x, y, &mut results)
-                } else {
-                    !sink.is_done()
-                }
-            },
-            trace,
-            0,
-        )
-    });
-
-    counters.results += results;
-    report.counters = counters;
-    report.memory_bytes = tree.memory_bytes() + peak_local_aux;
+    execute_sequential_self_ctl(plan, a, base, sink, report, ExecControl::with_trace(trace))
+        .unwrap_or_else(|e| panic!("{e}"));
 }
 
 impl SpatialJoinAlgorithm for TouchJoin {
@@ -411,6 +495,28 @@ impl SpatialJoinAlgorithm for TouchJoin {
         trace: &dyn TraceSink,
     ) {
         execute_sequential_self_traced(&self.resolve_plan(a, base), a, base, sink, report, trace);
+    }
+
+    fn try_join_into(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        execute_sequential_ctl(&self.resolve_plan(a, b), a, b, sink, report, ctl)
+    }
+
+    fn try_join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        execute_sequential_self_ctl(&self.resolve_plan(a, base), a, base, sink, report, ctl)
     }
 }
 

@@ -7,10 +7,11 @@
 //! ([`distance_join`], [`collect_join`], [`count_join`]) are thin wrappers over it
 //! kept for existing call sites — see `MIGRATION.md` at the workspace root.
 
+use crate::control::{catch_phase, ExecControl, JoinError};
 use crate::plan::JoinPlan;
 use crate::{CollectingSink, CountingSink, JoinQuery, PairSink, Predicate, SelfPairSink};
 use touch_geom::{Dataset, ObjectId};
-use touch_metrics::{RunReport, TraceSink};
+use touch_metrics::{Phase, RunReport, TraceSink};
 
 /// A two-way spatial intersection join over MBR datasets.
 ///
@@ -70,6 +71,44 @@ pub trait SpatialJoinAlgorithm {
     ) {
         let _ = trace;
         self.join_into(a, b, sink, report);
+    }
+
+    /// Fallible, cancellable form of [`SpatialJoinAlgorithm::join_into`] — the
+    /// engine-side half of [`JoinQuery::try_run`](crate::JoinQuery::try_run).
+    ///
+    /// Contract:
+    ///
+    /// * `ctl.cancel` is polled cooperatively (between phases and at chunk /
+    ///   node granularity in the engines that override this); a tripped token
+    ///   stops the run in an orderly way and returns `Ok(())` with the
+    ///   **partial** report's [`completion`](RunReport::completion) stamped
+    ///   [`Cancelled`](touch_metrics::Completion::Cancelled) or
+    ///   [`DeadlineExceeded`](touch_metrics::Completion::DeadlineExceeded) —
+    ///   cancellation of a report-producing run is not an error,
+    /// * a panic inside the engine is contained and surfaces as
+    ///   `Err(`[`JoinError::WorkerPanicked`]`)` with the phase and worker
+    ///   attributed,
+    /// * with a never-triggering token and no panic the run is **bit-identical**
+    ///   (pairs and counters) to [`SpatialJoinAlgorithm::join_traced`].
+    ///
+    /// The default covers engines without internal cancel points: it checks the
+    /// token once up front, then runs the whole traced join inside one
+    /// [`catch_phase`] attributed to [`Phase::Join`] / worker 0. Engines with
+    /// chunked inner loops (the TOUCH engines) override it to honour the token
+    /// mid-run.
+    fn try_join_into(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        if let Some(cause) = ctl.cancel.triggered() {
+            report.completion = cause.completion();
+            return Ok(());
+        }
+        catch_phase(Phase::Join, 0, || self.join_traced(a, b, sink, report, ctl.trace))
     }
 
     /// Convenience form of [`SpatialJoinAlgorithm::join_into`]: creates the report,
@@ -132,6 +171,29 @@ pub trait SpatialJoinAlgorithm {
         report.counters.results = filter.delivered();
     }
 
+    /// Fallible, cancellable form of [`SpatialJoinAlgorithm::join_self_into`];
+    /// the same contract as [`SpatialJoinAlgorithm::try_join_into`] applies.
+    ///
+    /// The default wraps `sink` in a [`SelfPairSink`] around the fallible
+    /// two-way join, and re-derives the post-filter results counter on **every**
+    /// orderly exit (complete, cancelled or deadline-exceeded) so partial
+    /// reports stay consistent with what the sink observed.
+    fn try_join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        let mut filter = SelfPairSink::new(sink);
+        let res = self.try_join_into(a, base, &mut filter, report, ctl);
+        if res.is_ok() {
+            report.counters.results = filter.delivered();
+        }
+        res
+    }
+
     /// Convenience form of [`SpatialJoinAlgorithm::join_self_into`]: creates the
     /// report, runs the self-join of `a` and returns the completed record.
     fn join_self(&self, a: &Dataset, sink: &mut dyn PairSink) -> RunReport {
@@ -189,6 +251,28 @@ impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for &T {
     ) {
         (**self).join_self_traced(a, base, sink, report, trace)
     }
+
+    fn try_join_into(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        (**self).try_join_into(a, b, sink, report, ctl)
+    }
+
+    fn try_join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        (**self).try_join_self_into(a, base, sink, report, ctl)
+    }
 }
 
 impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for Box<T> {
@@ -238,6 +322,28 @@ impl<T: SpatialJoinAlgorithm + ?Sized> SpatialJoinAlgorithm for Box<T> {
         trace: &dyn TraceSink,
     ) {
         (**self).join_self_traced(a, base, sink, report, trace)
+    }
+
+    fn try_join_into(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        (**self).try_join_into(a, b, sink, report, ctl)
+    }
+
+    fn try_join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        (**self).try_join_self_into(a, base, sink, report, ctl)
     }
 }
 

@@ -10,12 +10,19 @@
 //! any subtree form one contiguous range of the object array, which is what the join
 //! phase iterates.
 
+use crate::control::{CancelCause, CancelToken, ExecControl};
 use crate::kernels;
 use crate::scratch::LocalJoinScratch;
 use std::ops::Range;
 use touch_geom::{Aabb, ObjectId, SpatialObject};
 use touch_index::{str_sort, UniformGrid};
 use touch_metrics::{vec_bytes, Counters, MemoryUsage, NoTrace, TraceEvent, TraceSink};
+
+/// Objects between two cancellation polls in [`TouchTree::assign_ctl`]: large
+/// enough that the poll (one relaxed atomic load) vanishes next to the
+/// per-object descent, small enough that cancellation lands within
+/// microseconds on any realistic dataset.
+pub const ASSIGN_CANCEL_CHUNK: usize = 1024;
 
 /// Strategy used by the join phase to join one node's B-objects against the
 /// A-objects of its descendant leaves.
@@ -250,6 +257,9 @@ impl TouchTree {
     ///
     /// # Panics
     /// Panics if `partitions` is zero or `fanout < 2`.
+    // Packing invariants, not fallible paths: every grouped range is non-empty
+    // by loop construction and `levels` is pushed before it is read.
+    #[allow(clippy::expect_used, clippy::unwrap_used)]
     pub fn from_tiled(a_items: Vec<SpatialObject>, partitions: usize, fanout: usize) -> Self {
         assert!(partitions > 0, "partitions must be positive");
         assert!(fanout >= 2, "fanout must be at least 2");
@@ -483,12 +493,34 @@ impl TouchTree {
     /// Assigns every object of dataset B to the tree (Algorithm 3), recording filtered
     /// objects in `counters`.
     pub fn assign(&mut self, b_objects: &[SpatialObject], counters: &mut Counters) {
-        for obj in b_objects {
-            match self.assignment_target(&obj.mbr, counters) {
-                Some(node) => self.push_assignment(node, *obj),
-                None => counters.record_filtered(),
+        let complete = self.assign_ctl(b_objects, counters, CancelToken::never());
+        debug_assert!(complete.is_none(), "the never token cannot trip");
+    }
+
+    /// Cancellable form of [`TouchTree::assign`]: polls `cancel` once per
+    /// [`ASSIGN_CANCEL_CHUNK`]-object chunk and stops assigning when it trips,
+    /// returning the cause (`None` = ran to completion). Objects are visited in
+    /// exactly the order of [`TouchTree::assign`] — with an untriggered token
+    /// the assignments and counters are bit-identical, the poll being one
+    /// relaxed atomic load per chunk.
+    pub fn assign_ctl(
+        &mut self,
+        b_objects: &[SpatialObject],
+        counters: &mut Counters,
+        cancel: &CancelToken,
+    ) -> Option<CancelCause> {
+        for chunk in b_objects.chunks(ASSIGN_CANCEL_CHUNK) {
+            if let Some(cause) = cancel.triggered() {
+                return Some(cause);
+            }
+            for obj in chunk {
+                match self.assignment_target(&obj.mbr, counters) {
+                    Some(node) => self.push_assignment(node, *obj),
+                    None => counters.record_filtered(),
+                }
             }
         }
+        None
     }
 
     /// Attaches pre-computed assignments to the tree: every `(node_index, object)`
@@ -629,10 +661,42 @@ impl TouchTree {
         trace: &dyn TraceSink,
         worker: usize,
     ) -> usize {
+        let (aux, complete) = self.join_assigned_ctl(
+            params,
+            scratch,
+            counters,
+            emit,
+            ExecControl::with_trace(trace),
+            worker,
+        );
+        debug_assert!(complete.is_none(), "the never token cannot trip");
+        aux
+    }
+
+    /// Cancellable form of [`TouchTree::join_assigned_traced`]: polls the
+    /// control block's token once per node and abandons the remaining nodes
+    /// when it trips, additionally returning the cause (`None` = ran to
+    /// completion). Node order and per-node work are identical — with an
+    /// untriggered token pairs and counters are bit-identical, the poll being
+    /// one relaxed atomic load per node.
+    pub fn join_assigned_ctl(
+        &self,
+        params: &LocalJoinParams,
+        scratch: &mut LocalJoinScratch,
+        counters: &mut Counters,
+        emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
+        ctl: ExecControl<'_>,
+        worker: usize,
+    ) -> (usize, Option<CancelCause>) {
         let mut work = std::mem::take(&mut scratch.work);
         self.nodes_with_assignments_into(&mut work);
         let mut stopped = false;
+        let mut cause = None;
         for &idx in &work {
+            if let Some(c) = ctl.cancel.triggered() {
+                cause = Some(c);
+                break;
+            }
             let mut watched = |a: ObjectId, b: ObjectId| {
                 let go_on = emit(a, b);
                 stopped = !go_on;
@@ -644,7 +708,7 @@ impl TouchTree {
                 scratch,
                 counters,
                 &mut watched,
-                trace,
+                ctl.trace,
                 worker,
             );
             if stopped {
@@ -652,7 +716,7 @@ impl TouchTree {
             }
         }
         scratch.work = work;
-        scratch.memory_bytes()
+        (scratch.memory_bytes(), cause)
     }
 
     /// Joins the B-objects assigned to the node at `index` against the A-objects of

@@ -2,6 +2,51 @@
 
 use crate::{Aabb, ObjectId, SpatialObject};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What ingestion does with objects whose MBR fails [`Aabb::is_valid`]
+/// (non-finite coordinates or inverted extent).
+///
+/// Invalid boxes don't merely produce wrong pairs — they corrupt STR sort
+/// order (NaN is unordered) and grid binning, so in release builds they must
+/// be caught at the boundary rather than deep in a join.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ValidationPolicy {
+    /// Fail the operation with the first offending object (the default).
+    #[default]
+    Reject,
+    /// Drop invalid objects and count them; the join runs over the valid
+    /// remainder (ids re-assigned densely, like [`Dataset::take_prefix`]).
+    SkipInvalid,
+}
+
+/// The first invalid object [`Dataset::validate`] found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidGeometry {
+    /// Id of the offending object.
+    pub id: ObjectId,
+    /// Its (invalid) MBR.
+    pub mbr: Aabb,
+}
+
+impl InvalidGeometry {
+    /// Short classification: `"non-finite coordinate"` or `"inverted extent"`.
+    pub fn reason(&self) -> &'static str {
+        if !self.mbr.min.is_finite() || !self.mbr.max.is_finite() {
+            "non-finite coordinate"
+        } else {
+            "inverted extent (min > max)"
+        }
+    }
+}
+
+impl fmt::Display for InvalidGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "object {}: {} ({:?}..{:?})", self.id, self.reason(), self.mbr.min, self.mbr.max)
+    }
+}
+
+impl std::error::Error for InvalidGeometry {}
 
 /// An owned, in-memory collection of spatial objects — one side of a join.
 ///
@@ -166,6 +211,37 @@ impl Dataset {
     pub fn memory_bytes(&self) -> usize {
         self.objects.capacity() * std::mem::size_of::<SpatialObject>()
     }
+
+    /// Checks every MBR with [`Aabb::is_valid`], returning the first offender.
+    ///
+    /// This is the release-mode counterpart of the `debug_assert!`s in
+    /// [`Aabb::new`]: generators assert eagerly in debug builds, but data
+    /// arriving from outside (files, wire, FFI) must be validated at ingestion
+    /// — a NaN coordinate silently corrupts STR sort order otherwise.
+    pub fn validate(&self) -> Result<(), InvalidGeometry> {
+        match self.objects.iter().find(|o| !o.mbr.is_valid()) {
+            None => Ok(()),
+            Some(o) => Err(InvalidGeometry { id: o.id, mbr: o.mbr }),
+        }
+    }
+
+    /// Writes the valid subset of this dataset into `out` (ids re-assigned
+    /// densely, like [`Dataset::take_prefix`]) and returns how many invalid
+    /// objects were dropped. Reuses `out`'s allocation; `out` is clobbered.
+    ///
+    /// This is the [`ValidationPolicy::SkipInvalid`] ingestion primitive.
+    pub fn retain_valid_into(&self, out: &mut Dataset) -> u64 {
+        out.clear();
+        let mut skipped = 0u64;
+        for o in &self.objects {
+            if o.mbr.is_valid() {
+                out.push_mbr(o.mbr);
+            } else {
+                skipped += 1;
+            }
+        }
+        skipped
+    }
 }
 
 impl FromIterator<Aabb> for Dataset {
@@ -278,6 +354,60 @@ mod tests {
         assert_eq!(p.get(1).mbr, unit_box_at(1.0));
         let all = ds.take_prefix(100);
         assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn validate_accepts_clean_and_degenerate_boxes() {
+        let ds = Dataset::from_mbrs([unit_box_at(0.0), Aabb::from_point(Point3::splat(2.0))]);
+        assert!(ds.validate().is_ok(), "point boxes are valid");
+        assert!(Dataset::new().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_reports_the_first_offender_with_its_reason() {
+        // Construct invalid boxes directly — Aabb::new would debug_assert.
+        let nan = Aabb { min: Point3::new(f64::NAN, 0.0, 0.0), max: Point3::splat(1.0) };
+        let inverted = Aabb { min: Point3::splat(1.0), max: Point3::splat(0.0) };
+        let ds = Dataset::from_objects(vec![
+            SpatialObject::new(0, unit_box_at(0.0)),
+            SpatialObject::new(1, nan),
+            SpatialObject::new(2, inverted),
+        ]);
+        let err = ds.validate().expect_err("NaN must be rejected");
+        assert_eq!(err.id, 1);
+        assert_eq!(err.reason(), "non-finite coordinate");
+        assert!(err.to_string().contains("object 1"));
+
+        let inv_only = Dataset::from_objects(vec![SpatialObject::new(0, inverted)]);
+        let err = inv_only.validate().expect_err("inverted must be rejected");
+        assert_eq!(err.reason(), "inverted extent (min > max)");
+    }
+
+    #[test]
+    fn retain_valid_into_drops_and_counts_invalid_objects() {
+        let nan = Aabb { min: Point3::new(f64::NAN, 0.0, 0.0), max: Point3::splat(1.0) };
+        let ds = Dataset::from_objects(vec![
+            SpatialObject::new(0, unit_box_at(0.0)),
+            SpatialObject::new(1, nan),
+            SpatialObject::new(2, unit_box_at(5.0)),
+        ]);
+        let mut out = Dataset::new();
+        assert_eq!(ds.retain_valid_into(&mut out), 1);
+        assert_eq!(out.len(), 2);
+        assert!(out.validate().is_ok());
+        assert_eq!((out.get(0).id, out.get(1).id), (0, 1), "ids re-assigned densely");
+        assert_eq!(out.get(1).mbr, unit_box_at(5.0));
+        assert!(out.extent().unwrap().is_valid(), "extent recomputed from the valid subset");
+
+        // A clean dataset copies through with nothing skipped.
+        let clean = Dataset::from_mbrs([unit_box_at(0.0)]);
+        assert_eq!(clean.retain_valid_into(&mut out), 0);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn validation_policy_defaults_to_reject() {
+        assert_eq!(ValidationPolicy::default(), ValidationPolicy::Reject);
     }
 
     #[test]

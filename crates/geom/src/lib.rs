@@ -38,7 +38,7 @@ mod point;
 
 pub use aabb::Aabb;
 pub use cylinder::Cylinder;
-pub use dataset::Dataset;
+pub use dataset::{Dataset, InvalidGeometry, ValidationPolicy};
 pub use object::{ObjectId, SpatialObject};
 pub use point::Point3;
 

@@ -76,6 +76,9 @@ impl PackedRTree {
     ///
     /// # Panics
     /// Panics if `leaf_capacity` or `fanout` is zero.
+    // Packing invariants, not fallible paths: every grouped range is non-empty
+    // by loop construction and `levels` is pushed before it is read.
+    #[allow(clippy::expect_used, clippy::unwrap_used)]
     pub fn build(objects: &[SpatialObject], leaf_capacity: usize, fanout: usize) -> Self {
         assert!(leaf_capacity > 0, "leaf capacity must be positive");
         assert!(fanout > 1, "fanout must be at least 2");

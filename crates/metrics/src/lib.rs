@@ -18,12 +18,18 @@
 //!   experiment harness aggregates into tables and figures,
 //! * [`TraceSink`] / [`NoTrace`] / [`ExecTrace`] — optional execution tracing
 //!   (per-node spans, steal events, epoch spans) with [`Histogram`]-based skew
-//!   summaries ([`TraceSummary`]) and Chrome-trace / text-profile exporters.
+//!   summaries ([`TraceSummary`]) and Chrome-trace / text-profile exporters,
+//! * [`Completion`] — how a run ended (complete / cancelled / deadline), stamped
+//!   on [`RunReport`] by the fallible execution paths,
+//! * [`FaultPlan`] — a deterministic fault-injection [`TraceSink`] that panics or
+//!   stalls at the exact seams the engines trace, for the robustness stress
+//!   suites.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod counters;
+mod fault;
 mod hist;
 mod memory;
 mod report;
@@ -32,9 +38,12 @@ mod timer;
 mod trace;
 
 pub use counters::Counters;
+pub use fault::{FaultAction, FaultPlan, Seam};
 pub use hist::{Histogram, HIST_BUCKETS};
 pub use memory::{vec_bytes, MemoryUsage};
-pub use report::{csv_field, format_count, format_duration, json_str, PlanSummary, RunReport};
+pub use report::{
+    csv_field, format_count, format_duration, json_str, Completion, PlanSummary, RunReport,
+};
 pub use ticks::TickSummary;
 pub use timer::{Phase, PhaseTimer};
 pub use trace::{ExecTrace, NoTrace, TraceEvent, TraceSink, TraceSummary, WorkerStats};

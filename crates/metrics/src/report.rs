@@ -46,6 +46,39 @@ impl PlanSummary {
     }
 }
 
+/// How a run ended: to completion, or cut short cooperatively.
+///
+/// Stamped on [`RunReport::completion`] by the fallible entry points
+/// (`JoinQuery::try_run` and friends). A cancelled or deadline-exceeded run
+/// still returns its partial report — counters and pairs reflect the work
+/// actually done before the engine observed the trigger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Completion {
+    /// The run finished all its work (the only value infallible paths produce).
+    #[default]
+    Complete,
+    /// A `CancelToken` was cancelled; the report covers the work done so far.
+    Cancelled,
+    /// The token's deadline elapsed; the report covers the work done so far.
+    DeadlineExceeded,
+}
+
+impl Completion {
+    /// Lowercase label used in JSON and log lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Completion::Complete => "complete",
+            Completion::Cancelled => "cancelled",
+            Completion::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+
+    /// `true` when the run finished all its work.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completion::Complete)
+    }
+}
+
 /// The complete measurement record of one join execution.
 ///
 /// A `RunReport` is what every algorithm returns alongside its result pairs and what
@@ -94,6 +127,15 @@ pub struct RunReport {
     /// of the whole run. JSON-only — the CSV columns stay unchanged (the
     /// summary has its own CSV table, [`TickSummary::to_csv_row`]).
     pub ticks: Option<TickSummary>,
+    /// How the run ended. Always [`Completion::Complete`] for infallible entry
+    /// points; the fallible paths stamp `Cancelled` / `DeadlineExceeded` on a
+    /// cooperatively cut-short run. JSON-only (and only when not complete) —
+    /// the CSV columns stay unchanged.
+    pub completion: Completion,
+    /// Invalid probe/build objects skipped at ingestion under
+    /// `ValidationPolicy::SkipInvalid` (0 everywhere else). JSON-only (and
+    /// only when non-zero) — the CSV columns stay unchanged.
+    pub invalid_skipped: u64,
 }
 
 impl RunReport {
@@ -113,6 +155,8 @@ impl RunReport {
             trace: None,
             generation: None,
             ticks: None,
+            completion: Completion::Complete,
+            invalid_skipped: 0,
         }
     }
 
@@ -246,6 +290,12 @@ impl RunReport {
         }
         if let Some(ticks) = &self.ticks {
             let _ = write!(out, ",\"ticks\":{}", ticks.to_json());
+        }
+        if !self.completion.is_complete() {
+            let _ = write!(out, ",\"completion\":{}", json_str(self.completion.name()));
+        }
+        if self.invalid_skipped > 0 {
+            let _ = write!(out, ",\"invalid_skipped\":{}", self.invalid_skipped);
         }
         out.push('}');
         out
@@ -495,6 +545,36 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         // And the CSV shape is unaffected either way.
         assert_eq!(RunReport::csv_header().split(',').count(), r.to_csv_row().split(',').count());
+    }
+
+    #[test]
+    fn to_json_stamps_completion_only_when_cut_short() {
+        let mut r = RunReport::new("TOUCH", 10, 20);
+        assert!(!r.to_json().contains("\"completion\""), "complete runs stay unchanged");
+        r.completion = Completion::Cancelled;
+        assert!(r.to_json().contains("\"completion\":\"cancelled\""));
+        r.completion = Completion::DeadlineExceeded;
+        assert!(r.to_json().contains("\"completion\":\"deadline-exceeded\""));
+        // And the CSV shape is unaffected either way.
+        assert_eq!(RunReport::csv_header().split(',').count(), r.to_csv_row().split(',').count());
+    }
+
+    #[test]
+    fn to_json_counts_skipped_invalid_objects_only_when_any() {
+        let mut r = RunReport::new("TOUCH", 10, 20);
+        assert!(!r.to_json().contains("\"invalid_skipped\""));
+        r.invalid_skipped = 3;
+        assert!(r.to_json().contains("\"invalid_skipped\":3"));
+        assert_eq!(RunReport::csv_header().split(',').count(), r.to_csv_row().split(',').count());
+    }
+
+    #[test]
+    fn completion_defaults_to_complete() {
+        assert_eq!(Completion::default(), Completion::Complete);
+        assert!(Completion::Complete.is_complete());
+        assert!(!Completion::Cancelled.is_complete());
+        assert_eq!(Completion::Cancelled.name(), "cancelled");
+        assert_eq!(RunReport::new("x", 1, 1).completion, Completion::Complete);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The parallel TOUCH join: the three phases of Algorithm 1 executed on a thread
 //! pool, with results and counters sharded per worker and merged at the end.
 
-use crate::phases::{par_assign_traced, par_build_tree, par_join_into_traced};
+use crate::phases::{par_assign_ctl, par_build_tree, par_join_into_ctl};
 use crate::ParallelConfig;
 use touch_core::{
-    time_phase_traced, ExecutionStrategy, JoinPlan, PairSink, ScratchPool, SpatialJoinAlgorithm,
+    catch_phase, time_phase_traced, ExecControl, ExecutionStrategy, JoinError, JoinPlan, PairSink,
+    ScratchPool, SpatialJoinAlgorithm,
 };
 use touch_geom::Dataset;
 use touch_metrics::{MemoryUsage, NoTrace, Phase, RunReport, TraceSink};
@@ -112,67 +113,124 @@ fn execute_parallel_traced(
     report: &mut RunReport,
     trace: &dyn TraceSink,
 ) {
+    execute_parallel_ctl(plan, a, b, sink, report, ExecControl::with_trace(trace), false)
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// The one parallel execution path: [`execute_parallel_traced`] is this with a
+/// never-triggering token; `self_join` selects the self-join form (the
+/// index-order filter pushed into the worker emit closures, so shared pair
+/// budgets are spent on post-filter pairs only).
+///
+/// The cooperation contract matches the sequential
+/// `execute_sequential_ctl`: the token is polled between phases and — inside
+/// [`par_assign_ctl`] / [`par_join_into_ctl`] — per chunk and per node by
+/// every worker; a tripped token ends the run in an orderly way with the
+/// partial report's completion stamped, a panicked worker is contained and
+/// surfaced as `Err(`[`JoinError::WorkerPanicked`]`)` (its siblings stop via a
+/// shared abort flag), and with an untriggered token the run is bit-identical
+/// at every thread count.
+fn execute_parallel_ctl(
+    plan: &JoinPlan,
+    a: &Dataset,
+    b: &Dataset,
+    sink: &mut dyn PairSink,
+    report: &mut RunReport,
+    ctl: ExecControl<'_>,
+    self_join: bool,
+) -> Result<(), JoinError> {
     report.plan = Some(plan.summary());
     let threads = plan.threads();
     report.threads = threads;
     let build_on_a = plan.build_on_a;
     let (tree_ds, probe_ds) = if build_on_a { (a, b) } else { (b, a) };
+    if let Some(cause) = ctl.cancel.triggered() {
+        report.completion = cause.completion();
+        return Ok(());
+    }
 
     // Phase 1: parallel STR sort, then hierarchy assembly (Algorithm 2). Each
     // phase is timed at its fork/join point, so the recorded duration is wall
-    // clock — correct no matter how many workers ran inside.
-    let (mut tree, sort_aux) = time_phase_traced(report, Phase::Build, trace, || {
-        par_build_tree(
-            tree_ds.objects(),
-            plan.partitions,
-            plan.fanout,
-            threads,
-            plan.sort_threshold,
-        )
-    });
+    // clock — correct no matter how many workers ran inside. The sort has no
+    // internal cancel points (it is memory-bound and brief relative to the
+    // join), so the token is re-checked right after it.
+    let (mut tree, sort_aux) = catch_phase(Phase::Build, 0, || {
+        time_phase_traced(report, Phase::Build, ctl.trace, || {
+            par_build_tree(
+                tree_ds.objects(),
+                plan.partitions,
+                plan.fanout,
+                threads,
+                plan.sort_threshold,
+            )
+        })
+    })?;
+    if let Some(cause) = ctl.cancel.triggered() {
+        report.memory_bytes = tree.memory_bytes() + sort_aux;
+        report.completion = cause.completion();
+        return Ok(());
+    }
 
     // Phase 2: chunked parallel assignment (Algorithm 3).
     let mut counters = std::mem::take(&mut report.counters);
-    let assign_aux = time_phase_traced(report, Phase::Assignment, trace, || {
-        par_assign_traced(
-            &mut tree,
-            probe_ds.objects(),
-            plan.chunk_size,
-            threads,
-            &mut counters,
-            trace,
-        )
+    let assigned = time_phase_traced(report, Phase::Assignment, ctl.trace, || {
+        par_assign_ctl(&mut tree, probe_ds.objects(), plan.chunk_size, threads, &mut counters, ctl)
     });
+    let assign_aux = match assigned {
+        Ok((aux, None)) => aux,
+        Ok((aux, Some(cause))) => {
+            report.counters = counters;
+            report.memory_bytes = tree.memory_bytes() + sort_aux + aux;
+            report.completion = cause.completion();
+            return Ok(());
+        }
+        Err(e) => {
+            report.counters = counters;
+            return Err(e);
+        }
+    };
 
     // Phase 3: work-stealing local joins (Algorithm 4). Grid sizing is pinned by
     // the plan — the same resolved parameters the sequential engine executes.
     let mut pool = ScratchPool::new();
-    let aux_bytes = time_phase_traced(report, Phase::Join, trace, || {
-        par_join_into_traced(
+    let joined = time_phase_traced(report, Phase::Join, ctl.trace, || {
+        par_join_into_ctl(
             &tree,
             &plan.params,
             threads,
             !build_on_a,
-            false,
+            self_join,
             sink,
             &mut pool,
             &mut counters,
-            trace,
+            ctl,
         )
     });
-
-    report.counters = counters;
-    // Charge the transient buffers of every phase, not just the local joins:
-    // unlike the sequential join, the parallel one buffers sort scratch and
-    // assignment batches, and hiding them would flatter TOUCH-P in the
-    // experiments' memory comparison.
-    report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux + aux_bytes;
+    match joined {
+        Ok((aux_bytes, cause)) => {
+            report.counters = counters;
+            // Charge the transient buffers of every phase, not just the local
+            // joins: unlike the sequential join, the parallel one buffers sort
+            // scratch and assignment batches, and hiding them would flatter
+            // TOUCH-P in the experiments' memory comparison.
+            report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux + aux_bytes;
+            if let Some(cause) = cause {
+                report.completion = cause.completion();
+            }
+            Ok(())
+        }
+        Err(e) => {
+            report.counters = counters;
+            report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux;
+            Err(e)
+        }
+    }
 }
 
 /// Self-join form of [`execute_parallel_traced`]: the identical three phases
 /// over `a ⋈ base` (the possibly ε-extended view and the original dataset,
 /// aligned ids) with the index-order filter pushed into the worker emit
-/// closures via [`par_join_into_traced`]'s `self_join` flag — shared pair
+/// closures via [`par_join_into_ctl`]'s `self_join` flag — shared pair
 /// budgets are spent on post-filter pairs only, and pairs, counters and the
 /// tree are bit-identical at every worker count.
 fn execute_parallel_self_traced(
@@ -183,51 +241,8 @@ fn execute_parallel_self_traced(
     report: &mut RunReport,
     trace: &dyn TraceSink,
 ) {
-    report.plan = Some(plan.summary());
-    let threads = plan.threads();
-    report.threads = threads;
-    let build_on_a = plan.build_on_a;
-    let (tree_ds, probe_ds) = if build_on_a { (a, base) } else { (base, a) };
-
-    let (mut tree, sort_aux) = time_phase_traced(report, Phase::Build, trace, || {
-        par_build_tree(
-            tree_ds.objects(),
-            plan.partitions,
-            plan.fanout,
-            threads,
-            plan.sort_threshold,
-        )
-    });
-
-    let mut counters = std::mem::take(&mut report.counters);
-    let assign_aux = time_phase_traced(report, Phase::Assignment, trace, || {
-        par_assign_traced(
-            &mut tree,
-            probe_ds.objects(),
-            plan.chunk_size,
-            threads,
-            &mut counters,
-            trace,
-        )
-    });
-
-    let mut pool = ScratchPool::new();
-    let aux_bytes = time_phase_traced(report, Phase::Join, trace, || {
-        par_join_into_traced(
-            &tree,
-            &plan.params,
-            threads,
-            !build_on_a,
-            true,
-            sink,
-            &mut pool,
-            &mut counters,
-            trace,
-        )
-    });
-
-    report.counters = counters;
-    report.memory_bytes = tree.memory_bytes() + sort_aux + assign_aux + aux_bytes;
+    execute_parallel_ctl(plan, a, base, sink, report, ExecControl::with_trace(trace), true)
+        .unwrap_or_else(|e| panic!("{e}"));
 }
 
 impl SpatialJoinAlgorithm for ParallelTouchJoin {
@@ -281,6 +296,28 @@ impl SpatialJoinAlgorithm for ParallelTouchJoin {
         trace: &dyn TraceSink,
     ) {
         execute_parallel_self_traced(&self.resolve_plan(a, base), a, base, sink, report, trace);
+    }
+
+    fn try_join_into(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        execute_parallel_ctl(&self.resolve_plan(a, b), a, b, sink, report, ctl, false)
+    }
+
+    fn try_join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        execute_parallel_ctl(&self.resolve_plan(a, base), a, base, sink, report, ctl, true)
     }
 }
 

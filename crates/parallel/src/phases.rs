@@ -13,11 +13,50 @@
 
 use crate::scheduler::StealQueues;
 use crate::sort::par_str_sort;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use touch_core::{
-    LocalJoinParams, LocalJoinScratch, PairSink, ScratchPool, ShardedSink, TouchTree,
+    panic_message, CancelCause, ExecControl, JoinError, LocalJoinParams, LocalJoinScratch,
+    PairSink, ScratchPool, ShardedSink, TouchTree,
 };
 use touch_geom::SpatialObject;
-use touch_metrics::{Counters, NoTrace, TraceEvent, TraceSink};
+use touch_metrics::{Counters, NoTrace, Phase, TraceEvent, TraceSink};
+
+/// What one fault-contained worker thread hands back: its partial work on
+/// success (with the cancel cause it observed, if any), or the message of the
+/// panic it contained.
+type WorkerOutcome<T> = Result<(Counters, T, Option<CancelCause>), String>;
+
+/// Folds per-worker outcomes into the phase result: counters of every
+/// *successful* worker are merged into `counters` (a contained panic discards
+/// that worker's partial tallies — they may be mid-update), successful
+/// payloads are collected, and the first panicked worker (by index) becomes
+/// [`JoinError::WorkerPanicked`] for `phase`.
+fn fold_workers<T>(
+    per_worker: Vec<WorkerOutcome<T>>,
+    phase: Phase,
+    counters: &mut Counters,
+) -> Result<(Vec<T>, Option<CancelCause>), JoinError> {
+    let mut payloads = Vec::with_capacity(per_worker.len());
+    let mut cause = None;
+    let mut panicked: Option<(usize, String)> = None;
+    for (worker, outcome) in per_worker.into_iter().enumerate() {
+        match outcome {
+            Ok((local, payload, c)) => {
+                counters.merge(&local);
+                payloads.push(payload);
+                cause = cause.or(c);
+            }
+            Err(detail) => {
+                panicked.get_or_insert((worker, detail));
+            }
+        }
+    }
+    match panicked {
+        Some((worker, detail)) => Err(JoinError::WorkerPanicked { phase, worker, detail }),
+        None => Ok((payloads, cause)),
+    }
+}
 
 /// Resolves a configured worker count: an explicit value is used as-is, `0`
 /// auto-detects the machine's available parallelism (falling back to 1). The single
@@ -84,78 +123,143 @@ pub fn par_assign_traced(
     counters: &mut Counters,
     trace: &dyn TraceSink,
 ) -> usize {
+    let (aux, cause) =
+        par_assign_ctl(tree, probe, chunk_size, workers, counters, ExecControl::with_trace(trace))
+            .unwrap_or_else(|e| panic!("{e}"));
+    debug_assert!(cause.is_none(), "never-triggering token cannot cancel");
+    aux
+}
+
+/// The one parallel-assignment code path: [`par_assign_traced`] is this with a
+/// never-triggering token, [`par_assign`] additionally with a disabled trace
+/// sink.
+///
+/// Fault-tolerance contract (the parallel half of
+/// [`SpatialJoinAlgorithm::try_join_into`](touch_core::SpatialJoinAlgorithm::try_join_into)):
+///
+/// * workers poll the cancel token per claimed chunk; on a trip every worker
+///   stops claiming, the chunks already computed are still applied (in chunk
+///   order) and the observed [`CancelCause`] is returned — the tree holds a
+///   consistent subset of the full assignment,
+/// * each worker's drain loop runs inside `catch_unwind`: one panicked worker
+///   makes its siblings stop via a shared abort flag and surfaces as
+///   `Err(`[`JoinError::WorkerPanicked`]`)` (lowest worker index wins); no
+///   batch is applied to the tree and the panicked worker's partial counters
+///   are discarded,
+/// * with no trip and no panic the assignment is bit-identical to the
+///   sequential [`TouchTree::assign`] at every worker count, as before.
+pub fn par_assign_ctl(
+    tree: &mut TouchTree,
+    probe: &[SpatialObject],
+    chunk_size: usize,
+    workers: usize,
+    counters: &mut Counters,
+    ctl: ExecControl<'_>,
+) -> Result<(usize, Option<CancelCause>), JoinError> {
     if probe.is_empty() {
-        return 0;
+        return Ok((0, None));
     }
+    let trace = ctl.trace;
     let chunk_size = chunk_size.max(1);
     let chunk_count = probe.len().div_ceil(chunk_size);
     // Never spawn more workers than there are chunks to claim.
     let workers = workers.min(chunk_count);
     if workers <= 1 {
         let start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
-        tree.assign(probe, counters);
-        if trace.is_enabled() {
-            trace.record(TraceEvent::AssignChunk {
-                chunk: 0,
-                worker: 0,
-                objects: probe.len(),
-                start_us,
-                duration_us: trace.now_us().saturating_sub(start_us),
-            });
-        }
-        return 0;
+        // The chunk hook runs *inside* the catch region, mirroring the worker
+        // loop below: a panicking trace sink surfaces as `WorkerPanicked`
+        // instead of unwinding through the coordinator.
+        let cause = touch_core::catch_phase(Phase::Assignment, 0, || {
+            let cause = tree.assign_ctl(probe, counters, ctl.cancel);
+            if trace.is_enabled() {
+                trace.record(TraceEvent::AssignChunk {
+                    chunk: 0,
+                    worker: 0,
+                    objects: probe.len(),
+                    start_us,
+                    duration_us: trace.now_us().saturating_sub(start_us),
+                });
+            }
+            cause
+        })?;
+        return Ok((0, cause));
     }
 
     let queues = StealQueues::distribute(0..chunk_count, workers);
+    let abort = AtomicBool::new(false);
     let tree_ref: &TouchTree = tree;
-    let per_worker: Vec<(Counters, Vec<ChunkBatch>)> = std::thread::scope(|scope| {
+    let per_worker: Vec<WorkerOutcome<Vec<ChunkBatch>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let queues = &queues;
+                let (queues, abort) = (&queues, &abort);
                 scope.spawn(move || {
                     let mut local = Counters::new();
                     let mut batches = Vec::new();
-                    while let Some((chunk, stolen_from)) = queues.claim_tracked(w) {
-                        if trace.is_enabled() {
-                            if let Some(victim) = stolen_from {
-                                trace.record(TraceEvent::Steal {
+                    let mut cause = None;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        while !abort.load(Ordering::Relaxed) {
+                            if let Some(c) = ctl.cancel.triggered() {
+                                cause = Some(c);
+                                break;
+                            }
+                            let Some((chunk, stolen_from)) = queues.claim_tracked(w) else {
+                                break;
+                            };
+                            if trace.is_enabled() {
+                                if let Some(victim) = stolen_from {
+                                    trace.record(TraceEvent::Steal {
+                                        worker: w,
+                                        victim,
+                                        at_us: trace.now_us(),
+                                    });
+                                }
+                            }
+                            let start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
+                            let lo = chunk * chunk_size;
+                            let hi = (lo + chunk_size).min(probe.len());
+                            let mut assigned = Vec::new();
+                            for obj in &probe[lo..hi] {
+                                match tree_ref.assignment_target(&obj.mbr, &mut local) {
+                                    Some(node) => assigned.push((node, *obj)),
+                                    None => local.record_filtered(),
+                                }
+                            }
+                            if trace.is_enabled() {
+                                trace.record(TraceEvent::AssignChunk {
+                                    chunk,
                                     worker: w,
-                                    victim,
-                                    at_us: trace.now_us(),
+                                    objects: hi - lo,
+                                    start_us,
+                                    duration_us: trace.now_us().saturating_sub(start_us),
                                 });
                             }
+                            batches.push((chunk, assigned));
                         }
-                        let start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
-                        let lo = chunk * chunk_size;
-                        let hi = (lo + chunk_size).min(probe.len());
-                        let mut assigned = Vec::new();
-                        for obj in &probe[lo..hi] {
-                            match tree_ref.assignment_target(&obj.mbr, &mut local) {
-                                Some(node) => assigned.push((node, *obj)),
-                                None => local.record_filtered(),
-                            }
+                    }));
+                    match outcome {
+                        Ok(()) => Ok((local, batches, cause)),
+                        Err(payload) => {
+                            abort.store(true, Ordering::Relaxed);
+                            Err(panic_message(payload.as_ref()))
                         }
-                        if trace.is_enabled() {
-                            trace.record(TraceEvent::AssignChunk {
-                                chunk,
-                                worker: w,
-                                objects: hi - lo,
-                                start_us,
-                                duration_us: trace.now_us().saturating_sub(start_us),
-                            });
-                        }
-                        batches.push((chunk, assigned));
                     }
-                    (local, batches)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("assignment worker panicked")).collect()
+        handles
+            .into_iter()
+            // The worker closures contain every unwind via `catch_unwind`,
+            // so `join` cannot fail — the expect documents that invariant.
+            .map(|h| {
+                #[allow(clippy::expect_used)]
+                h.join().expect("fault-contained worker cannot panic")
+            })
+            .collect()
     });
 
+    let (per_worker_batches, cause) = fold_workers(per_worker, Phase::Assignment, counters)?;
     let mut all_batches = Vec::with_capacity(chunk_count);
-    for (local, batches) in per_worker {
-        counters.merge(&local);
+    for batches in per_worker_batches {
         all_batches.extend(batches);
     }
     // Peak transient footprint of this phase: every placement buffered at once,
@@ -169,7 +273,7 @@ pub fn par_assign_traced(
     for (_, assigned) in all_batches {
         tree.extend_assigned(assigned);
     }
-    aux_bytes
+    Ok((aux_bytes, cause))
 }
 
 /// Phase 3: drains `work` through per-worker local joins, one worker per shard of
@@ -224,76 +328,137 @@ pub fn par_local_join_traced(
     counters: &mut Counters,
     trace: &dyn TraceSink,
 ) -> usize {
+    let (aux, cause) = par_local_join_ctl(
+        tree,
+        work,
+        params,
+        swap_pairs,
+        self_join,
+        sharded,
+        scratches,
+        counters,
+        ExecControl::with_trace(trace),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    debug_assert!(cause.is_none(), "never-triggering token cannot cancel");
+    aux
+}
+
+/// The one parallel local-join code path: [`par_local_join_traced`] is this
+/// with a never-triggering token, [`par_local_join`] additionally with a
+/// disabled trace sink.
+///
+/// Fault-tolerance contract: workers poll the cancel token per claimed node
+/// (pairs already pushed into the shards stay — a cancelled run's shards hold
+/// a subset of the full result); each worker's drain loop is contained by
+/// `catch_unwind`, a panicked worker trips a shared abort flag and surfaces as
+/// `Err(`[`JoinError::WorkerPanicked`]`)` with its partial counters discarded.
+/// With no trip and no panic the join is bit-identical to
+/// [`par_local_join_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn par_local_join_ctl(
+    tree: &TouchTree,
+    work: &mut [usize],
+    params: &LocalJoinParams,
+    swap_pairs: bool,
+    self_join: bool,
+    sharded: &mut ShardedSink,
+    scratches: &mut [LocalJoinScratch],
+    counters: &mut Counters,
+    ctl: ExecControl<'_>,
+) -> Result<(usize, Option<CancelCause>), JoinError> {
     assert!(
         scratches.len() >= sharded.shard_count(),
         "need one scratch per worker: {} shards, {} scratches",
         sharded.shard_count(),
         scratches.len()
     );
+    let trace = ctl.trace;
     work.sort_by_key(|&idx| {
         let node = tree.node(idx);
         std::cmp::Reverse(node.a_count() as u64 * node.assigned_b().len() as u64)
     });
     let queues = StealQueues::distribute(work.iter().copied(), sharded.shard_count());
+    let abort = AtomicBool::new(false);
 
-    let per_worker: Vec<(Counters, usize)> = std::thread::scope(|scope| {
+    let per_worker: Vec<WorkerOutcome<usize>> = std::thread::scope(|scope| {
         let handles: Vec<_> = sharded
             .shards_mut()
             .iter_mut()
             .zip(scratches.iter_mut())
             .enumerate()
             .map(|(w, (shard, scratch))| {
-                let queues = &queues;
+                let (queues, abort) = (&queues, &abort);
                 scope.spawn(move || {
                     let mut local = Counters::new();
                     let mut peak_aux = 0usize;
-                    while let Some((idx, stolen_from)) = queues.claim_tracked(w) {
-                        if trace.is_enabled() {
-                            if let Some(victim) = stolen_from {
-                                trace.record(TraceEvent::Steal {
-                                    worker: w,
-                                    victim,
-                                    at_us: trace.now_us(),
-                                });
+                    let mut cause = None;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        while !abort.load(Ordering::Relaxed) {
+                            if let Some(c) = ctl.cancel.triggered() {
+                                cause = Some(c);
+                                break;
+                            }
+                            let Some((idx, stolen_from)) = queues.claim_tracked(w) else {
+                                break;
+                            };
+                            if trace.is_enabled() {
+                                if let Some(victim) = stolen_from {
+                                    trace.record(TraceEvent::Steal {
+                                        worker: w,
+                                        victim,
+                                        at_us: trace.now_us(),
+                                    });
+                                }
+                            }
+                            let aux = tree.local_join_node_traced(
+                                idx,
+                                params,
+                                scratch,
+                                &mut local,
+                                &mut |tree_id, probe_id| {
+                                    let (x, y) = if swap_pairs {
+                                        (probe_id, tree_id)
+                                    } else {
+                                        (tree_id, probe_id)
+                                    };
+                                    if !self_join || x < y {
+                                        shard.push(x, y);
+                                    }
+                                    !shard.is_done()
+                                },
+                                trace,
+                                w,
+                            );
+                            peak_aux = peak_aux.max(aux);
+                            if shard.is_done() {
+                                break;
                             }
                         }
-                        let aux = tree.local_join_node_traced(
-                            idx,
-                            params,
-                            scratch,
-                            &mut local,
-                            &mut |tree_id, probe_id| {
-                                let (x, y) = if swap_pairs {
-                                    (probe_id, tree_id)
-                                } else {
-                                    (tree_id, probe_id)
-                                };
-                                if !self_join || x < y {
-                                    shard.push(x, y);
-                                }
-                                !shard.is_done()
-                            },
-                            trace,
-                            w,
-                        );
-                        peak_aux = peak_aux.max(aux);
-                        if shard.is_done() {
-                            break;
+                    }));
+                    match outcome {
+                        Ok(()) => Ok((local, peak_aux, cause)),
+                        Err(payload) => {
+                            abort.store(true, Ordering::Relaxed);
+                            Err(panic_message(payload.as_ref()))
                         }
                     }
-                    (local, peak_aux)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("join worker panicked")).collect()
+        handles
+            .into_iter()
+            // The worker closures contain every unwind via `catch_unwind`,
+            // so `join` cannot fail — the expect documents that invariant.
+            .map(|h| {
+                #[allow(clippy::expect_used)]
+                h.join().expect("fault-contained worker cannot panic")
+            })
+            .collect()
     });
 
-    let mut aux_bytes = 0usize;
-    for (local, peak) in per_worker {
-        counters.merge(&local);
-        aux_bytes += peak;
-    }
-    aux_bytes
+    let (peaks, cause) = fold_workers(per_worker, Phase::Join, counters)?;
+    Ok((peaks.into_iter().sum(), cause))
 }
 
 /// The complete parallel join phase against any [`PairSink`]: fetches the work
@@ -341,11 +506,45 @@ pub fn par_join_into_traced(
     counters: &mut Counters,
     trace: &dyn TraceSink,
 ) -> usize {
+    let (aux, cause) = par_join_into_ctl(
+        tree,
+        params,
+        threads,
+        swap_pairs,
+        self_join,
+        sink,
+        pool,
+        counters,
+        ExecControl::with_trace(trace),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    debug_assert!(cause.is_none(), "never-triggering token cannot cancel");
+    aux
+}
+
+/// The one sharded join-phase code path: [`par_join_into_traced`] is this with
+/// a never-triggering token. On an orderly exit — complete *or* cancelled —
+/// the shards are merged into `sink` and the delivered pairs credited to
+/// `counters.results`, so a cancelled run's sink holds a consistent subset of
+/// the full result; on `Err` (a contained worker panic) the shards are
+/// discarded and the sink receives nothing from this phase.
+#[allow(clippy::too_many_arguments)]
+pub fn par_join_into_ctl(
+    tree: &TouchTree,
+    params: &LocalJoinParams,
+    threads: usize,
+    swap_pairs: bool,
+    self_join: bool,
+    sink: &mut dyn PairSink,
+    pool: &mut ScratchPool,
+    counters: &mut Counters,
+    ctl: ExecControl<'_>,
+) -> Result<(usize, Option<CancelCause>), JoinError> {
     let mut work = pool.take_work();
     tree.nodes_with_assignments_into(&mut work);
     let workers = threads.min(work.len()).max(1);
     let mut sharded = ShardedSink::for_sink(sink, workers);
-    let aux_bytes = par_local_join_traced(
+    let joined = par_local_join_ctl(
         tree,
         &mut work,
         params,
@@ -354,13 +553,14 @@ pub fn par_join_into_traced(
         &mut sharded,
         pool.worker_scratches(workers),
         counters,
-        trace,
+        ctl,
     );
     pool.restore_work(work);
+    let (aux_bytes, cause) = joined?;
     // Credit only the pairs the sink actually received: a sink that became done
     // without declaring a pair budget makes merge_into stop delivering early.
     counters.results += sharded.merge_into(sink);
-    aux_bytes
+    Ok((aux_bytes, cause))
 }
 
 #[cfg(test)]

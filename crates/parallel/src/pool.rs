@@ -41,6 +41,11 @@ pub struct ReaderPool {
 
 impl ReaderPool {
     /// Spawns `threads` workers (at least one) around an empty queue.
+    ///
+    /// # Panics
+    /// Panics if the OS refuses to spawn a thread — pool construction happens
+    /// once at startup, where aborting beats limping along with fewer readers.
+    #[allow(clippy::expect_used)]
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let (sender, receiver) = channel::<Job>();
@@ -75,6 +80,10 @@ impl ReaderPool {
     }
 
     /// Submits one job; some idle worker will run it. Never blocks.
+    // Lifecycle invariants: the sender is only taken in `drop`, and the
+    // workers only exit after the sender closes — neither expect can fire
+    // while `self` is alive.
+    #[allow(clippy::expect_used)]
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         self.sender
             .as_ref()
@@ -86,6 +95,9 @@ impl ReaderPool {
     /// Submits every job in `jobs` and blocks until **all of them** finished —
     /// the fork/join convenience for tests and benchmarks. Jobs submitted by
     /// other threads in the meantime are unaffected.
+    // A worker that panics mid-job is reported at drop; the completion channel
+    // closing early is the same failure surfaced sooner — panic is the policy.
+    #[allow(clippy::expect_used)]
     pub fn run_all(&self, jobs: Vec<Job>) {
         let (done, finished) = channel();
         let count = jobs.len();

@@ -16,7 +16,7 @@
 //! deque empty can terminate: no new work can appear.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Per-worker task deques with stealing.
 ///
@@ -56,9 +56,14 @@ impl<T> StealQueues<T> {
     /// remaining task, given descending-cost seeding). Returns `None` when every
     /// deque is empty, which is terminal (tasks are never re-queued).
     ///
+    /// A poisoned deque lock is recovered, not propagated: a deque holds plain
+    /// task values whose invariants a mid-`pop_front` panic cannot break, and
+    /// the fault-tolerant join paths contain a panicked worker instead of
+    /// aborting — its surviving siblings must still be able to drain (or
+    /// observe the abort flag through) the queues.
+    ///
     /// # Panics
-    /// Panics if `worker` is out of range or a deque's lock is poisoned (a worker
-    /// panicked; the join is failing anyway).
+    /// Panics if `worker` is out of range.
     pub fn claim(&self, worker: usize) -> Option<T> {
         self.claim_tracked(worker).map(|(task, _)| task)
     }
@@ -72,12 +77,15 @@ impl<T> StealQueues<T> {
     /// # Panics
     /// Same as [`StealQueues::claim`].
     pub fn claim_tracked(&self, worker: usize) -> Option<(T, Option<usize>)> {
-        if let Some(task) = self.queues[worker].lock().expect("queue poisoned").pop_front() {
+        let pop = |queue: &Mutex<VecDeque<T>>| {
+            queue.lock().unwrap_or_else(PoisonError::into_inner).pop_front()
+        };
+        if let Some(task) = pop(&self.queues[worker]) {
             return Some((task, None));
         }
         for offset in 1..self.queues.len() {
             let victim = (worker + offset) % self.queues.len();
-            if let Some(task) = self.queues[victim].lock().expect("queue poisoned").pop_front() {
+            if let Some(task) = pop(&self.queues[victim]) {
                 return Some((task, Some(victim)));
             }
         }

@@ -41,6 +41,9 @@ pub fn par_str_sort(
     str_axis(items, cap, 0, threads.max(1), seq_threshold.max(1))
 }
 
+// The sort workers run pure comparisons over slices — no panic sources short
+// of allocation failure, where propagating the abort is the right outcome.
+#[allow(clippy::expect_used)]
 fn str_axis(
     items: &mut [SpatialObject],
     cap: usize,

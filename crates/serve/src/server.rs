@@ -23,12 +23,13 @@
 //! ([`JoinPlanner::delta_rebuild_limit`]); pin it with
 //! [`ServeConfig::delta_limit`] when the distinction matters.
 
+use crate::bounded::{BoundedSink, OverflowPolicy};
 use crate::snapshot::GenCell;
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 use touch_core::{
-    deliver, time_phase_traced, AssignmentBuffer, JoinPlanner, LocalJoinScratch, PairSink,
-    TouchConfig, TouchTree,
+    catch_phase, deliver, time_phase_traced, AssignmentBuffer, ExecControl, JoinError, JoinPlanner,
+    LocalJoinScratch, PairSink, TouchConfig, TouchTree,
 };
 use touch_geom::{Aabb, ObjectId, SpatialObject};
 use touch_metrics::{MemoryUsage, NoTrace, Phase, RunReport, TraceEvent, TraceSink};
@@ -210,73 +211,114 @@ impl JoinServer {
         self.publish_traced(&NoTrace)
     }
 
-    /// [`JoinServer::publish`] with an execution-trace sink: the whole
-    /// build-and-swap records a [`TraceEvent::Generation`] span.
+    /// [`JoinServer::publish`] with an execution-trace sink: the fold/rebuild
+    /// records a [`TraceEvent::Generation`] span.
     ///
     /// With a delta at or below the [rebuild limit](ServeConfig::delta_limit)
     /// the new tree reuses the previous generation's STR tiling — removals
     /// filtered out, inserts appended ([`TouchTree::from_tiled`]); past it the
     /// tiling is rebuilt from scratch over the canonical live order. Readers
     /// keep querying the old generation throughout and switch atomically.
+    ///
+    /// # Panics
+    /// Panics if the fold panics — use [`JoinServer::try_publish`] to contain
+    /// that instead.
     pub fn publish_traced(&self, trace: &dyn TraceSink) -> u64 {
+        self.try_publish(ExecControl::with_trace(trace)).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`JoinServer::publish`]: the fold runs under panic containment
+    /// **before** any writer state or the published generation moves, so the
+    /// server survives a panicking build with full consistency.
+    ///
+    /// * A pre-tripped `ctl.cancel` returns [`JoinError::Cancelled`] /
+    ///   [`JoinError::DeadlineExceeded`] with the delta still buffered — a
+    ///   publish has no meaningful partial result.
+    /// * A panic inside the fold (or the trace sink it reports to) returns
+    ///   [`JoinError::WorkerPanicked`] and **restores the pending delta**:
+    ///   readers keep the old generation, the version does not advance, and
+    ///   retrying the publish later folds exactly the same mutations.
+    pub fn try_publish(&self, ctl: ExecControl<'_>) -> Result<u64, JoinError> {
         let mut state = self.lock_state();
         if state.pending_inserts.is_empty() && state.pending_removes.is_empty() {
-            return state.version;
+            return Ok(state.version);
         }
+        if let Some(cause) = ctl.cancel.triggered() {
+            return Err(cause.into_error());
+        }
+        let trace = ctl.trace;
         let start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
         let inserts = std::mem::take(&mut state.pending_inserts);
         let removes = std::mem::take(&mut state.pending_removes);
         let delta = inserts.len() + removes.len();
 
-        // Advance the canonical live order: survivors keep their order,
-        // inserts arrive at the back.
-        state.live.retain(|o| !removes.contains(&o.id));
-        state.live.extend(inserts.iter().copied());
-        for id in &removes {
-            state.live_ids.remove(id);
-        }
-        state.live_ids.extend(inserts.iter().map(|o| o.id));
-        state.version += 1;
+        // The candidate live order: survivors keep their order, inserts arrive
+        // at the back. Built on the side — the canonical state only advances
+        // once the whole generation exists.
+        let mut next_live: Vec<SpatialObject> =
+            state.live.iter().filter(|o| !removes.contains(&o.id)).copied().collect();
+        next_live.extend(inserts.iter().copied());
+        let version = state.version + 1;
 
         let limit = self
             .config
             .delta_limit
-            .unwrap_or_else(|| JoinPlanner::default().delta_rebuild_limit(state.live.len()));
-        let generation = if delta > limit {
-            Self::full_rebuild(&state.live, &self.config, state.version, delta)
-        } else {
-            // Incremental fold: the previous tiling, minus removals, plus the
-            // inserts appended — any permutation is a correct tiling, and this
-            // one keeps the surviving objects' spatial coherence for free.
-            let previous = self.cell.load();
-            let tiled: Vec<SpatialObject> = previous
-                .tree
-                .a_objects()
-                .iter()
-                .filter(|o| !removes.contains(&o.id))
-                .copied()
-                .chain(inserts)
-                .collect();
-            let cfg = &self.config.touch;
-            let mut tree = TouchTree::from_tiled(tiled, cfg.partitions, cfg.fanout);
-            let a_cell_floor = cfg.min_local_cell_size_of_objects(&state.live);
-            tree.memoise_grids(&cfg.local_join_params(a_cell_floor));
-            Generation { version: state.version, tree, a_cell_floor, delta }
+            .unwrap_or_else(|| JoinPlanner::default().delta_rebuild_limit(next_live.len()));
+        let built = catch_phase(Phase::Build, 0, || {
+            let generation = if delta > limit {
+                Self::full_rebuild(&next_live, &self.config, version, delta)
+            } else {
+                // Incremental fold: the previous tiling, minus removals, plus
+                // the inserts appended — any permutation is a correct tiling,
+                // and this one keeps the surviving objects' spatial coherence
+                // for free.
+                let previous = self.cell.load();
+                let tiled: Vec<SpatialObject> = previous
+                    .tree
+                    .a_objects()
+                    .iter()
+                    .filter(|o| !removes.contains(&o.id))
+                    .copied()
+                    .chain(inserts.iter().copied())
+                    .collect();
+                let cfg = &self.config.touch;
+                let mut tree = TouchTree::from_tiled(tiled, cfg.partitions, cfg.fanout);
+                let a_cell_floor = cfg.min_local_cell_size_of_objects(&next_live);
+                tree.memoise_grids(&cfg.local_join_params(a_cell_floor));
+                Generation { version, tree, a_cell_floor, delta }
+            };
+            if trace.is_enabled() {
+                trace.record(TraceEvent::Generation {
+                    generation: version,
+                    live: generation.live(),
+                    delta,
+                    start_us,
+                    duration_us: trace.now_us().saturating_sub(start_us),
+                });
+            }
+            generation
+        });
+        let generation = match built {
+            Ok(generation) => generation,
+            Err(e) => {
+                // Put the delta back so a later publish retries it; nothing
+                // else moved, so readers and writer state stay consistent.
+                state.pending_inserts = inserts;
+                state.pending_removes = removes;
+                return Err(e);
+            }
         };
 
-        let live = generation.live();
-        let version = generation.version;
-        self.cell.publish(Arc::new(generation));
-        if trace.is_enabled() {
-            trace.record(TraceEvent::Generation {
-                generation: version,
-                live,
-                delta,
-                start_us,
-                duration_us: trace.now_us().saturating_sub(start_us),
-            });
+        // Commit: canonical state and the published cell advance together,
+        // under the writer lock, after the only fallible region succeeded.
+        state.live = next_live;
+        for id in &removes {
+            state.live_ids.remove(id);
         }
-        version
+        state.live_ids.extend(inserts.iter().map(|o| o.id));
+        state.version = version;
+        self.cell.publish(Arc::new(generation));
+        Ok(version)
     }
 
     /// STR-rebuilds a generation from the canonical live order — the path
@@ -329,16 +371,47 @@ impl SnapshotReader {
 
     /// [`SnapshotReader::query`] with an execution-trace sink attached
     /// (assignment/join phase spans and per-node join spans, as worker 0).
+    ///
+    /// # Panics
+    /// Panics if a phase panics — use [`SnapshotReader::try_query`] to contain
+    /// that instead.
     pub fn query_traced(
         &mut self,
         batch: &[SpatialObject],
         sink: &mut dyn PairSink,
         trace: &dyn TraceSink,
     ) -> RunReport {
+        self.try_query(batch, sink, ExecControl::with_trace(trace))
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SnapshotReader::query`]: polls `ctl.cancel` at chunk
+    /// granularity through assignment and before every per-node local join,
+    /// and contains phase panics instead of aborting.
+    ///
+    /// A trip mid-query returns `Ok` with a *partial* report — pairs already
+    /// delivered to `sink` stand, the counters cover exactly the work done,
+    /// and [`RunReport::completion`](touch_metrics::RunReport) says why the
+    /// query stopped. A contained panic returns
+    /// [`JoinError::WorkerPanicked`]; the sink's contents are then
+    /// unspecified and [`PairSink::finish`] has not been invoked, but the
+    /// reader and the served generation remain fully usable.
+    pub fn try_query(
+        &mut self,
+        batch: &[SpatialObject],
+        sink: &mut dyn PairSink,
+        ctl: ExecControl<'_>,
+    ) -> Result<RunReport, JoinError> {
         let snapshot = self.cell.load();
         let mut report = RunReport::new("TOUCH-SERVE".to_string(), snapshot.live(), batch.len());
         report.threads = 1;
         report.generation = Some(snapshot.version());
+        if let Some(cause) = ctl.cancel.triggered() {
+            report.completion = cause.completion();
+            sink.finish();
+            return Ok(report);
+        }
+        let trace = ctl.trace;
 
         // Resolve the grid floor exactly as the one-shot reference would:
         // max of the A-side floor (pre-computed at publish over the logical
@@ -349,30 +422,77 @@ impl SnapshotReader {
 
         self.buffer.clear();
         let mut counters = std::mem::take(&mut report.counters);
-        time_phase_traced(&mut report, Phase::Assignment, trace, || {
-            self.buffer.assign(&snapshot.tree, batch, &mut counters);
+        let buffer = &mut self.buffer;
+        let assigned = catch_phase(Phase::Assignment, 0, || {
+            time_phase_traced(&mut report, Phase::Assignment, trace, || {
+                buffer.assign_ctl(&snapshot.tree, batch, &mut counters, ctl.cancel)
+            })
         });
+        let assign_cause = match assigned {
+            Ok(cause) => cause,
+            Err(e) => {
+                report.counters = counters;
+                return Err(e);
+            }
+        };
+        if let Some(cause) = assign_cause {
+            report.counters = counters;
+            report.completion = cause.completion();
+            report.memory_bytes = snapshot.tree.memory_bytes();
+            sink.finish();
+            return Ok(report);
+        }
 
         let buffer = &self.buffer;
         let scratch = &mut self.scratch;
         let mut results = 0u64;
-        let local_aux = time_phase_traced(&mut report, Phase::Join, trace, || {
-            buffer.join_traced(
-                &snapshot.tree,
-                &params,
-                scratch,
-                &mut counters,
-                &mut |a_id, b_id| deliver(sink, a_id, b_id, &mut results),
-                trace,
-                0,
-            )
+        let joined = catch_phase(Phase::Join, 0, || {
+            time_phase_traced(&mut report, Phase::Join, trace, || {
+                buffer.join_ctl(
+                    &snapshot.tree,
+                    &params,
+                    scratch,
+                    &mut counters,
+                    &mut |a_id, b_id| deliver(sink, a_id, b_id, &mut results),
+                    ctl,
+                    0,
+                )
+            })
         });
-
         counters.results += results;
         report.counters = counters;
-        report.memory_bytes = snapshot.tree.memory_bytes() + local_aux;
-        sink.finish();
-        report
+        match joined {
+            Ok((local_aux, cause)) => {
+                report.memory_bytes = snapshot.tree.memory_bytes() + local_aux;
+                if let Some(c) = cause {
+                    report.completion = c.completion();
+                }
+                sink.finish();
+                Ok(report)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`SnapshotReader::try_query`] against a [`BoundedSink`], mapping a
+    /// tripped result-memory cap to [`JoinError::ResourceExhausted`]: under
+    /// [`OverflowPolicy::Truncate`] a query whose result set would exceed the
+    /// sink's capacity is reported as a hard budget failure instead of a
+    /// silently truncated success. A flushing sink never exhausts (it spills),
+    /// so this behaves exactly like `try_query`.
+    pub fn try_query_bounded(
+        &mut self,
+        batch: &[SpatialObject],
+        sink: &mut BoundedSink<'_>,
+        ctl: ExecControl<'_>,
+    ) -> Result<RunReport, JoinError> {
+        let report = self.try_query(batch, sink, ctl)?;
+        if sink.policy() == OverflowPolicy::Truncate && sink.is_done() {
+            return Err(JoinError::ResourceExhausted {
+                detail: format!("bounded sink capacity of {} pairs reached", sink.capacity()),
+            });
+        }
+        Ok(report)
     }
 
     /// The generation a query starting now would run against.

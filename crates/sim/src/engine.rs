@@ -5,12 +5,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use touch_core::{
-    deliver, CountingSink, DatasetStats, JoinPlan, JoinPlanner, PairSink, PlanEnv, ScratchPool,
-    TouchTree,
+    catch_phase, deliver, CancelCause, CountingSink, DatasetStats, ExecControl, JoinError,
+    JoinPlan, JoinPlanner, PairSink, PlanEnv, ScratchPool, TouchTree,
 };
 use touch_geom::{Dataset, ObjectId, SpatialObject};
-use touch_metrics::{Counters, PlanSummary, TickSummary};
-use touch_parallel::phases::{par_assign, par_join_into, resolve_threads};
+use touch_metrics::{Counters, Phase, PlanSummary, TickSummary};
+use touch_parallel::phases::{par_assign_ctl, par_join_into_ctl, resolve_threads};
 use touch_parallel::sort::par_str_sort;
 
 use crate::World;
@@ -189,7 +189,32 @@ impl TickEngine {
 
     /// Runs one tick: integrate, join, record. Returns the tick's record; the
     /// pair list (when collected) is available from [`TickEngine::pairs`].
+    ///
+    /// # Panics
+    /// Panics if a join phase panics — use [`TickEngine::try_tick`] to contain
+    /// that instead.
     pub fn tick(&mut self) -> TickRecord {
+        self.try_tick(ExecControl::infallible()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`TickEngine::tick`]: polls `ctl.cancel` between and inside
+    /// the join phases and contains phase panics.
+    ///
+    /// A tick is **all-or-nothing** — there is no meaningful "partial tick" —
+    /// so a token tripping mid-tick returns [`JoinError::Cancelled`] /
+    /// [`JoinError::DeadlineExceeded`] rather than a partial record:
+    ///
+    /// * a trip **before** the tick starts leaves the engine and world
+    ///   completely untouched;
+    /// * a trip (or contained panic) **mid-tick** abandons the tick — the
+    ///   world has integrated one step, but no record is produced, nothing is
+    ///   added to the summary or counters, the pair list is cleared and
+    ///   [`TickEngine::ticks`] does not advance — and the engine stays fully
+    ///   usable for the next tick.
+    pub fn try_tick(&mut self, ctl: ExecControl<'_>) -> Result<TickRecord, JoinError> {
+        if let Some(cause) = ctl.cancel.triggered() {
+            return Err(cause.into_error());
+        }
         let start = Instant::now();
         self.world.step(self.config.dt);
         self.world.fill_dataset(&mut self.dataset);
@@ -208,7 +233,9 @@ impl TickEngine {
         let replanned = self.maybe_replan(&stats);
         let threads = self.plan.threads();
 
-        // Rebuild the hierarchy into last tick's reclaimed item buffer.
+        // Rebuild the hierarchy into last tick's reclaimed item buffer. A
+        // panicking build loses the buffer (the next tick re-allocates it) but
+        // nothing else: the tree never existed, the engine state is pre-tick.
         let mut items = std::mem::take(&mut self.tree_buf);
         items.clear();
         items.extend_from_slice(if eps > 0.0 {
@@ -216,34 +243,72 @@ impl TickEngine {
         } else {
             self.dataset.objects()
         });
-        if !items.is_empty() {
-            let cap = TouchTree::leaf_capacity(items.len(), self.plan.partitions);
-            par_str_sort(&mut items, cap, threads, self.plan.sort_threshold);
-        }
-        let mut tree = TouchTree::from_tiled(items, self.plan.partitions, self.plan.fanout);
+        let partitions = self.plan.partitions;
+        let fanout = self.plan.fanout;
+        let sort_threshold = self.plan.sort_threshold;
+        let mut tree = catch_phase(Phase::Build, 0, move || {
+            if !items.is_empty() {
+                let cap = TouchTree::leaf_capacity(items.len(), partitions);
+                par_str_sort(&mut items, cap, threads, sort_threshold);
+            }
+            TouchTree::from_tiled(items, partitions, fanout)
+        })?;
 
         let mut counters = Counters::new();
-        par_assign(&mut tree, self.dataset.objects(), self.plan.chunk_size, threads, &mut counters);
+        let assigned = par_assign_ctl(
+            &mut tree,
+            self.dataset.objects(),
+            self.plan.chunk_size,
+            threads,
+            &mut counters,
+            ctl,
+        );
+        let assign_cause = match assigned {
+            Ok((_, cause)) => cause,
+            Err(e) => {
+                self.tree_buf = tree.into_items();
+                return Err(e);
+            }
+        };
+        if let Some(cause) = assign_cause {
+            self.tree_buf = tree.into_items();
+            return Err(cause.into_error());
+        }
 
         self.pairs.clear();
-        if self.config.collect_pairs {
+        let joined = if self.config.collect_pairs {
             let mut sink = VecPairSink { pairs: &mut self.pairs };
-            run_self_join(&tree, &self.plan, threads, &mut sink, &mut self.pool, &mut counters);
+            run_self_join(&tree, &self.plan, threads, &mut sink, &mut self.pool, &mut counters, ctl)
+        } else {
+            let mut sink = CountingSink::default();
+            run_self_join(&tree, &self.plan, threads, &mut sink, &mut self.pool, &mut counters, ctl)
+        };
+        self.tree_buf = tree.into_items();
+        match joined {
+            Ok(None) => {}
+            // An abandoned tick must not leave a half-collected pair list
+            // posing as a tick's output.
+            Ok(Some(cause)) => {
+                self.pairs.clear();
+                return Err(cause.into_error());
+            }
+            Err(e) => {
+                self.pairs.clear();
+                return Err(e);
+            }
+        }
+        if self.config.collect_pairs {
             // Sorting makes the list identical across thread counts; the *set*
             // already is, but parallel shard merge order is not.
             self.pairs.sort_unstable();
-        } else {
-            let mut sink = CountingSink::default();
-            run_self_join(&tree, &self.plan, threads, &mut sink, &mut self.pool, &mut counters);
         }
-        self.tree_buf = tree.into_items();
 
         let latency_us = (start.elapsed().as_micros() as u64).max(1);
         let pairs = counters.results;
         self.counters.merge(&counters);
         self.summary.record(latency_us, pairs, replanned);
         self.ticks += 1;
-        TickRecord { tick: self.ticks, pairs, latency_us, replanned }
+        Ok(TickRecord { tick: self.ticks, pairs, latency_us, replanned })
     }
 
     /// Runs `ticks` ticks, returning the per-tick records.
@@ -260,6 +325,13 @@ impl TickEngine {
     /// The simulated world (positions reflect all ticks run so far).
     pub fn world(&self) -> &World {
         &self.world
+    }
+
+    /// Number of completed ticks — the `tick` field of the last returned
+    /// [`TickRecord`]. An abandoned tick (fault or cancellation mid-tick)
+    /// does not advance it.
+    pub fn ticks(&self) -> usize {
+        self.ticks
     }
 
     /// The currently active plan.
@@ -320,9 +392,10 @@ fn relative_drift(old: f64, new: f64) -> f64 {
 }
 
 /// Runs the self-join phase of one tick: sequential through
-/// [`TouchTree::join_assigned`] with the in-closure `a < b` filter, parallel
-/// through [`par_join_into`] with its in-kernel self-join flag. Both credit
-/// `counters.results` with exactly the pairs the sink received.
+/// [`TouchTree::join_assigned_ctl`] with the in-closure `a < b` filter,
+/// parallel through [`par_join_into_ctl`] with its in-kernel self-join flag.
+/// Both credit `counters.results` with exactly the pairs the sink received,
+/// poll `ctl.cancel` per node, and contain worker panics.
 fn run_self_join(
     tree: &TouchTree,
     plan: &JoinPlan,
@@ -330,19 +403,31 @@ fn run_self_join(
     sink: &mut dyn PairSink,
     pool: &mut ScratchPool,
     counters: &mut Counters,
-) {
+    ctl: ExecControl<'_>,
+) -> Result<Option<CancelCause>, JoinError> {
     if threads <= 1 {
         let mut results = 0u64;
-        tree.join_assigned(&plan.params, pool.primary(), counters, &mut |a, b| {
-            if a < b {
-                deliver(sink, a, b, &mut results)
-            } else {
-                !sink.is_done()
-            }
+        let joined = catch_phase(Phase::Join, 0, || {
+            tree.join_assigned_ctl(
+                &plan.params,
+                pool.primary(),
+                counters,
+                &mut |a, b| {
+                    if a < b {
+                        deliver(sink, a, b, &mut results)
+                    } else {
+                        !sink.is_done()
+                    }
+                },
+                ctl,
+                0,
+            )
         });
         counters.results += results;
+        joined.map(|(_, cause)| cause)
     } else {
-        par_join_into(tree, &plan.params, threads, false, true, sink, pool, counters);
+        par_join_into_ctl(tree, &plan.params, threads, false, true, sink, pool, counters, ctl)
+            .map(|(_, cause)| cause)
     }
 }
 

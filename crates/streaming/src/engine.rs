@@ -4,13 +4,14 @@ use crate::EpochReport;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use touch_core::{
-    deliver, DatasetStats, JoinPlan, JoinPlanner, PairSink, PlanEnv, ScratchPool,
-    SpatialJoinAlgorithm, TouchConfig, TouchTree,
+    catch_phase, deliver, DatasetStats, ExecControl, JoinError, JoinPlan, JoinPlanner, PairSink,
+    PlanEnv, ScratchPool, SpatialJoinAlgorithm, TouchConfig, TouchTree,
 };
 use touch_geom::{Dataset, SpatialObject};
 use touch_metrics::{Counters, MemoryUsage, NoTrace, Phase, RunReport, TraceEvent, TraceSink};
 use touch_parallel::phases::{
-    par_assign_traced, par_build_tree, par_join_into_traced, resolve_threads,
+    par_assign_ctl, par_assign_traced, par_build_tree, par_join_into_ctl, par_join_into_traced,
+    resolve_threads,
 };
 
 /// Configuration of [`StreamingTouchJoin`].
@@ -288,6 +289,42 @@ impl StreamingTouchJoin {
         self.push_epoch(batch, sink, trace, true)
     }
 
+    /// Fallible [`StreamingTouchJoin::push_batch`]: the epoch polls
+    /// `ctl.cancel` at chunk (assignment) and node (join) granularity and
+    /// contains worker panics instead of aborting the process.
+    ///
+    /// * A token that trips **before** the epoch starts leaves the engine
+    ///   completely untouched — no assignments cleared, no statistics merged,
+    ///   no epoch counted — so the same batch can simply be pushed again.
+    /// * A token that trips **mid-epoch** returns `Ok` with a *partial*
+    ///   [`EpochReport`] whose [`completion`](EpochReport::completion) says
+    ///   why; the pairs already delivered to `sink` and the partial counters
+    ///   are folded into the cumulative record and the epoch is counted, so
+    ///   the stream can keep going.
+    /// * A panicked phase worker returns [`JoinError::WorkerPanicked`]; the
+    ///   failed epoch is **not** counted (the next push clears its partial
+    ///   assignments), and the engine remains usable.
+    pub fn try_push_batch(
+        &mut self,
+        batch: &[SpatialObject],
+        sink: &mut dyn PairSink,
+        ctl: ExecControl<'_>,
+    ) -> Result<EpochReport, JoinError> {
+        self.push_epoch_ctl(batch, sink, ctl, false)
+    }
+
+    /// Fallible [`StreamingTouchJoin::push_batch_self`] — the self-join form
+    /// of [`try_push_batch`](StreamingTouchJoin::try_push_batch), with the
+    /// same cancellation and containment contract.
+    pub fn try_push_batch_self(
+        &mut self,
+        batch: &[SpatialObject],
+        sink: &mut dyn PairSink,
+        ctl: ExecControl<'_>,
+    ) -> Result<EpochReport, JoinError> {
+        self.push_epoch_ctl(batch, sink, ctl, true)
+    }
+
     fn push_epoch(
         &mut self,
         batch: &[SpatialObject],
@@ -295,6 +332,17 @@ impl StreamingTouchJoin {
         trace: &dyn TraceSink,
         self_join: bool,
     ) -> EpochReport {
+        self.push_epoch_ctl(batch, sink, ExecControl::with_trace(trace), self_join)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn push_epoch_ctl(
+        &mut self,
+        batch: &[SpatialObject],
+        sink: &mut dyn PairSink,
+        ctl: ExecControl<'_>,
+        self_join: bool,
+    ) -> Result<EpochReport, JoinError> {
         let mut report = EpochReport {
             epoch: self.epochs,
             batch_size: batch.len(),
@@ -303,7 +351,16 @@ impl StreamingTouchJoin {
             timer: touch_metrics::PhaseTimer::new(),
             memory_bytes: 0,
             threads: self.threads,
+            completion: touch_metrics::Completion::Complete,
         };
+        // A pre-tripped token leaves the engine untouched — nothing cleared,
+        // nothing merged, the epoch not counted — so retrying the batch later
+        // is indistinguishable from pushing it the first time.
+        if let Some(cause) = ctl.cancel.triggered() {
+            report.completion = cause.completion();
+            return Ok(report);
+        }
+        let trace = ctl.trace;
         let epoch_start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
         // Leaving window mode: the window's assignments go with the clear, so
         // its records must not survive to mis-describe a later eviction.
@@ -312,63 +369,78 @@ impl StreamingTouchJoin {
         self.stream_stats.merge(&DatasetStats::from_objects(batch));
 
         let mut counters = Counters::new();
-        // par_assign_traced itself falls back to the sequential `TouchTree::assign`
+        // par_assign_ctl itself falls back to the sequential `TouchTree::assign`
         // when one worker (or one chunk) is all there is, so no dispatch is needed
         // here.
-        let assign_aux = report.timer.time(Phase::Assignment, || {
-            par_assign_traced(
+        let assigned = report.timer.time(Phase::Assignment, || {
+            par_assign_ctl(
                 &mut self.tree,
                 batch,
                 self.plan.chunk_size,
                 self.threads,
                 &mut counters,
-                trace,
+                ctl,
             )
         });
+        // A panicked assignment worker fails the whole epoch: partial
+        // assignments stay in the tree until the next push clears them, and
+        // the cumulative record never sees the failed epoch.
+        let (assign_aux, mut cause) = assigned?;
         report.assigned = self.tree.assigned_b_count();
 
-        let params = self.plan.params;
-        let tree = &self.tree;
-        let pool = &mut self.scratch;
-        let join_aux = report.timer.time(Phase::Join, || {
-            if self.threads <= 1 {
-                let mut results = 0u64;
-                let aux = tree.join_assigned_traced(
-                    &params,
-                    pool.primary(),
-                    &mut counters,
-                    &mut |a_id, b_id| {
-                        // The streaming tree is always on A with no swap, so the
-                        // self-join index-order filter applies directly.
-                        if !self_join || a_id < b_id {
-                            deliver(sink, a_id, b_id, &mut results)
-                        } else {
-                            !sink.is_done()
-                        }
-                    },
-                    trace,
-                    0,
-                );
-                counters.results += results;
-                aux
-            } else {
-                // par_join_into_traced adds the delivered pairs to `counters.results`.
-                par_join_into_traced(
-                    tree,
-                    &params,
-                    self.threads,
-                    false,
-                    self_join,
-                    sink,
-                    pool,
-                    &mut counters,
-                    trace,
-                )
-            }
-        });
+        let mut join_aux = 0;
+        if cause.is_none() {
+            let params = self.plan.params;
+            let tree = &self.tree;
+            let pool = &mut self.scratch;
+            let joined = report.timer.time(Phase::Join, || {
+                if self.threads <= 1 {
+                    let mut results = 0u64;
+                    let res = catch_phase(Phase::Join, 0, || {
+                        tree.join_assigned_ctl(
+                            &params,
+                            pool.primary(),
+                            &mut counters,
+                            &mut |a_id, b_id| {
+                                // The streaming tree is always on A with no swap, so
+                                // the self-join index-order filter applies directly.
+                                if !self_join || a_id < b_id {
+                                    deliver(sink, a_id, b_id, &mut results)
+                                } else {
+                                    !sink.is_done()
+                                }
+                            },
+                            ctl,
+                            0,
+                        )
+                    });
+                    counters.results += results;
+                    res
+                } else {
+                    // par_join_into_ctl adds the delivered pairs to `counters.results`.
+                    par_join_into_ctl(
+                        tree,
+                        &params,
+                        self.threads,
+                        false,
+                        self_join,
+                        sink,
+                        pool,
+                        &mut counters,
+                        ctl,
+                    )
+                }
+            });
+            let (aux, join_cause) = joined?;
+            join_aux = aux;
+            cause = join_cause;
+        }
 
         report.counters = counters;
         report.memory_bytes = self.tree.memory_bytes() + assign_aux + join_aux;
+        if let Some(c) = cause {
+            report.completion = c.completion();
+        }
 
         if trace.is_enabled() {
             trace.record(TraceEvent::Epoch {
@@ -379,6 +451,9 @@ impl StreamingTouchJoin {
             });
         }
 
+        // A cancelled epoch still merges: its pairs reached the sink and its
+        // counters describe real work, so the cumulative record stays an
+        // honest account of everything the stream has actually done.
         self.cumulative.merge_epoch(
             report.batch_size,
             &report.counters,
@@ -386,7 +461,7 @@ impl StreamingTouchJoin {
             report.memory_bytes,
         );
         self.epochs += 1;
-        report
+        Ok(report)
     }
 
     /// Joins `batch` as the newest epoch of a **sliding window** holding the
@@ -444,6 +519,7 @@ impl StreamingTouchJoin {
             timer: touch_metrics::PhaseTimer::new(),
             memory_bytes: 0,
             threads: self.threads,
+            completion: touch_metrics::Completion::Complete,
         };
         let epoch_start_us = if trace.is_enabled() { trace.now_us() } else { 0 };
         self.stream_stats.merge(&DatasetStats::from_objects(batch));
@@ -453,6 +529,7 @@ impl StreamingTouchJoin {
         // every per-node list, exactly what retract_assigned drains).
         while self.window_records.len() >= window {
             let evicted_epoch = self.epochs - self.window_records.len();
+            #[allow(clippy::expect_used)] // the loop guard checked len() >= window >= 1
             let record = self.window_records.pop_front().expect("len checked above");
             let mut objects = 0usize;
             for &(node, count) in &record {
@@ -766,9 +843,57 @@ impl SpatialJoinAlgorithm for OneShotStreaming {
         let _ = engine.push_batch_self_traced(base.objects(), sink, trace);
         Self::merge_cumulative(&engine, report);
     }
+
+    fn try_join_into(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        self.try_one_shot(a, b, sink, report, ctl, false)
+    }
+
+    fn try_join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        self.try_one_shot(a, base, sink, report, ctl, true)
+    }
 }
 
 impl OneShotStreaming {
+    /// The fallible one-shot run: build under panic containment, push the
+    /// whole probe side as a single cancellable epoch, and lift the epoch's
+    /// completion onto the run report.
+    fn try_one_shot(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+        self_join: bool,
+    ) -> Result<(), JoinError> {
+        if let Some(cause) = ctl.cancel.triggered() {
+            report.completion = cause.completion();
+            return Ok(());
+        }
+        let mut engine = catch_phase(Phase::Build, 0, || match self.plan {
+            Some(plan) => StreamingTouchJoin::build_with_plan(a, plan),
+            None => StreamingTouchJoin::build(a, self.config),
+        })?;
+        let epoch = engine.push_epoch_ctl(b.objects(), sink, ctl, self_join)?;
+        report.completion = epoch.completion;
+        Self::merge_cumulative(&engine, report);
+        Ok(())
+    }
+
     /// Folds a finished engine's cumulative record into a one-shot report.
     fn merge_cumulative(engine: &StreamingTouchJoin, report: &mut RunReport) {
         let cumulative = engine.cumulative_report();

@@ -1,6 +1,6 @@
 //! Per-epoch measurement records of the streaming engine.
 
-use touch_metrics::{Counters, PhaseTimer};
+use touch_metrics::{Completion, Counters, PhaseTimer};
 
 /// The measurement record of one [`push_batch`](crate::StreamingTouchJoin::push_batch)
 /// call: what one epoch of the B stream cost against the persistent tree.
@@ -29,6 +29,11 @@ pub struct EpochReport {
     pub memory_bytes: usize,
     /// Worker threads the epoch ran with.
     pub threads: usize,
+    /// How the epoch ended: [`Completion::Complete`] unless a cancel token
+    /// attached via [`try_push_batch`](crate::StreamingTouchJoin::try_push_batch)
+    /// tripped mid-epoch — then the counters and sink output above cover only
+    /// the work done before the trip.
+    pub completion: Completion,
 }
 
 impl EpochReport {
@@ -85,6 +90,7 @@ mod tests {
             timer,
             memory_bytes: 1234,
             threads: 4,
+            completion: Completion::Complete,
         };
         assert_eq!(report.results(), 7);
         let summary = report.summary();

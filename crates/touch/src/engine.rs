@@ -14,8 +14,8 @@ use touch_baselines::{
     S3Join, SeededTreeJoin,
 };
 use touch_core::{
-    DatasetStats, ExecutionStrategy, JoinPlan, JoinPlanner, PairSink, PlanEnv,
-    SpatialJoinAlgorithm, TouchConfig, TouchJoin,
+    DatasetStats, ExecControl, ExecutionStrategy, JoinError, JoinPlan, JoinPlanner, PairSink,
+    PlanEnv, SpatialJoinAlgorithm, TouchConfig, TouchJoin,
 };
 use touch_geom::Dataset;
 use touch_metrics::{RunReport, TraceSink};
@@ -199,6 +199,28 @@ impl SpatialJoinAlgorithm for Engine {
     ) {
         self.build().join_self_traced(a, base, sink, report, trace)
     }
+
+    fn try_join_into(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        self.build().try_join_into(a, b, sink, report, ctl)
+    }
+
+    fn try_join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        self.build().try_join_self_into(a, base, sink, report, ctl)
+    }
 }
 
 /// The workspace-wide auto-planning engine behind [`Engine::Auto`].
@@ -338,6 +360,62 @@ impl SpatialJoinAlgorithm for AutoEngine {
         if let Some(summary) = &mut report.plan {
             summary.stats_time = stats_time;
         }
+    }
+
+    fn try_join_into(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        // Check before the stats pass so a pre-cancelled run skips even
+        // planning; the resolved engine then owns all finer-grained polling.
+        if let Some(cause) = ctl.cancel.triggered() {
+            report.completion = cause.completion();
+            return Ok(());
+        }
+        let stats_start = std::time::Instant::now();
+        let (sa, sb) = (DatasetStats::from_dataset(a), DatasetStats::from_dataset(b));
+        let stats_time = stats_start.elapsed();
+        let mut env = self.env.with_pair_limit(sink.pair_limit());
+        env.epsilon = report.epsilon;
+        let plan = self.planner.plan(&sa, &sb, &env);
+        let engine = Self::resolve(plan);
+        report.algorithm = format!("TOUCH-AUTO → {}", engine.name());
+        engine.try_join_into(a, b, sink, report, ctl)?;
+        if let Some(summary) = &mut report.plan {
+            summary.stats_time = stats_time;
+        }
+        Ok(())
+    }
+
+    fn try_join_self_into(
+        &self,
+        a: &Dataset,
+        base: &Dataset,
+        sink: &mut dyn PairSink,
+        report: &mut RunReport,
+        ctl: ExecControl<'_>,
+    ) -> Result<(), JoinError> {
+        if let Some(cause) = ctl.cancel.triggered() {
+            report.completion = cause.completion();
+            return Ok(());
+        }
+        let stats_start = std::time::Instant::now();
+        let sa = DatasetStats::from_dataset(a);
+        let stats_time = stats_start.elapsed();
+        let mut env = self.env.with_pair_limit(sink.pair_limit());
+        env.epsilon = report.epsilon;
+        let plan = self.planner.plan_self(&sa, &env);
+        let engine = Self::resolve(plan);
+        report.algorithm = format!("TOUCH-AUTO → {}", engine.name());
+        engine.try_join_self_into(a, base, sink, report, ctl)?;
+        if let Some(summary) = &mut report.plan {
+            summary.stats_time = stats_time;
+        }
+        Ok(())
     }
 }
 

@@ -135,19 +135,21 @@ pub use touch_baselines::{
     S3Join, SeededTreeJoin,
 };
 pub use touch_core::{
-    collect_join, count_join, distance_join, AssignmentBuffer, AutoJoin, CallbackSink,
-    CollectingSink, CountingSink, DatasetStats, ExecutionStrategy, FirstKSink, IntoEngine,
-    JoinOrder, JoinPlan, JoinPlanner, JoinQuery, LocalJoinParams, LocalJoinScratch,
-    LocalJoinStrategy, PairSink, PlanEnv, Predicate, ScratchPool, ShardedSink, SinkShard,
-    SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
+    collect_join, count_join, distance_join, AssignmentBuffer, AutoJoin, CallbackSink, CancelCause,
+    CancelToken, CollectingSink, CountingSink, DatasetStats, ExecControl, ExecutionStrategy,
+    FirstKSink, IntoEngine, JoinError, JoinOrder, JoinPlan, JoinPlanner, JoinQuery,
+    LocalJoinParams, LocalJoinScratch, LocalJoinStrategy, PairSink, PlanEnv, Predicate,
+    ScratchPool, ShardedSink, SinkShard, SpatialJoinAlgorithm, TouchConfig, TouchJoin, TouchTree,
 };
 pub use touch_datagen::{
     MovingObjectsSpec, NeuroscienceSpec, SyntheticDistribution, SyntheticSpec, VelocityDistribution,
 };
-pub use touch_geom::{Aabb, Cylinder, Dataset, ObjectId, Point3, SpatialObject};
+pub use touch_geom::{
+    Aabb, Cylinder, Dataset, InvalidGeometry, ObjectId, Point3, SpatialObject, ValidationPolicy,
+};
 pub use touch_metrics::{
-    Counters, ExecTrace, Histogram, NoTrace, Phase, PlanSummary, RunReport, TickSummary,
-    TraceEvent, TraceSink, TraceSummary, WorkerStats,
+    Completion, Counters, ExecTrace, FaultAction, FaultPlan, Histogram, NoTrace, Phase,
+    PlanSummary, RunReport, Seam, TickSummary, TraceEvent, TraceSink, TraceSummary, WorkerStats,
 };
 pub use touch_parallel::{ParallelConfig, ParallelTouchJoin, ReaderPool};
 pub use touch_serve::{
