@@ -70,6 +70,12 @@ struct Cell {
     comparisons: u64,
     node_tests: u64,
     replicas: u64,
+    /// Candidate lanes fed through the batched MBR filter (machine-independent,
+    /// like the other work counters: the batch decomposition is pinned by the
+    /// plan, not by the host's SIMD width).
+    batch_lanes: u64,
+    /// Lanes the batched filter passed on to exact confirmation.
+    batch_hits: u64,
     /// Best (minimum) wall-clock total over the repetitions, in seconds.
     wall_s: f64,
     /// Best join-phase time over the repetitions, in seconds.
@@ -99,6 +105,8 @@ impl Cell {
             comparisons: best.counters.comparisons,
             node_tests: best.counters.node_tests,
             replicas: best.counters.replicas,
+            batch_lanes: best.counters.batch_lanes,
+            batch_hits: best.counters.batch_hits,
             wall_s: best.total_time().as_secs_f64(),
             join_s,
             reps: reports.len(),
@@ -138,6 +146,7 @@ impl Cell {
             concat!(
                 "{{\"engine\":{},\"threads\":{},\"epochs\":{},\"pairs\":{},",
                 "\"comparisons\":{},\"node_tests\":{},\"replicas\":{},",
+                "\"batch_lanes\":{},\"batch_hits\":{},",
                 "\"wall_s\":{:.6},\"join_s\":{:.6},",
                 "\"pairs_per_sec\":{:.1},\"join_pairs_per_sec\":{:.1},\"reps\":{}{}{}}}"
             ),
@@ -148,6 +157,8 @@ impl Cell {
             self.comparisons,
             self.node_tests,
             self.replicas,
+            self.batch_lanes,
+            self.batch_hits,
             self.wall_s,
             self.join_s,
             pps,

@@ -249,6 +249,7 @@ mod tests {
             cells_per_dim: 10,
             min_cell_size: 0.5,
             allpairs_max_a: 4,
+            adapt: None,
         }
     }
 

@@ -13,9 +13,51 @@
 //! [`crate::PairSink`] that reports [`crate::PairSink::is_done`] — e.g.
 //! [`crate::FirstKSink`] — cuts a join short). Emitters that never stop simply
 //! return `true` unconditionally.
+//!
+//! Both kernels run their candidate tests through the batched SIMD MBR filter
+//! ([`crate::simd::overlap_window`]): candidates are tested [`simd::LANES`] at a
+//! time, and only lanes the (exact) bitmask keeps reach the scalar
+//! confirmation. Comparisons are still **counted one candidate at a time, in
+//! candidate order, before the test** — precisely the scalar convention — so
+//! pairs, emission order and counters are bit-identical to the scalar
+//! reference on every backend, including under early termination mid-batch.
 
+use crate::simd::{self, Backend};
 use touch_geom::{ObjectId, SpatialObject};
 use touch_metrics::Counters;
+
+/// One probe object tested against a window of candidates through the batched
+/// filter. Returns `true` if `emit` stopped the scan. Emits `(probe, other)`
+/// unless `flip` is set (the sweep's B-opens-first branch emits `(other, probe)`).
+#[inline]
+fn probe_window(
+    probe: &SpatialObject,
+    window: &[SpatialObject],
+    flip: bool,
+    backend: Backend,
+    counters: &mut Counters,
+    emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
+) -> bool {
+    let mut at = 0;
+    while at < window.len() {
+        let chunk = &window[at..(at + simd::LANES).min(window.len())];
+        // Pull the next chunk towards L1 while this one is tested.
+        simd::prefetch_read(window, at + simd::LANES);
+        let mask = simd::overlap_window(backend, &probe.mbr, chunk);
+        counters.record_batch(chunk.len() as u64, u64::from(mask.count_ones()));
+        for (lane, other) in chunk.iter().enumerate() {
+            counters.record_comparison();
+            if mask >> lane & 1 == 1 && probe.mbr.intersects(&other.mbr) {
+                let go = if flip { emit(other.id, probe.id) } else { emit(probe.id, other.id) };
+                if !go {
+                    return true;
+                }
+            }
+        }
+        at += simd::LANES;
+    }
+    false
+}
 
 /// Compares every object of `a` against every object of `b` and emits the
 /// intersecting pairs. `O(|a|·|b|)` comparisons, fewer if `emit` stops the scan.
@@ -25,12 +67,10 @@ pub fn all_pairs(
     counters: &mut Counters,
     emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
 ) {
+    let backend = simd::backend();
     for oa in a {
-        for ob in b {
-            counters.record_comparison();
-            if oa.mbr.intersects(&ob.mbr) && !emit(oa.id, ob.id) {
-                return;
-            }
+        if probe_window(oa, b, false, backend, counters, emit) {
+            return;
         }
     }
 }
@@ -58,30 +98,35 @@ pub fn plane_sweep(
     }
     sort_by_xmin(a);
     sort_by_xmin(b);
+    // SoA copy of the sort keys: the sweep advances and bounds its windows on
+    // these two flat f64 arrays instead of re-reading a full 56-byte object per
+    // probe — the window end is found before any candidate is touched, and the
+    // window itself then goes through the batched filter.
+    let a_xmin: Vec<f64> = a.iter().map(|o| o.mbr.min.x).collect();
+    let b_xmin: Vec<f64> = b.iter().map(|o| o.mbr.min.x).collect();
+    let backend = simd::backend();
     let mut i = 0;
     let mut j = 0;
     while i < a.len() && j < b.len() {
-        if a[i].mbr.min.x <= b[j].mbr.min.x {
-            // a[i] opens first: scan b forward while it overlaps a[i] in x.
+        if a_xmin[i] <= b_xmin[j] {
+            // a[i] opens first: its window is the b-run still overlapping it in x.
             let upper = a[i].mbr.max.x;
-            let mut k = j;
-            while k < b.len() && b[k].mbr.min.x <= upper {
-                counters.record_comparison();
-                if a[i].mbr.intersects(&b[k].mbr) && !emit(a[i].id, b[k].id) {
-                    return;
-                }
-                k += 1;
+            let mut end = j;
+            while end < b.len() && b_xmin[end] <= upper {
+                end += 1;
+            }
+            if probe_window(&a[i], &b[j..end], false, backend, counters, emit) {
+                return;
             }
             i += 1;
         } else {
             let upper = b[j].mbr.max.x;
-            let mut k = i;
-            while k < a.len() && a[k].mbr.min.x <= upper {
-                counters.record_comparison();
-                if a[k].mbr.intersects(&b[j].mbr) && !emit(a[k].id, b[j].id) {
-                    return;
-                }
-                k += 1;
+            let mut end = i;
+            while end < a.len() && a_xmin[end] <= upper {
+                end += 1;
+            }
+            if probe_window(&b[j], &a[i..end], true, backend, counters, emit) {
+                return;
             }
             j += 1;
         }

@@ -32,7 +32,8 @@
 //! * the planning layer — [`DatasetStats`] (one-pass, exactly-mergeable dataset
 //!   statistics), the [`JoinPlanner`] cost model and the [`JoinPlan`] every
 //!   engine executes; a bare query (no `.engine(…)`) plans automatically,
-//! * the pairwise join kernels ([`kernels`]).
+//! * the pairwise join kernels ([`kernels`]) and the runtime-dispatched batched
+//!   MBR filter underneath them ([`simd`]).
 //!
 //! For multi-threaded execution (the `touch-parallel` crate) the tree exposes its
 //! per-phase building blocks — [`TouchTree::from_tiled`],
@@ -75,6 +76,7 @@ pub mod kernels;
 mod plan;
 mod query;
 mod scratch;
+pub mod simd;
 mod sink;
 mod stats;
 mod touch;
@@ -93,4 +95,6 @@ pub use sink::{
 pub use stats::{DatasetStats, EXTENT_BUCKETS};
 pub use touch::{time_phase_traced, JoinOrder, LocalJoinStrategy, TouchConfig, TouchJoin};
 pub use traits::{collect_join, count_join, distance_join, SpatialJoinAlgorithm};
-pub use tree::{LocalJoinKind, LocalJoinParams, TouchNode, TouchTree, ASSIGN_CANCEL_CHUNK};
+pub use tree::{
+    AdaptiveParams, LocalJoinKind, LocalJoinParams, TouchNode, TouchTree, ASSIGN_CANCEL_CHUNK,
+};

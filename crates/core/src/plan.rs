@@ -224,6 +224,7 @@ impl JoinPlan {
                 crate::JoinOrder::TreeOnB
             },
             grid_allpairs_max_a: self.params.allpairs_max_a,
+            adapt: self.params.adapt,
         }
     }
 }
@@ -393,6 +394,16 @@ impl JoinPlanner {
         let fanout = if partitions > 4096 { 4 } else { 2 };
         let min_cell = self.min_cell_factor * a.mean_side_all_axes().max(b.mean_side_all_axes());
         let allpairs_max_a = (target_leaf / 16).clamp(8, 128);
+        // Per-node adaptive strategy selection, pinned to the *probe* side's
+        // global density at plan time (the side streamed against the tree).
+        // An empty or volume-less probe summary — notably a streaming plan made
+        // before the first epoch — yields no density and falls back to the
+        // global cutoff, so such plans stay exactly the historical decisions.
+        let probe = if build_on_a { b } else { a };
+        let adapt = match probe.density() {
+            d if d > 0.0 => Some(crate::AdaptiveParams::with_density(d)),
+            _ => None,
+        };
 
         let strategy = if env.pair_limit.is_some_and(|k| k <= self.early_stop_limit) {
             ExecutionStrategy::Sequential
@@ -414,6 +425,7 @@ impl JoinPlanner {
                 cells_per_dim: self.cells_per_dim,
                 min_cell_size: min_cell,
                 allpairs_max_a,
+                adapt,
             },
             chunk_size: self.chunk_size,
             sort_threshold: self.sort_threshold,

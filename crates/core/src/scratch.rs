@@ -20,6 +20,7 @@
 //! counters of the seed implementation — the CSR directory lists each cell's
 //! candidates in B-insertion order, precisely as the per-cell `Vec`s did.
 
+use crate::simd;
 use touch_geom::{Aabb, ObjectId, SpatialObject};
 use touch_index::UniformGrid;
 use touch_metrics::{vec_bytes, Counters, MemoryUsage};
@@ -351,6 +352,14 @@ fn for_cells(lo: [usize; 3], hi: [usize; 3], mut f: impl FnMut([usize; 3])) {
 /// reports a hit only from the cell containing the reference point (Dittrich &
 /// Seeger), which guarantees exactly-once results without a de-duplication pass.
 /// `lookup` maps a linear cell id to its candidate run (`None` for empty cells).
+///
+/// Each candidate run goes through the batched SIMD MBR filter
+/// ([`simd::overlap_run`]): [`simd::LANES`] candidates are gathered from the
+/// SoA cache per batch while the MBRs of the *next* batch are prefetched, and
+/// only lanes the (exact) bitmask keeps reach the scalar confirmation and the
+/// reference-point rule. Comparisons are counted one candidate at a time, in
+/// run order, before the test — so pairs, order and counters are bit-identical
+/// to the unbatched scalar walk on every backend.
 #[allow(clippy::too_many_arguments)] // private kernel: the args *are* the hot state
 fn probe<'d>(
     grid: &UniformGrid,
@@ -362,6 +371,7 @@ fn probe<'d>(
     emit: &mut impl FnMut(ObjectId, ObjectId) -> bool,
     lookup: impl Fn(usize) -> Option<&'d [u32]>,
 ) {
+    let backend = simd::backend();
     'all: for a in a_objs {
         let (range_lo, range_hi) = grid.cell_range(&a.mbr);
         let Some((lo, hi)) = occupied.clamp(range_lo, range_hi) else { continue };
@@ -370,22 +380,40 @@ fn probe<'d>(
                 for x in lo[0]..=hi[0] {
                     let cell = grid.linear_index([x, y, z]);
                     let Some(candidates) = lookup(cell) else { continue };
-                    for &bpos in candidates {
-                        counters.record_comparison();
-                        let bm = &b_mbrs[bpos as usize];
-                        if a.mbr.intersects(bm) {
-                            // Reference-point rule: report only from the cell that
-                            // contains the lower corner of the intersection.
-                            let rp = a.mbr.intersection_reference_point(bm);
-                            let rp_cell = grid.linear_index(grid.cell_of_point(&rp));
-                            if rp_cell == cell {
-                                if !emit(a.id, b_objs[bpos as usize].id) {
-                                    break 'all;
-                                }
-                            } else {
-                                counters.record_duplicate_suppressed();
+                    let mut at = 0;
+                    while at < candidates.len() {
+                        let run = &candidates[at..(at + simd::LANES).min(candidates.len())];
+                        // Hide the gather latency of the next batch: its MBR
+                        // cache lines start moving while this batch is tested.
+                        if let Some(next) = candidates.get(at + simd::LANES..) {
+                            for &nb in next.iter().take(simd::LANES) {
+                                simd::prefetch_read(b_mbrs, nb as usize);
                             }
                         }
+                        let mask = simd::overlap_run(backend, &a.mbr, b_mbrs, run);
+                        counters.record_batch(run.len() as u64, u64::from(mask.count_ones()));
+                        for (lane, &bpos) in run.iter().enumerate() {
+                            counters.record_comparison();
+                            if mask >> lane & 1 == 0 {
+                                continue;
+                            }
+                            let bm = &b_mbrs[bpos as usize];
+                            if a.mbr.intersects(bm) {
+                                // Reference-point rule: report only from the cell
+                                // that contains the lower corner of the
+                                // intersection.
+                                let rp = a.mbr.intersection_reference_point(bm);
+                                let rp_cell = grid.linear_index(grid.cell_of_point(&rp));
+                                if rp_cell == cell {
+                                    if !emit(a.id, b_objs[bpos as usize].id) {
+                                        break 'all;
+                                    }
+                                } else {
+                                    counters.record_duplicate_suppressed();
+                                }
+                            }
+                        }
+                        at += simd::LANES;
                     }
                 }
             }

@@ -92,6 +92,13 @@ pub struct TouchConfig {
     /// are identical whether B is joined in one shot or streamed in epochs (see
     /// [`crate::LocalJoinParams`]).
     pub grid_allpairs_max_a: usize,
+    /// Per-node adaptive strategy selection for the grid local join. `None`
+    /// (default) keeps the single global `grid_allpairs_max_a` cutoff; the
+    /// planner fills this in from the probe dataset's statistics so each node
+    /// picks grid, all-pairs or plane-sweep from its own size and density (see
+    /// [`crate::AdaptiveParams`]). The decision uses only plan-time statistics,
+    /// never per-epoch B counts, preserving streaming decomposability.
+    pub adapt: Option<crate::AdaptiveParams>,
 }
 
 impl Default for TouchConfig {
@@ -104,6 +111,7 @@ impl Default for TouchConfig {
             local_join: LocalJoinStrategy::Grid,
             join_order: JoinOrder::SmallerAsTree,
             grid_allpairs_max_a: 8,
+            adapt: None,
         }
     }
 }
@@ -175,6 +183,7 @@ impl TouchConfig {
             cells_per_dim: self.local_cells_per_dim,
             min_cell_size,
             allpairs_max_a: self.grid_allpairs_max_a,
+            adapt: self.adapt,
         }
     }
 }

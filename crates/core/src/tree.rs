@@ -73,20 +73,100 @@ pub struct LocalJoinParams {
     /// build time), never at the B count, so the decision is identical no matter
     /// how the B stream is batched.
     pub allpairs_max_a: usize,
+    /// Per-node adaptive strategy selection (`None` — the default of every
+    /// explicit configuration — keeps the single global cutoff above, exactly
+    /// the historical behaviour). The planner derives `Some` from the probe
+    /// dataset's statistics; see [`AdaptiveParams`].
+    pub adapt: Option<AdaptiveParams>,
+}
+
+/// Per-node adaptive local-join strategy selection (the planner's replacement
+/// for the single global `allpairs_max_a` cutoff, after Kipf et al.,
+/// *Adaptive Geospatial Joins for Modern Hardware*).
+///
+/// [`LocalJoinParams::effective_kind`] consults, per node: the subtree's
+/// **A-count** (known at build time), the node MBR's **mean extent**, and the
+/// **expected B-objects** inside the node — its MBR volume times the probe
+/// dataset's *global* density, pinned here at plan time. Using the plan-time
+/// density rather than the node's actual B-list keeps the decision independent
+/// of how the B stream is batched: a node picks the same strategy for every
+/// epoch split, so pairs and counters stay exactly additive (the
+/// decomposability invariant of [`LocalJoinParams`]).
+///
+/// The rules, in order:
+/// 1. `a_count ≤ allpairs_max_a` → all-pairs (the legacy floor, unchanged);
+/// 2. `a_count × expected_b ≤ allpairs_max_work` → all-pairs: the node is too
+///    small for any candidate pruning to beat a raw batched scan;
+/// 3. node mean side `< sweep_min_side_cells × min_cell_size` → plane-sweep:
+///    the grid would degenerate to a handful of cells, replicating heavily
+///    while pruning little — sorting once beats building it;
+/// 4. otherwise → grid (Algorithm 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveParams {
+    /// Global density of the probe (B) dataset: objects per unit volume of its
+    /// bounding MBR, from [`DatasetStats::density`](crate::DatasetStats::density).
+    pub b_density: f64,
+    /// Rule 2 threshold on `a_count × expected_b`. Default:
+    /// [`AdaptiveParams::DEFAULT_ALLPAIRS_MAX_WORK`].
+    pub allpairs_max_work: f64,
+    /// Rule 3 threshold on the node's mean side, in units of the grid cell
+    /// floor. Default: [`AdaptiveParams::DEFAULT_SWEEP_MIN_SIDE_CELLS`].
+    pub sweep_min_side_cells: f64,
+}
+
+impl AdaptiveParams {
+    /// Default all-pairs work ceiling: an `a_count × expected_b` at or below
+    /// this is cheaper to scan than to index (≈ one L2 of candidate tests).
+    pub const DEFAULT_ALLPAIRS_MAX_WORK: f64 = 4096.0;
+    /// Default sweep threshold: a node whose mean side spans fewer than this
+    /// many minimum-size cells gets a degenerate grid, so it sweeps instead.
+    pub const DEFAULT_SWEEP_MIN_SIDE_CELLS: f64 = 4.0;
+
+    /// Adaptive parameters with the default thresholds for a probe dataset of
+    /// the given global density.
+    pub fn with_density(b_density: f64) -> Self {
+        AdaptiveParams {
+            b_density,
+            allpairs_max_work: Self::DEFAULT_ALLPAIRS_MAX_WORK,
+            sweep_min_side_cells: Self::DEFAULT_SWEEP_MIN_SIDE_CELLS,
+        }
+    }
+
+    /// Rules 2–4 (rule 1 lives in [`LocalJoinParams::effective_kind`], which is
+    /// the only caller).
+    fn pick(&self, a_count: usize, node_mbr: &Aabb, min_cell_size: f64) -> LocalJoinKind {
+        let expected_b = self.b_density * node_mbr.volume();
+        if (a_count as f64) * expected_b <= self.allpairs_max_work {
+            return LocalJoinKind::AllPairs;
+        }
+        let extent = node_mbr.extent();
+        let mean_side = (extent.x + extent.y + extent.z) / 3.0;
+        if mean_side < self.sweep_min_side_cells * min_cell_size {
+            return LocalJoinKind::PlaneSweep;
+        }
+        LocalJoinKind::Grid
+    }
 }
 
 impl LocalJoinParams {
-    /// The strategy a node with `a_count` subtree A-objects actually runs:
+    /// The strategy a node with `a_count` subtree A-objects and MBR `node_mbr`
+    /// actually runs. Without [`adapt`](LocalJoinParams::adapt),
     /// [`LocalJoinKind::Grid`] degrades to [`LocalJoinKind::AllPairs`] below the
     /// `allpairs_max_a` cutoff (building a grid for a handful of A-objects costs
-    /// more than it prunes). This is the **single** place the cutoff is applied —
-    /// [`TouchTree::local_join_node`] executes it and the trace layer labels
-    /// spans with it, so the two can never diverge. The decision deliberately
-    /// never consults the B count (see the field docs above).
+    /// more than it prunes) and the MBR is ignored; with it, the node-local
+    /// rules of [`AdaptiveParams`] pick between all three kinds. This is the
+    /// **single** place the decision is made — [`TouchTree::local_join_node`]
+    /// executes it and the trace layer labels spans with it, so the two can
+    /// never diverge. The decision deliberately never consults the B count
+    /// (see the field docs above); non-grid base kinds are always taken as-is.
     #[inline]
-    pub fn effective_kind(&self, a_count: usize) -> LocalJoinKind {
+    pub fn effective_kind(&self, a_count: usize, node_mbr: &Aabb) -> LocalJoinKind {
         match self.kind {
             LocalJoinKind::Grid if a_count <= self.allpairs_max_a => LocalJoinKind::AllPairs,
+            LocalJoinKind::Grid => match &self.adapt {
+                Some(adapt) => adapt.pick(a_count, node_mbr, self.min_cell_size),
+                None => LocalJoinKind::Grid,
+            },
             kind => kind,
         }
     }
@@ -145,8 +225,9 @@ impl TouchNode {
 struct GridCache {
     cells_per_dim: usize,
     min_cell_size: f64,
-    /// One entry per node; `None` for nodes that use the all-pairs fallback
-    /// (at most `allpairs_max_a` A-objects) or hold no A-objects.
+    /// One entry per node; `None` for nodes whose effective strategy is not
+    /// [`LocalJoinKind::Grid`] (all-pairs fallback, adaptive pick) or that hold
+    /// no A-objects.
     grids: Vec<Option<UniformGrid>>,
 }
 
@@ -768,7 +849,7 @@ impl TouchTree {
         // arrive split across epochs, and the per-node strategy has to be the
         // same for every split so that counters stay exactly additive (see
         // [`LocalJoinParams`]).
-        match params.effective_kind(a_objs.len()) {
+        match params.effective_kind(a_objs.len(), &node.mbr) {
             LocalJoinKind::AllPairs => {
                 kernels::all_pairs(a_objs, b_objs, counters, emit);
             }
@@ -832,7 +913,7 @@ impl TouchTree {
         }
         let a_count = self.nodes[index].a_count();
         let b_count = b_objs.len();
-        let strategy = params.effective_kind(a_count).name();
+        let strategy = params.effective_kind(a_count, &self.nodes[index].mbr).name();
         let comparisons_before = counters.comparisons;
         let mut pairs = 0u64;
         let start_us = trace.now_us();
@@ -879,8 +960,8 @@ impl TouchTree {
     }
 
     /// Pre-computes the local-join grid geometry of every node that can need one
-    /// (more than `params.allpairs_max_a` A-objects in its subtree), replacing any
-    /// previously memoised set.
+    /// (those whose [`LocalJoinParams::effective_kind`] resolves to
+    /// [`LocalJoinKind::Grid`]), replacing any previously memoised set.
     ///
     /// This is the persistent-tree optimisation of `touch-streaming`: a one-shot
     /// join uses each node's grid exactly once, but a tree serving many epochs
@@ -894,7 +975,7 @@ impl TouchTree {
             .nodes
             .iter()
             .map(|node| {
-                if node.a_count() > params.allpairs_max_a {
+                if params.effective_kind(node.a_count(), &node.mbr) == LocalJoinKind::Grid {
                     Some(UniformGrid::with_min_cell_size(
                         node.mbr,
                         params.cells_per_dim.max(1),
@@ -1078,7 +1159,13 @@ mod tests {
     /// A-cutoff of 4 so both the all-pairs fallback and the grid path are exercised
     /// by the lattice workloads (leaf buckets of 8 objects sit above the cutoff).
     fn test_params(kind: LocalJoinKind) -> LocalJoinParams {
-        LocalJoinParams { kind, cells_per_dim: 10, min_cell_size: 0.5, allpairs_max_a: 4 }
+        LocalJoinParams {
+            kind,
+            cells_per_dim: 10,
+            min_cell_size: 0.5,
+            allpairs_max_a: 4,
+            adapt: None,
+        }
     }
 
     /// A structural fingerprint of the tree: everything `clear_assignment` must

@@ -10,7 +10,12 @@ use serde::{Deserialize, Serialize};
 /// phase. Boxes are **closed**: two boxes that merely share a face, edge or corner are
 /// considered intersecting (`intersects` returns `true`), which matches the paper's
 /// inclusive distance predicate `distance(a, b) ≤ ε` after ε-extension.
+///
+/// The layout is `repr(C)` — `min` then `max`, six consecutive `f64`s in
+/// total — and part of the public contract: the SIMD kernels read corners with
+/// overlapping vector loads.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Aabb {
     /// Lower corner (componentwise minimum).
     pub min: Point3,

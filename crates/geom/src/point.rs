@@ -7,7 +7,12 @@ use std::ops::{Add, Index, Mul, Sub};
 ///
 /// `Point3` is a plain-old-data type: 24 bytes, `Copy`, no heap allocation. It is used
 /// for box corners, cylinder end points and cluster centres.
+///
+/// The layout is `repr(C)` — three consecutive `f64`s, `x` first — and part of
+/// the public contract: the SIMD kernels load coordinates straight out of
+/// [`Aabb`](crate::Aabb)s with vector loads.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Point3 {
     /// X coordinate.
     pub x: f64,

@@ -26,6 +26,15 @@ pub struct Counters {
     /// TOUCH local-join grid cells). Drives the memory overhead the paper attributes
     /// to PBSM.
     pub replicas: u64,
+    /// Candidate lanes fed through the batched MBR filter (`kernels::overlap_batch`).
+    /// Counts *logical* lanes, so the value is machine-independent: the same join
+    /// reports the same number whether the batch ran on AVX2, SSE2, NEON or the
+    /// scalar fallback.
+    pub batch_lanes: u64,
+    /// Lanes the batched MBR filter passed on to the exact scalar confirmation
+    /// (popcount of the overlap bitmask). Machine-independent like `batch_lanes`;
+    /// `batch_hits / batch_lanes` is the filter's selectivity.
+    pub batch_hits: u64,
 }
 
 impl Counters {
@@ -77,6 +86,14 @@ impl Counters {
         self.replicas += 1;
     }
 
+    /// Records one batched MBR filter evaluation: `lanes` candidate lanes tested,
+    /// of which `hits` survived the bitmask and went to the exact scalar check.
+    #[inline]
+    pub fn record_batch(&mut self, lanes: u64, hits: u64) {
+        self.batch_lanes += lanes;
+        self.batch_hits += hits;
+    }
+
     /// Adds another set of counters to this one (e.g. to aggregate per-partition runs).
     pub fn merge(&mut self, other: &Counters) {
         self.comparisons += other.comparisons;
@@ -85,6 +102,8 @@ impl Counters {
         self.filtered += other.filtered;
         self.duplicates_suppressed += other.duplicates_suppressed;
         self.replicas += other.replicas;
+        self.batch_lanes += other.batch_lanes;
+        self.batch_hits += other.batch_hits;
     }
 }
 
@@ -110,12 +129,15 @@ mod tests {
         c.record_filtered();
         c.record_duplicate_suppressed();
         c.record_replica();
+        c.record_batch(4, 3);
         assert_eq!(c.comparisons, 5);
         assert_eq!(c.node_tests, 1);
         assert_eq!(c.results, 1);
         assert_eq!(c.filtered, 1);
         assert_eq!(c.duplicates_suppressed, 1);
         assert_eq!(c.replicas, 1);
+        assert_eq!(c.batch_lanes, 4);
+        assert_eq!(c.batch_hits, 3);
     }
 
     #[test]
@@ -127,6 +149,8 @@ mod tests {
             filtered: 4,
             duplicates_suppressed: 5,
             replicas: 6,
+            batch_lanes: 7,
+            batch_hits: 8,
         };
         let b = Counters {
             comparisons: 10,
@@ -135,6 +159,8 @@ mod tests {
             filtered: 40,
             duplicates_suppressed: 50,
             replicas: 60,
+            batch_lanes: 70,
+            batch_hits: 80,
         };
         a.merge(&b);
         assert_eq!(a.comparisons, 11);
@@ -143,5 +169,7 @@ mod tests {
         assert_eq!(a.filtered, 44);
         assert_eq!(a.duplicates_suppressed, 55);
         assert_eq!(a.replicas, 66);
+        assert_eq!(a.batch_lanes, 77);
+        assert_eq!(a.batch_hits, 88);
     }
 }

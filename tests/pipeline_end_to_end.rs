@@ -42,6 +42,7 @@ fn touch_phases_can_be_driven_manually_through_the_public_api() {
         cells_per_dim: 64,
         min_cell_size: 4.0,
         allpairs_max_a: 8,
+        adapt: None,
     };
     let mut pairs = Vec::new();
     let mut scratch = touch::core::LocalJoinScratch::new();

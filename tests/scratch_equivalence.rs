@@ -105,6 +105,11 @@ fn seed_local_join(
                     for &bpos in candidates {
                         let b = &b_objs[bpos as usize];
                         counters.record_comparison();
+                        // The production path feeds candidate runs through the
+                        // batched MBR filter in LANES-wide groups; the batch
+                        // mask is exact, so accounting the batch counters per
+                        // candidate here yields the identical totals.
+                        counters.record_batch(1, u64::from(a.mbr.intersects(&b.mbr)));
                         if a.mbr.intersects(&b.mbr) {
                             let rp = a.mbr.intersection_reference_point(&b.mbr);
                             let rp_cell = grid.linear_index(grid.cell_of_point(&rp));
@@ -165,6 +170,7 @@ fn csr_path_reproduces_the_seed_semantics_exactly() {
                 cells_per_dim: cells,
                 min_cell_size: min_cell,
                 allpairs_max_a: cutoff,
+                adapt: None,
             };
             let (seed_pairs, seed_counters) = seed_join(&tree, &params);
             let (pairs, counters) = scratch_join(&tree, &params, &mut scratch);
